@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh — the full local gate: formatting, vet, tests (with race on the
+# concurrent packages), a short soak, and one pass over every benchmark.
+set -e
+echo "== gofmt =="
+test -z "$(gofmt -l .)" || { gofmt -l .; echo "gofmt: files need formatting"; exit 1; }
+echo "== go vet =="
+go vet ./...
+echo "== go test =="
+go test ./...
+echo "== race (concurrent packages) =="
+go test -race ./internal/par/ ./internal/smallsap/ ./internal/mediumsap/ ./internal/ufpp/ ./internal/exact/ ./internal/lp/
+echo "== soak (10s) =="
+go run ./cmd/sapstress -duration 10s -seed 1
+echo "== benches (1x) =="
+go test -run XXX -bench . -benchtime 1x .
+echo "ALL CHECKS PASSED"

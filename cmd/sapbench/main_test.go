@@ -1,0 +1,15 @@
+package main
+
+import "testing"
+
+func TestFlagSummary(t *testing.T) {
+	if got := flagSummary(false, 0); got != "" {
+		t.Errorf("default summary = %q", got)
+	}
+	if got := flagSummary(true, 0); got != " `-quick`" {
+		t.Errorf("quick summary = %q", got)
+	}
+	if got := flagSummary(true, 7); got != " `-quick -seed 7`" {
+		t.Errorf("quick+seed summary = %q", got)
+	}
+}

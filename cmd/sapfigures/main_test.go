@@ -1,0 +1,23 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRenderProducesAllFigures(t *testing.T) {
+	var buf bytes.Buffer
+	render(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"## Figure 1", "Fig 1a", "Fig 1b",
+		"## Figure 2", "## Figure 4", "## Figure 5", "## Figures 7 and 8",
+		"SAP OPT = 1 < 2", // Fig 1a's gap
+		"5-cycle",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figures output missing %q", want)
+		}
+	}
+}

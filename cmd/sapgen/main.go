@@ -1,0 +1,97 @@
+// Command sapgen generates SAP workload instances in the library's JSON
+// interchange format.
+//
+// Usage:
+//
+//	sapgen -family random -seed 1 -edges 16 -tasks 32 -class mixed > inst.json
+//	sapgen -family memtrace -seed 2 > trace.json
+//	sapgen -family fig8 > fig8.json
+//	sapgen -family ring -seed 3 -edges 8 -tasks 12 > ring.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sapalloc/internal/gen"
+	"sapalloc/internal/model"
+	"sapalloc/internal/window"
+)
+
+func main() {
+	var (
+		family = flag.String("family", "random", "workload family: random | uniform | memtrace | banner | spectrum | knapsack | nba | staircase | ring | fig1a | fig1b | fig2a | fig2b | fig8 | gapchain | window")
+		seed   = flag.Int64("seed", 1, "generator seed")
+		edges  = flag.Int("edges", 16, "number of path/ring edges")
+		tasks  = flag.Int("tasks", 32, "number of tasks")
+		capLo  = flag.Int64("caplo", 64, "minimum edge capacity")
+		capHi  = flag.Int64("caphi", 257, "edge capacity upper bound (exclusive)")
+		class  = flag.String("class", "mixed", "demand class: mixed | small | medium | large")
+		slack  = flag.Int("slack", 2, "window slack for -family window")
+	)
+	flag.Parse()
+
+	classOf := map[string]gen.Class{
+		"mixed": gen.Mixed, "small": gen.Small, "medium": gen.Medium, "large": gen.Large,
+	}
+	cls, ok := classOf[*class]
+	if !ok {
+		fatalf("unknown class %q", *class)
+	}
+
+	var in *model.Instance
+	switch *family {
+	case "random":
+		in = gen.Random(gen.Config{Seed: *seed, Edges: *edges, Tasks: *tasks, CapLo: *capLo, CapHi: *capHi, Class: cls})
+	case "uniform":
+		in = gen.Uniform(*seed, *edges, *tasks, *capLo, cls)
+	case "memtrace":
+		in = gen.MemTrace(gen.MemTraceConfig{Seed: *seed, Slots: *edges, Objects: *tasks})
+	case "banner":
+		in = gen.Banner(gen.BannerConfig{Seed: *seed, Days: *edges, Ads: *tasks})
+	case "spectrum":
+		in = gen.Spectrum(gen.SpectrumConfig{Seed: *seed, Segments: *edges, Demands: *tasks})
+	case "knapsack":
+		in = gen.KnapsackDegenerate(*seed, *tasks, *capLo)
+	case "nba":
+		in = gen.NBA(*seed, *edges, *tasks)
+	case "staircase":
+		in = gen.Staircase(*seed, *edges, *tasks, 16, cls)
+	case "fig1a":
+		in = gen.Fig1a()
+	case "fig1b":
+		in = gen.Fig1b()
+	case "fig2a":
+		in = gen.Fig2a()
+	case "fig2b":
+		in = gen.Fig2b()
+	case "fig8":
+		in = gen.Fig8()
+	case "gapchain":
+		in = gen.GapChain(*tasks)
+	case "window":
+		base := gen.Random(gen.Config{Seed: *seed, Edges: *edges, Tasks: *tasks, CapLo: *capLo, CapHi: *capHi, Class: cls})
+		win := window.Widen(window.Fixed(base), *slack)
+		if err := win.WriteJSON(os.Stdout); err != nil {
+			fatalf("write: %v", err)
+		}
+		return
+	case "ring":
+		ring := gen.Ring(*seed, *edges, *tasks, *capLo, *capHi)
+		if err := ring.WriteJSON(os.Stdout); err != nil {
+			fatalf("write: %v", err)
+		}
+		return
+	default:
+		fatalf("unknown family %q", *family)
+	}
+	if err := in.WriteJSON(os.Stdout); err != nil {
+		fatalf("write: %v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sapgen: "+format+"\n", args...)
+	os.Exit(1)
+}

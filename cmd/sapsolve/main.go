@@ -1,0 +1,246 @@
+// Command sapsolve reads a SAP instance (JSON, as written by sapgen) from a
+// file or stdin and solves it with the selected algorithm, printing the
+// schedule, its weight, and optional diagnostics.
+//
+// Usage:
+//
+//	sapgen -family random | sapsolve -algo combined
+//	sapsolve -algo exact -in inst.json -viz
+//	sapsolve -algo ring -in ring.json
+//
+// Algorithms: combined (Theorem 4, default) | small (Theorem 1) |
+// medium (Theorem 2) | large (Theorem 3) | exact (branch & bound) |
+// ring (Theorem 5; requires a ring instance) | stretch (the conclusion's
+// min-stretch DSA extension: packs ALL tasks within ρ·c for minimal ρ) |
+// ufpp (the Bonsma-style combined UFPP pipeline — no contiguity).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"sapalloc/internal/core"
+	"sapalloc/internal/exact"
+	"sapalloc/internal/largesap"
+	"sapalloc/internal/mediumsap"
+	"sapalloc/internal/model"
+	"sapalloc/internal/ringsap"
+	"sapalloc/internal/smallsap"
+	"sapalloc/internal/stretch"
+	"sapalloc/internal/ufppfull"
+	"sapalloc/internal/viz"
+	"sapalloc/internal/window"
+)
+
+func main() {
+	var (
+		algo    = flag.String("algo", "combined", "algorithm: combined | small | medium | large | exact | ring | stretch | ufpp | window")
+		inPath  = flag.String("in", "-", "input instance path ('-' for stdin)")
+		eps     = flag.Float64("eps", 0.5, "ε for the approximation guarantees")
+		showViz = flag.Bool("viz", false, "render the schedule as ASCII art")
+		outJSON = flag.Bool("json", false, "emit the solution as JSON instead of text")
+		improve = flag.Bool("improve", false, "post-optimise the schedule (gravity + greedy insertion)")
+		trace   = flag.Bool("trace", false, "print per-arm and per-class diagnostics (combined algorithm only)")
+	)
+	flag.Parse()
+
+	r, err := openInput(*inPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer r.Close()
+
+	if *algo == "ring" {
+		solveRing(r, *eps, *outJSON)
+		return
+	}
+
+	if *algo == "window" {
+		win, err := window.ReadJSON(r)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var sol *window.Solution
+		label := "windowed exact"
+		if len(win.Tasks) <= window.MaxTasks {
+			sol, err = window.SolveExact(win, window.Options{})
+			if err != nil && !errors.Is(err, window.ErrBudget) {
+				fatalf("%v", err)
+			}
+		} else {
+			sol = window.Greedy(win)
+			label = "windowed greedy"
+		}
+		if err := window.Valid(win, sol); err != nil {
+			fatalf("internal error: infeasible windowed solution: %v", err)
+		}
+		fmt.Printf("algorithm: %s\n", label)
+		fmt.Printf("scheduled %d/%d tasks, weight %d\n", sol.Len(), len(win.Tasks), sol.Weight())
+		for _, p := range sol.Items {
+			fmt.Printf("  task %d  days [%d,%d)  height %d  weight %d\n",
+				p.Task.ID, p.Start, p.End(), p.Height, p.Task.Weight)
+		}
+		return
+	}
+
+	in, err := model.ReadInstanceJSON(r)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *algo == "ufpp" {
+		res, err := ufppfull.Solve(in, ufppfull.Params{Eps: *eps})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := model.ValidUFPP(in, res.Tasks); err != nil {
+			fatalf("internal error: infeasible UFPP solution: %v", err)
+		}
+		fmt.Printf("algorithm: combined UFPP (Bonsma-style), winner: %s [small=%d medium=%d large=%d]\n",
+			res.Winner, res.SmallWeight, res.MediumWeight, res.LargeWeight)
+		fmt.Printf("selected %d/%d tasks, weight %d/%d (no heights — UFPP drops the contiguity constraint)\n",
+			len(res.Tasks), len(in.Tasks), model.WeightOf(res.Tasks), in.TotalWeight())
+		return
+	}
+
+	if *algo == "stretch" {
+		res, err := stretch.MinStretch(in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Printf("algorithm: min-stretch DSA (conclusion's extension)\n")
+		fmt.Printf("stretch ρ = %.4f (certified lower bound %.4f); all %d tasks packed\n",
+			res.Rho(), res.LowerBoundRho(), res.Solution.Len())
+		if *outJSON {
+			if err := res.Solution.WriteJSON(os.Stdout); err != nil {
+				fatalf("%v", err)
+			}
+		}
+		return
+	}
+
+	var sol *model.Solution
+	var label string
+	switch *algo {
+	case "combined":
+		res, err := core.Solve(in, core.Params{Eps: *eps})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sol = res.Solution
+		label = fmt.Sprintf("combined (9+ε), winner: %s [small=%d medium=%d large=%d]",
+			res.Winner, res.SmallWeight, res.MediumWeight, res.LargeWeight)
+		if *trace {
+			fmt.Printf("partition: %d small / %d medium / %d large tasks\n",
+				res.NumSmall, res.NumMedium, res.NumLarge)
+			for _, c := range res.SmallDetail.Classes {
+				fmt.Printf("  strip class t=%d: %d tasks, UFPP weight %d, LP bound %.1f, retained %d\n",
+					c.T, c.Tasks, c.UFPPWeight, c.LPBound, c.RetainedWeight)
+			}
+			ks := make([]int, 0, len(res.MediumDetail.Classes))
+			for k := range res.MediumDetail.Classes {
+				ks = append(ks, k)
+			}
+			sort.Ints(ks)
+			for _, k := range ks {
+				fmt.Printf("  medium class k=%d: elevated weight %d\n", k, res.MediumDetail.Classes[k])
+			}
+			fmt.Printf("  medium residue r*=%d (ℓ=%d, q=%d)\n",
+				res.MediumDetail.Residue, res.MediumDetail.Ell, res.MediumDetail.Q)
+		}
+	case "small":
+		res, err := smallsap.Solve(in, smallsap.Params{})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sol = res.Solution
+		label = fmt.Sprintf("strip-pack (4+ε), LP bound total %.1f", res.LPBoundTotal)
+	case "medium":
+		res, err := mediumsap.Solve(in, mediumsap.Params{Eps: *eps})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sol = res.Solution
+		label = fmt.Sprintf("almost-uniform (2+ε), residue r*=%d, ℓ=%d", res.Residue, res.Ell)
+	case "large":
+		s, err := largesap.Solve(in, largesap.Options{})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		sol = s
+		label = "rectangle packing (2k−1)"
+	case "exact":
+		s, err := exact.SolveSAP(in, exact.Options{})
+		if err != nil && !errors.Is(err, exact.ErrBudget) {
+			fatalf("%v", err)
+		}
+		sol = s
+		label = "exact branch & bound"
+		if errors.Is(err, exact.ErrBudget) {
+			label += " (budget exhausted — incumbent shown)"
+		}
+	default:
+		fatalf("unknown algorithm %q", *algo)
+	}
+
+	if *improve {
+		before := sol.Weight()
+		sol = core.Improve(in, sol)
+		label += fmt.Sprintf("; improved %d → %d", before, sol.Weight())
+	}
+	if err := model.ValidSAP(in, sol); err != nil {
+		fatalf("internal error: produced infeasible solution: %v", err)
+	}
+	if *outJSON {
+		if err := sol.WriteJSON(os.Stdout); err != nil {
+			fatalf("%v", err)
+		}
+		return
+	}
+	fmt.Printf("algorithm: %s\n", label)
+	fmt.Printf("%s\n", viz.Summary(in, sol))
+	fmt.Print(viz.Legend(in, sol))
+	if *showViz {
+		fmt.Print(viz.RenderSolution(in, sol, viz.Options{}))
+	}
+}
+
+func solveRing(r io.Reader, eps float64, outJSON bool) {
+	ring, err := model.ReadRingJSON(r)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	res, err := ringsap.Solve(ring, ringsap.Params{Eps: eps})
+	if err != nil {
+		fatalf("%v", err)
+	}
+	if err := model.ValidRingSAP(ring, res.Solution); err != nil {
+		fatalf("internal error: infeasible ring solution: %v", err)
+	}
+	if outJSON {
+		fmt.Printf("{\"weight\": %d, \"winner\": %q, \"cut_edge\": %d}\n",
+			res.Solution.Weight(), res.Winner.String(), res.CutEdge)
+		return
+	}
+	fmt.Printf("algorithm: ring (10+ε), winner: %s, cut edge: %d\n", res.Winner, res.CutEdge)
+	fmt.Printf("scheduled %d/%d tasks, weight %d\n", res.Solution.Len(), len(ring.Tasks), res.Solution.Weight())
+	for _, p := range res.Solution.Items {
+		fmt.Printf("  task %d  %s  height %d  weight %d\n", p.Task.ID, p.Orientation, p.Height, p.Task.Weight)
+	}
+}
+
+func openInput(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sapsolve: "+format+"\n", args...)
+	os.Exit(1)
+}

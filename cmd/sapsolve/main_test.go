@@ -1,0 +1,27 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestOpenInput(t *testing.T) {
+	r, err := openInput("-")
+	if err != nil || r == nil {
+		t.Fatalf("stdin: %v", err)
+	}
+	r.Close()
+	path := filepath.Join(t.TempDir(), "x.json")
+	if err := os.WriteFile(path, []byte("{}"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	f, err := openInput(path)
+	if err != nil {
+		t.Fatalf("file: %v", err)
+	}
+	f.Close()
+	if _, err := openInput(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Errorf("missing file accepted")
+	}
+}

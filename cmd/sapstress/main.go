@@ -1,0 +1,150 @@
+// Command sapstress soak-tests the library: for a wall-clock budget it
+// generates randomized workloads and cross-checks every pipeline invariant
+// the test suite asserts, but over an unbounded instance stream —
+// feasibility of all solvers, agreement of the two independent exact
+// engines, LP upper-bound dominance, and gravity/validator consistency.
+// Any violation aborts with a reproducer seed.
+//
+// Usage:
+//
+//	sapstress -duration 30s -workers 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sapalloc/internal/chendp"
+	"sapalloc/internal/core"
+	"sapalloc/internal/dsa"
+	"sapalloc/internal/exact"
+	"sapalloc/internal/gen"
+	"sapalloc/internal/lp"
+	"sapalloc/internal/model"
+	"sapalloc/internal/par"
+)
+
+func main() {
+	var (
+		duration = flag.Duration("duration", 15*time.Second, "wall-clock soak budget")
+		workers  = flag.Int("workers", 0, "parallel checkers (0 = GOMAXPROCS)")
+		seed     = flag.Int64("seed", time.Now().UnixNano(), "base seed (printed for reproduction)")
+	)
+	flag.Parse()
+	fmt.Printf("sapstress: base seed %d, budget %s\n", *seed, *duration)
+
+	deadline := time.Now().Add(*duration)
+	var iterations, failures int64
+	var mu sync.Mutex
+	firstFailure := ""
+
+	w := par.Workers(*workers, 1<<30)
+	var wg sync.WaitGroup
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for i := int64(0); time.Now().Before(deadline); i++ {
+				caseSeed := *seed + int64(worker)*1_000_003 + i
+				if msg := checkOne(caseSeed); msg != "" {
+					atomic.AddInt64(&failures, 1)
+					mu.Lock()
+					if firstFailure == "" {
+						firstFailure = fmt.Sprintf("seed %d: %s", caseSeed, msg)
+					}
+					mu.Unlock()
+					return
+				}
+				atomic.AddInt64(&iterations, 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	fmt.Printf("sapstress: %d cases checked, %d failures\n", iterations, failures)
+	if failures > 0 {
+		log.Printf("FIRST FAILURE: %s", firstFailure)
+		os.Exit(1)
+	}
+}
+
+// checkOne runs every invariant on one randomized case; returns "" on
+// success or a description of the first violation.
+func checkOne(seed int64) string {
+	r := rand.New(rand.NewSource(seed))
+	in := gen.Random(gen.Config{
+		Seed:  seed,
+		Edges: 2 + r.Intn(8),
+		Tasks: 1 + r.Intn(16),
+		CapLo: 4 + r.Int63n(28),
+		CapHi: 33 + r.Int63n(96),
+		Class: gen.Class(r.Intn(4)),
+	})
+
+	// 1. Combined pipeline feasibility + LP dominance.
+	res, err := core.Solve(in, core.Params{Exact: exact.Options{MaxNodes: 200_000}})
+	if err != nil {
+		return fmt.Sprintf("core.Solve: %v", err)
+	}
+	if err := model.ValidSAP(in, res.Solution); err != nil {
+		return fmt.Sprintf("combined infeasible: %v", err)
+	}
+	_, lpOpt, err := lp.UFPPFractional(in)
+	if err != nil {
+		return fmt.Sprintf("lp: %v", err)
+	}
+	if float64(res.Solution.Weight()) > lpOpt+1e-6*(1+lpOpt) {
+		return fmt.Sprintf("weight %d above LP bound %g", res.Solution.Weight(), lpOpt)
+	}
+
+	// 2. Gravity preserves everything.
+	g := dsa.Gravity(res.Solution)
+	if err := model.ValidSAP(in, g); err != nil {
+		return fmt.Sprintf("gravity infeasible: %v", err)
+	}
+	if g.Weight() != res.Solution.Weight() {
+		return "gravity changed weight"
+	}
+	if !dsa.IsGrounded(g) {
+		return "gravity output not grounded"
+	}
+
+	// 3. On small uniform sub-cases, the two exact engines agree.
+	if len(in.Tasks) <= 9 {
+		k := int64(2 + r.Intn(5))
+		u := gen.Uniform(seed, in.Edges(), len(in.Tasks), k, gen.Mixed)
+		for j := range u.Tasks {
+			if u.Tasks[j].Demand > k {
+				u.Tasks[j].Demand = 1 + u.Tasks[j].Demand%k
+			}
+		}
+		dp, err := chendp.Solve(u, chendp.Options{})
+		if err != nil {
+			return fmt.Sprintf("chendp: %v", err)
+		}
+		bb, err := exact.SolveSAP(u, exact.Options{})
+		if err != nil {
+			return fmt.Sprintf("exact: %v", err)
+		}
+		if dp.Weight() != bb.Weight() {
+			return fmt.Sprintf("exact engines disagree: DP %d vs B&B %d", dp.Weight(), bb.Weight())
+		}
+		// And UFPP: path DP vs branch & bound.
+		udp, err := exact.SolveUFPPPathDP(in, 0)
+		if err == nil {
+			ubb, err := exact.SolveUFPP(in, exact.Options{})
+			if err != nil {
+				return fmt.Sprintf("ufpp bb: %v", err)
+			}
+			if model.WeightOf(udp) != model.WeightOf(ubb) {
+				return fmt.Sprintf("UFPP engines disagree: DP %d vs B&B %d", model.WeightOf(udp), model.WeightOf(ubb))
+			}
+		}
+	}
+	return ""
+}

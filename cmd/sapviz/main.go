@@ -1,0 +1,67 @@
+// Command sapviz renders a SAP instance — and optionally a solution — as
+// ASCII art: edges on the horizontal axis, storage height on the vertical
+// axis, the capacity profile shaded, tasks as lettered rectangles.
+//
+// Usage:
+//
+//	sapgen -family fig8 | sapviz
+//	sapviz -in inst.json -sol sol.json -rows 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sapalloc/internal/model"
+	"sapalloc/internal/viz"
+)
+
+func main() {
+	var (
+		inPath  = flag.String("in", "-", "instance path ('-' for stdin)")
+		solPath = flag.String("sol", "", "optional solution path (JSON from sapsolve -json)")
+		rows    = flag.Int("rows", 20, "max text rows for the height axis")
+	)
+	flag.Parse()
+
+	r, err := openInput(*inPath)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer r.Close()
+	in, err := model.ReadInstanceJSON(r)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sol := &model.Solution{}
+	if *solPath != "" {
+		f, err := os.Open(*solPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer f.Close()
+		sol, err = model.ReadSolutionJSON(f, in)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	fmt.Print(viz.RenderSolution(in, sol, viz.Options{MaxRows: *rows}))
+	if sol.Len() > 0 {
+		fmt.Print(viz.Legend(in, sol))
+		fmt.Println(viz.Summary(in, sol))
+	}
+}
+
+func openInput(path string) (io.ReadCloser, error) {
+	if path == "-" {
+		return io.NopCloser(os.Stdin), nil
+	}
+	return os.Open(path)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sapviz: "+format+"\n", args...)
+	os.Exit(1)
+}

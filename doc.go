@@ -1,0 +1,28 @@
+// Package sapalloc is a production-quality Go implementation of
+// "A Constant Factor Approximation Algorithm for the Storage Allocation
+// Problem" by Bar-Yehuda, Beder and Rawitz (SPAA 2013; Algorithmica 2016).
+//
+// The storage allocation problem (SAP) schedules tasks on a capacitated
+// path, assigning each selected task a contiguous vertical slab of the
+// resource that is identical on every edge of its sub-path — rectangle
+// packing where rectangles slide vertically but not horizontally. The
+// library implements the paper's complete pipeline:
+//
+//   - internal/smallsap: Strip-Pack, (4+ε) for δ-small tasks (Theorem 1);
+//   - internal/mediumsap: AlmostUniform + Elevator, (2+ε) for medium tasks
+//     (Theorem 2);
+//   - internal/largesap: the rectangle-packing reduction, (2k−1) for
+//     1/k-large tasks (Theorem 3);
+//   - internal/core: the combined (9+ε) algorithm (Theorem 4);
+//   - internal/ringsap: the (10+ε) algorithm on rings (Theorem 5);
+//
+// together with every substrate the paper relies on — an LP solver
+// (bounded-variable simplex), UFPP rounding and local-ratio algorithms,
+// dynamic-storage-allocation strip packing, knapsack exact/FPTAS, exact
+// branch-and-bound reference solvers — and a reproduction harness
+// (internal/experiments, cmd/sapbench) that regenerates every figure and
+// theorem-level claim of the paper as a measured table.
+//
+// See README.md for a guided tour, DESIGN.md for the system inventory and
+// EXPERIMENTS.md for paper-vs-measured results.
+package sapalloc

@@ -1,0 +1,72 @@
+// Compile-time memory planning: the DSA-flavoured use of the library.
+// A compiler knows every buffer's size and live range and must assign each
+// a fixed contiguous address range (buffers cannot move at runtime — SAP's
+// defining constraint). Two questions arise:
+//
+//  1. Given a fixed arena, which buffers stay in fast memory (the weighted
+//     selection problem — Theorem 4's algorithm), and
+//  2. How large must the arena be to hold ALL buffers (the DSA question,
+//     generalised to non-uniform capacities in the paper's conclusion —
+//     the stretch package).
+//
+// This example answers both for a synthetic tensor-like allocation plan.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sapalloc/internal/core"
+	"sapalloc/internal/gen"
+	"sapalloc/internal/model"
+	"sapalloc/internal/stretch"
+)
+
+func main() {
+	// A layered computation: activations live for a few steps, weights for
+	// the whole program. MemTrace approximates the shape well.
+	plan := gen.MemTrace(gen.MemTraceConfig{Seed: 3, Slots: 40, Objects: 70, Heap: 1024})
+	fmt.Printf("allocation plan: %d buffers over %d program points\n", len(plan.Tasks), plan.Edges())
+
+	// Question 1: a 1 KiB scratchpad — which buffers live there?
+	res, err := core.Solve(plan, core.Params{})
+	if err != nil {
+		log.Fatalf("solve: %v", err)
+	}
+	if err := model.ValidSAP(plan, res.Solution); err != nil {
+		log.Fatalf("infeasible: %v", err)
+	}
+	fmt.Printf("scratchpad (1024 B): %d/%d buffers resident, value %d/%d (winner: %s)\n",
+		res.Solution.Len(), len(plan.Tasks), res.Solution.Weight(), plan.TotalWeight(), res.Winner)
+
+	// Question 2: how big must the arena be to host EVERY buffer at a fixed
+	// address? (minimum-stretch DSA; the lower bound is the peak live size.)
+	st, err := stretch.MinStretch(plan)
+	if err != nil {
+		log.Fatalf("stretch: %v", err)
+	}
+	arena := int64(st.Rho() * float64(plan.Capacity[0]))
+	peak := plan.MaxLoad(plan.Tasks)
+	fmt.Printf("full-residency arena: %d B (stretch %.3f, certified lower bound %.3f)\n",
+		arena, st.Rho(), st.LowerBoundRho())
+	fmt.Printf("peak live bytes:      %d B → fragmentation overhead %.1f%%\n",
+		peak, 100*(float64(arena)-float64(peak))/float64(peak))
+
+	// Show the five largest resident buffers and their addresses.
+	fmt.Println("\nlargest resident buffers (addr ranges are fixed for the whole lifetime):")
+	items := append([]model.Placement(nil), res.Solution.Items...)
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			if items[j].Task.Demand > items[i].Task.Demand {
+				items[i], items[j] = items[j], items[i]
+			}
+		}
+	}
+	for i, p := range items {
+		if i == 5 {
+			break
+		}
+		fmt.Printf("  buffer %2d  %4d B  addr [%4d,%4d)  live [%d,%d)\n",
+			p.Task.ID, p.Task.Demand, p.Height, p.Top(), p.Task.Start, p.Task.End)
+	}
+}

@@ -1,0 +1,3 @@
+module sapalloc
+
+go 1.22

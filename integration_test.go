@@ -1,0 +1,275 @@
+package sapalloc_test
+
+// Cross-package integration and property tests: the full pipelines run on
+// randomized workloads with machine-checked invariants, failure injection
+// against the validators, and determinism checks for the parallel paths.
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sapalloc/internal/chendp"
+	"sapalloc/internal/core"
+	"sapalloc/internal/dsa"
+	"sapalloc/internal/exact"
+	"sapalloc/internal/gen"
+	"sapalloc/internal/lp"
+	"sapalloc/internal/mediumsap"
+	"sapalloc/internal/model"
+	"sapalloc/internal/ringsap"
+	"sapalloc/internal/smallsap"
+)
+
+// TestCombinedAlwaysFeasible is the library's umbrella property: for any
+// generated workload the combined algorithm returns a feasible solution
+// whose weight never exceeds the LP upper bound.
+func TestCombinedAlwaysFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := gen.Random(gen.Config{
+			Seed:  seed,
+			Edges: 2 + r.Intn(10),
+			Tasks: 1 + r.Intn(30),
+			CapLo: 4 + r.Int63n(60),
+			CapHi: 65 + r.Int63n(600),
+			Class: gen.Class(r.Intn(4)),
+		})
+		res, err := core.Solve(in, core.Params{})
+		if err != nil {
+			return false
+		}
+		if model.ValidSAP(in, res.Solution) != nil {
+			return false
+		}
+		_, bound, err := lp.UFPPFractional(in)
+		if err != nil {
+			return false
+		}
+		return float64(res.Solution.Weight()) <= bound+1e-6*(1+bound)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingAlwaysFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		ring := gen.Ring(seed, 3+r.Intn(8), 1+r.Intn(15), 8, 64)
+		res, err := ringsap.Solve(ring, ringsap.Params{})
+		if err != nil {
+			return false
+		}
+		return model.ValidRingSAP(ring, res.Solution) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestValidatorFailureInjection corrupts known-feasible solutions and
+// checks the validator rejects every corruption class.
+func TestValidatorFailureInjection(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		in := gen.Random(gen.Config{Seed: int64(trial), Edges: 4 + r.Intn(6), Tasks: 10 + r.Intn(20), CapLo: 64, CapHi: 257, Class: gen.Small})
+		res, err := core.Solve(in, core.Params{})
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		sol := res.Solution
+		if sol.Len() < 2 {
+			continue
+		}
+		// Corruption 1: push a task above every capacity it sees.
+		bad := sol.Clone()
+		bad.Items[0].Height = in.Bottleneck(bad.Items[0].Task) // top = b + d > b
+		if model.ValidSAP(in, bad) == nil {
+			t.Fatalf("trial %d: capacity violation not caught", trial)
+		}
+		// Corruption 2: drop two overlapping tasks onto each other.
+		bad2 := sol.Clone()
+		collided := false
+		for i := 0; i < bad2.Len() && !collided; i++ {
+			for j := i + 1; j < bad2.Len(); j++ {
+				if bad2.Items[i].Task.Overlaps(bad2.Items[j].Task) {
+					bad2.Items[j].Height = bad2.Items[i].Height
+					collided = true
+					break
+				}
+			}
+		}
+		if collided && model.ValidSAP(in, bad2) == nil {
+			t.Fatalf("trial %d: vertical overlap not caught", trial)
+		}
+		// Corruption 3: negative height.
+		bad3 := sol.Clone()
+		bad3.Items[0].Height = -1
+		if model.ValidSAP(in, bad3) == nil {
+			t.Fatalf("trial %d: negative height not caught", trial)
+		}
+		// Corruption 4: smuggle in a task not in the instance.
+		bad4 := sol.Clone()
+		bad4.Items = append(bad4.Items, model.Placement{
+			Task: model.Task{ID: 9999, Start: 0, End: 1, Demand: 1, Weight: 1},
+		})
+		if model.ValidSAP(in, bad4) == nil {
+			t.Fatalf("trial %d: foreign task not caught", trial)
+		}
+	}
+}
+
+// TestGravityOnPipelineOutput: compacting any pipeline output keeps it
+// feasible, keeps the weight, and never raises a task.
+func TestGravityOnPipelineOutput(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		in := gen.Random(gen.Config{Seed: int64(100 + trial), Edges: 4 + r.Intn(6), Tasks: 20, CapLo: 64, CapHi: 257, Class: gen.Small})
+		res, err := smallsap.Solve(in, smallsap.Params{})
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		g := dsa.Gravity(res.Solution)
+		if err := model.ValidSAP(in, g); err != nil {
+			t.Fatalf("trial %d: gravity broke pipeline output: %v", trial, err)
+		}
+		if g.Weight() != res.Solution.Weight() {
+			t.Fatalf("trial %d: gravity changed weight", trial)
+		}
+		if !dsa.IsGrounded(g) {
+			t.Fatalf("trial %d: gravity output not grounded", trial)
+		}
+	}
+}
+
+// TestParallelDeterminism: the parallel class solves must produce exactly
+// the same result regardless of worker count.
+func TestParallelDeterminism(t *testing.T) {
+	in := gen.Random(gen.Config{Seed: 77, Edges: 6, Tasks: 24, CapLo: 64, CapHi: 4097, Class: gen.Medium})
+	res1, err := mediumsap.Solve(in, mediumsap.Params{Eps: 0.5, Workers: 1})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	res8, err := mediumsap.Solve(in, mediumsap.Params{Eps: 0.5, Workers: 8})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if res1.Solution.Weight() != res8.Solution.Weight() || res1.Residue != res8.Residue {
+		t.Fatalf("parallel mediumsap not deterministic: w=%d/%d r=%d/%d",
+			res1.Solution.Weight(), res8.Solution.Weight(), res1.Residue, res8.Residue)
+	}
+	sp1, err := smallsap.Solve(in, smallsap.Params{Workers: 1})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	sp8, err := smallsap.Solve(in, smallsap.Params{Workers: 8})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if sp1.Solution.Weight() != sp8.Solution.Weight() {
+		t.Fatalf("parallel smallsap not deterministic: %d vs %d", sp1.Solution.Weight(), sp8.Solution.Weight())
+	}
+}
+
+// TestTwoExactSolversAgree cross-checks the branch-and-bound against the
+// independently derived Chen-Hassin-Tzur DP on uniform instances — two
+// exact algorithms with disjoint failure modes.
+func TestTwoExactSolversAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := int64(2 + r.Intn(5))
+		in := gen.Uniform(seed, 2+r.Intn(5), 1+r.Intn(9), k, gen.Mixed)
+		for j := range in.Tasks {
+			if in.Tasks[j].Demand > k {
+				in.Tasks[j].Demand = 1 + in.Tasks[j].Demand%k
+			}
+		}
+		dp, err := chendp.Solve(in, chendp.Options{})
+		if err != nil {
+			return false
+		}
+		bb, err := exact.SolveSAP(in, exact.Options{})
+		if err != nil {
+			return false
+		}
+		return dp.Weight() == bb.Weight()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDomainWorkloadsEndToEnd runs each domain generator through the
+// combined pipeline (the examples' code path) under test control.
+func TestDomainWorkloadsEndToEnd(t *testing.T) {
+	workloads := map[string]*model.Instance{
+		"memtrace": gen.MemTrace(gen.MemTraceConfig{Seed: 1, Slots: 32, Objects: 60}),
+		"banner":   gen.Banner(gen.BannerConfig{Seed: 2, Days: 20, Ads: 40}),
+		"spectrum": gen.Spectrum(gen.SpectrumConfig{Seed: 3, Segments: 16, Demands: 30}),
+	}
+	for name, in := range workloads {
+		if err := in.Validate(); err != nil {
+			t.Fatalf("%s: invalid: %v", name, err)
+		}
+		res, err := core.Solve(in, core.Params{})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if err := model.ValidSAP(in, res.Solution); err != nil {
+			t.Fatalf("%s: infeasible: %v", name, err)
+		}
+		if res.Solution.Weight() <= 0 {
+			t.Errorf("%s: empty solution", name)
+		}
+	}
+}
+
+// SolveSAPAuto dispatches thin small-capacity instances to the occupancy DP
+// and everything else to the branch and bound; both must agree with the
+// direct engines.
+func TestSolveSAPAutoDispatch(t *testing.T) {
+	dp := func(in *model.Instance) (*model.Solution, error) {
+		if in.Uniform() {
+			return chendp.Solve(in, chendp.Options{})
+		}
+		return chendp.SolveNonUniform(in, chendp.Options{})
+	}
+	r := rand.New(rand.NewSource(17))
+	// Thin instance: K=4, n=20 → DP path.
+	thin := gen.Uniform(5, 10, 20, 4, gen.Mixed)
+	for j := range thin.Tasks {
+		if thin.Tasks[j].Demand > 4 {
+			thin.Tasks[j].Demand = 1 + thin.Tasks[j].Demand%4
+		}
+	}
+	got, err := exact.SolveSAPAuto(thin, exact.Options{}, dp)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if err := model.ValidSAP(thin, got); err != nil {
+		t.Fatalf("auto(thin) infeasible: %v", err)
+	}
+	direct, err := chendp.Solve(thin, chendp.Options{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if got.Weight() != direct.Weight() {
+		t.Fatalf("auto %d != DP %d", got.Weight(), direct.Weight())
+	}
+	// Small-n instances go to the branch and bound regardless of capacity.
+	for trial := 0; trial < 10; trial++ {
+		in := gen.Random(gen.Config{Seed: int64(trial), Edges: 2 + r.Intn(4), Tasks: 1 + r.Intn(7), CapLo: 4, CapHi: 33, Class: gen.Mixed})
+		a, err := exact.SolveSAPAuto(in, exact.Options{}, dp)
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		b, err := exact.SolveSAP(in, exact.Options{})
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		if a.Weight() != b.Weight() {
+			t.Fatalf("trial %d: auto %d != B&B %d", trial, a.Weight(), b.Weight())
+		}
+	}
+}

@@ -1,0 +1,300 @@
+// Package chendp implements the dynamic program of Chen, Hassin and Tzur
+// ("Allocation of bandwidth and storage", IIE Transactions 2002) — related
+// work [18] in the paper — which solves SAP with uniform integer capacity K
+// and integer demands exactly in O(n·(nK)^K) time.
+//
+// The DP sweeps the path left to right. A state at edge e is the exact
+// occupancy of the K vertical cells by the scheduled tasks whose intervals
+// cross e (each crossing task holds a fixed contiguous cell range, the same
+// on every edge it crosses — precisely SAP's defining constraint). Between
+// edges, tasks that end are dropped from the state and tasks that start may
+// be inserted at any free height. Because K is a constant, the number of
+// states per edge is polynomial, and the heaviest final state is optimal.
+//
+// The library uses it as a second, independently-derived exact reference
+// for SAP-U (cross-checked against internal/exact in the tests and in
+// experiment E18) and as a historical baseline.
+package chendp
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sapalloc/internal/model"
+)
+
+// MaxCapacity bounds the uniform capacity the DP accepts; beyond this the
+// state space is impractical.
+const MaxCapacity = 16
+
+// ErrUnsupported is returned for instances outside the DP's scope
+// (non-uniform capacities or K > MaxCapacity).
+var ErrUnsupported = errors.New("chendp: instance outside the Chen-Hassin-Tzur DP scope")
+
+// ErrTooManyStates is returned when the state space exceeds the safety cap.
+var ErrTooManyStates = errors.New("chendp: state space exceeds limit")
+
+// Options bounds the computation.
+type Options struct {
+	// MaxStates caps the per-edge state count (0 = 2 million).
+	MaxStates int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxStates == 0 {
+		o.MaxStates = 2_000_000
+	}
+	return o
+}
+
+// placement is an in-flight (task, height) pair, encoded per state.
+type placement struct {
+	task   int // index into in.Tasks
+	height int64
+}
+
+// stateKey canonically encodes a set of placements (sorted by task index).
+func stateKey(ps []placement) string {
+	buf := make([]byte, 0, len(ps)*6)
+	for _, p := range ps {
+		buf = append(buf,
+			byte(p.task), byte(p.task>>8), byte(p.task>>16),
+			byte(p.height), byte(p.height>>8), byte(p.height>>16))
+	}
+	return string(buf)
+}
+
+// Solve computes an optimal SAP solution for a uniform-capacity instance
+// with capacity K ≤ MaxCapacity and integer demands in 1..K.
+func Solve(in *model.Instance, opts Options) (*model.Solution, error) {
+	opts = opts.withDefaults()
+	if in.Edges() == 0 || len(in.Tasks) == 0 {
+		return &model.Solution{}, nil
+	}
+	if !in.Uniform() {
+		return nil, fmt.Errorf("%w: capacities are not uniform", ErrUnsupported)
+	}
+	k := in.Capacity[0]
+	if k > MaxCapacity {
+		return nil, fmt.Errorf("%w: capacity %d exceeds %d", ErrUnsupported, k, MaxCapacity)
+	}
+	if len(in.Tasks) >= 1<<23 {
+		return nil, fmt.Errorf("%w: too many tasks", ErrUnsupported)
+	}
+
+	startAt := make([][]int, in.Edges())
+	for i, t := range in.Tasks {
+		if t.Demand > k {
+			continue // can never be scheduled
+		}
+		startAt[t.Start] = append(startAt[t.Start], i)
+	}
+
+	type entry struct {
+		weight  int64
+		prevKey string
+		ps      []placement // the state's own placements (for reconstruction)
+	}
+	cur := map[string]entry{"": {}}
+	// trace[e] holds the state maps per edge for reconstruction.
+	trace := make([]map[string]entry, in.Edges())
+
+	for e := 0; e < in.Edges(); e++ {
+		next := make(map[string]entry, len(cur))
+		for key, ent := range cur {
+			// Drop tasks ending at vertex e.
+			kept := make([]placement, 0, len(ent.ps))
+			for _, p := range ent.ps {
+				if in.Tasks[p.task].End > e {
+					kept = append(kept, p)
+				}
+			}
+			// Free-cell mask of the kept placements.
+			var occ uint32
+			for _, p := range kept {
+				for c := p.height; c < p.height+in.Tasks[p.task].Demand; c++ {
+					occ |= 1 << uint(c)
+				}
+			}
+			// Enumerate insertions of tasks starting at vertex e.
+			var insert func(idx int, ps []placement, occNow uint32, addW int64)
+			insert = func(idx int, ps []placement, occNow uint32, addW int64) {
+				if idx == len(startAt[e]) {
+					sorted := append([]placement(nil), ps...)
+					sort.Slice(sorted, func(a, b int) bool { return sorted[a].task < sorted[b].task })
+					nk := stateKey(sorted)
+					w := ent.weight + addW
+					if old, ok := next[nk]; !ok || w > old.weight {
+						next[nk] = entry{weight: w, prevKey: key, ps: sorted}
+					}
+					return
+				}
+				// Skip this starter.
+				insert(idx+1, ps, occNow, addW)
+				// Place it at every free height.
+				ti := startAt[e][idx]
+				d := in.Tasks[ti].Demand
+				var block uint32 = (1 << uint(d)) - 1
+				for h := int64(0); h+d <= k; h++ {
+					if occNow&(block<<uint(h)) == 0 {
+						insert(idx+1, append(ps, placement{task: ti, height: h}),
+							occNow|(block<<uint(h)), addW+in.Tasks[ti].Weight)
+					}
+				}
+			}
+			insert(0, kept, occ, 0)
+			if len(next) > opts.MaxStates {
+				return nil, fmt.Errorf("%w: more than %d states at edge %d", ErrTooManyStates, opts.MaxStates, e)
+			}
+		}
+		trace[e] = next
+		cur = next
+	}
+
+	// Best final state; walk the trace back collecting placements. A task
+	// appears in the state of every edge it crosses with the same height,
+	// so collecting (task, height) pairs into a set suffices.
+	var bestKey string
+	var bestW int64 = -1
+	for key, ent := range cur {
+		if ent.weight > bestW {
+			bestW = ent.weight
+			bestKey = key
+		}
+	}
+	chosen := map[int]int64{}
+	key := bestKey
+	for e := in.Edges() - 1; e >= 0; e-- {
+		ent := trace[e][key]
+		for _, p := range ent.ps {
+			chosen[p.task] = p.height
+		}
+		key = ent.prevKey
+	}
+	sol := &model.Solution{}
+	ids := make([]int, 0, len(chosen))
+	for ti := range chosen {
+		ids = append(ids, ti)
+	}
+	sort.Ints(ids)
+	for _, ti := range ids {
+		sol.Items = append(sol.Items, model.Placement{Task: in.Tasks[ti], Height: chosen[ti]})
+	}
+	return sol, nil
+}
+
+// SolveNonUniform generalises the DP to non-uniform capacities with
+// max_e c_e ≤ MaxCapacity: the occupancy state tracks cells [0, c_e) per
+// edge. This realises the dynamic program behind Lemma 13 of the paper
+// concretely for almost-uniform classes whose capacities fit the cell
+// budget (capacities in [2^k, 2^{k+ℓ}) scale into it for small k+ℓ), and
+// gives a third exact SAP engine for cross-checking.
+func SolveNonUniform(in *model.Instance, opts Options) (*model.Solution, error) {
+	opts = opts.withDefaults()
+	if in.Edges() == 0 || len(in.Tasks) == 0 {
+		return &model.Solution{}, nil
+	}
+	if in.MaxCapacity() > MaxCapacity {
+		return nil, fmt.Errorf("%w: max capacity %d exceeds %d", ErrUnsupported, in.MaxCapacity(), MaxCapacity)
+	}
+	if len(in.Tasks) >= 1<<23 {
+		return nil, fmt.Errorf("%w: too many tasks", ErrUnsupported)
+	}
+	startAt := make([][]int, in.Edges())
+	for i, t := range in.Tasks {
+		if t.Demand > in.Bottleneck(t) {
+			continue
+		}
+		startAt[t.Start] = append(startAt[t.Start], i)
+	}
+	type entry struct {
+		weight  int64
+		prevKey string
+		ps      []placement
+	}
+	cur := map[string]entry{"": {}}
+	trace := make([]map[string]entry, in.Edges())
+	for e := 0; e < in.Edges(); e++ {
+		ce := in.Capacity[e]
+		next := make(map[string]entry, len(cur))
+		for key, ent := range cur {
+			kept := make([]placement, 0, len(ent.ps))
+			ok := true
+			var occ uint32
+			for _, p := range ent.ps {
+				if in.Tasks[p.task].End <= e {
+					continue
+				}
+				// Crossing task must fit under this edge's capacity too.
+				if p.height+in.Tasks[p.task].Demand > ce {
+					ok = false
+					break
+				}
+				kept = append(kept, p)
+				for c := p.height; c < p.height+in.Tasks[p.task].Demand; c++ {
+					occ |= 1 << uint(c)
+				}
+			}
+			if !ok {
+				continue
+			}
+			var insert func(idx int, ps []placement, occNow uint32, addW int64)
+			insert = func(idx int, ps []placement, occNow uint32, addW int64) {
+				if idx == len(startAt[e]) {
+					sorted := append([]placement(nil), ps...)
+					sort.Slice(sorted, func(a, b int) bool { return sorted[a].task < sorted[b].task })
+					nk := stateKey(sorted)
+					w := ent.weight + addW
+					if old, exists := next[nk]; !exists || w > old.weight {
+						next[nk] = entry{weight: w, prevKey: key, ps: sorted}
+					}
+					return
+				}
+				insert(idx+1, ps, occNow, addW)
+				ti := startAt[e][idx]
+				d := in.Tasks[ti].Demand
+				var block uint32 = (1 << uint(d)) - 1
+				for h := int64(0); h+d <= ce; h++ {
+					if occNow&(block<<uint(h)) == 0 {
+						insert(idx+1, append(ps, placement{task: ti, height: h}),
+							occNow|(block<<uint(h)), addW+in.Tasks[ti].Weight)
+					}
+				}
+			}
+			insert(0, kept, occ, 0)
+			if len(next) > opts.MaxStates {
+				return nil, fmt.Errorf("%w: more than %d states at edge %d", ErrTooManyStates, opts.MaxStates, e)
+			}
+		}
+		trace[e] = next
+		cur = next
+	}
+	var bestKey string
+	var bestW int64 = -1
+	for key, ent := range cur {
+		if ent.weight > bestW {
+			bestW = ent.weight
+			bestKey = key
+		}
+	}
+	chosen := map[int]int64{}
+	key := bestKey
+	for e := in.Edges() - 1; e >= 0; e-- {
+		ent := trace[e][key]
+		for _, p := range ent.ps {
+			chosen[p.task] = p.height
+		}
+		key = ent.prevKey
+	}
+	sol := &model.Solution{}
+	ids := make([]int, 0, len(chosen))
+	for ti := range chosen {
+		ids = append(ids, ti)
+	}
+	sort.Ints(ids)
+	for _, ti := range ids {
+		sol.Items = append(sol.Items, model.Placement{Task: in.Tasks[ti], Height: chosen[ti]})
+	}
+	return sol, nil
+}

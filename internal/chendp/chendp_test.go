@@ -1,0 +1,221 @@
+package chendp
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sapalloc/internal/exact"
+	"sapalloc/internal/model"
+)
+
+func uniformInstance(r *rand.Rand, m, n int, k int64) *model.Instance {
+	in := &model.Instance{Capacity: make([]int64, m)}
+	for e := range in.Capacity {
+		in.Capacity[e] = k
+	}
+	for i := 0; i < n; i++ {
+		s := r.Intn(m)
+		e := s + 1 + r.Intn(m-s)
+		in.Tasks = append(in.Tasks, model.Task{
+			ID: i, Start: s, End: e,
+			Demand: 1 + r.Int63n(k),
+			Weight: 1 + r.Int63n(30),
+		})
+	}
+	return in
+}
+
+func TestSolveMatchesExact(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		k := int64(2 + r.Intn(5)) // K in 2..6
+		in := uniformInstance(r, 2+r.Intn(5), 1+r.Intn(9), k)
+		got, err := Solve(in, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := model.ValidSAP(in, got); err != nil {
+			t.Fatalf("trial %d: infeasible: %v", trial, err)
+		}
+		want, err := exact.SolveSAP(in, exact.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: exact: %v", trial, err)
+		}
+		if got.Weight() != want.Weight() {
+			t.Fatalf("trial %d: chendp = %d, exact = %d\n%+v", trial, got.Weight(), want.Weight(), in)
+		}
+	}
+}
+
+func TestSolveLargerInstances(t *testing.T) {
+	// The DP scales to more tasks than the branch-and-bound likes when K is
+	// tiny: n = 40 tasks on K = 3.
+	r := rand.New(rand.NewSource(9))
+	in := uniformInstance(r, 12, 40, 3)
+	sol, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if err := model.ValidSAP(in, sol); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if sol.Weight() == 0 {
+		t.Fatalf("empty solution on a dense instance")
+	}
+}
+
+func TestSolveRejectsNonUniform(t *testing.T) {
+	in := &model.Instance{Capacity: []int64{3, 4},
+		Tasks: []model.Task{{ID: 0, Start: 0, End: 1, Demand: 1, Weight: 1}}}
+	if _, err := Solve(in, Options{}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("want ErrUnsupported, got %v", err)
+	}
+}
+
+func TestSolveRejectsHugeCapacity(t *testing.T) {
+	in := &model.Instance{Capacity: []int64{MaxCapacity + 1},
+		Tasks: []model.Task{{ID: 0, Start: 0, End: 1, Demand: 1, Weight: 1}}}
+	if _, err := Solve(in, Options{}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("want ErrUnsupported, got %v", err)
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	sol, err := Solve(&model.Instance{Capacity: []int64{4}}, Options{})
+	if err != nil || sol.Len() != 0 {
+		t.Errorf("empty: %v %v", sol, err)
+	}
+}
+
+func TestSolveSkipsOversizedTasks(t *testing.T) {
+	in := &model.Instance{
+		Capacity: []int64{4, 4},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, End: 2, Demand: 9, Weight: 100}, // > K, unschedulable
+			{ID: 1, Start: 0, End: 2, Demand: 2, Weight: 5},
+		},
+	}
+	sol, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if sol.Weight() != 5 {
+		t.Errorf("weight = %d, want 5", sol.Weight())
+	}
+}
+
+func TestSolveStateCap(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	in := uniformInstance(r, 6, 20, 6)
+	if _, err := Solve(in, Options{MaxStates: 2}); !errors.Is(err, ErrTooManyStates) {
+		t.Errorf("want ErrTooManyStates, got %v", err)
+	}
+}
+
+func TestFig1bViaChenDP(t *testing.T) {
+	// Fig 1b is uniform with K=4: the DP must confirm OPT < total weight.
+	in := &model.Instance{
+		Capacity: []int64{4, 4, 4, 4, 4, 4},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, End: 2, Demand: 2, Weight: 1},
+			{ID: 1, Start: 4, End: 6, Demand: 2, Weight: 1},
+			{ID: 2, Start: 0, End: 3, Demand: 2, Weight: 1},
+			{ID: 3, Start: 2, End: 5, Demand: 1, Weight: 1},
+			{ID: 4, Start: 5, End: 6, Demand: 2, Weight: 1},
+			{ID: 5, Start: 2, End: 4, Demand: 1, Weight: 1},
+			{ID: 6, Start: 3, End: 5, Demand: 1, Weight: 1},
+		},
+	}
+	sol, err := Solve(in, Options{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if sol.Weight() != 6 {
+		t.Errorf("Fig1b OPT via Chen DP = %d, want 6", sol.Weight())
+	}
+}
+
+func nonUniformSmallCap(r *rand.Rand, m, n int) *model.Instance {
+	in := &model.Instance{Capacity: make([]int64, m)}
+	for e := range in.Capacity {
+		in.Capacity[e] = 2 + r.Int63n(7) // 2..8
+	}
+	for i := 0; i < n; i++ {
+		s := r.Intn(m)
+		e := s + 1 + r.Intn(m-s)
+		in.Tasks = append(in.Tasks, model.Task{
+			ID: i, Start: s, End: e,
+			Demand: 1 + r.Int63n(6),
+			Weight: 1 + r.Int63n(30),
+		})
+	}
+	return in
+}
+
+func TestSolveNonUniformMatchesExact(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 60; trial++ {
+		in := nonUniformSmallCap(r, 2+r.Intn(5), 1+r.Intn(9))
+		got, err := SolveNonUniform(in, Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := model.ValidSAP(in, got); err != nil {
+			t.Fatalf("trial %d: infeasible: %v", trial, err)
+		}
+		want, err := exact.SolveSAP(in, exact.Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if got.Weight() != want.Weight() {
+			t.Fatalf("trial %d: nonuniform DP %d != exact %d\n%+v", trial, got.Weight(), want.Weight(), in)
+		}
+	}
+}
+
+func TestSolveNonUniformCapacityDrop(t *testing.T) {
+	// A task placed high at its start edge must die at the narrow edge; the
+	// low placement must survive.
+	in := &model.Instance{
+		Capacity: []int64{8, 3},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, End: 2, Demand: 2, Weight: 5}, // b=3: must sit ≤ [0,3)
+			{ID: 1, Start: 0, End: 1, Demand: 5, Weight: 4}, // edge 0 only
+		},
+	}
+	sol, err := SolveNonUniform(in, Options{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if sol.Weight() != 9 {
+		t.Errorf("weight = %d, want 9 (task 0 low, task 1 above it on edge 0)", sol.Weight())
+	}
+}
+
+func TestSolveNonUniformRejectsHugeCapacity(t *testing.T) {
+	in := &model.Instance{Capacity: []int64{MaxCapacity + 1},
+		Tasks: []model.Task{{ID: 0, Start: 0, End: 1, Demand: 1, Weight: 1}}}
+	if _, err := SolveNonUniform(in, Options{}); !errors.Is(err, ErrUnsupported) {
+		t.Errorf("want ErrUnsupported, got %v", err)
+	}
+}
+
+func TestSolveNonUniformAgreesWithUniformDP(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		k := int64(2 + r.Intn(5))
+		in := uniformInstance(r, 2+r.Intn(5), 1+r.Intn(8), k)
+		a, err := Solve(in, Options{})
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		b, err := SolveNonUniform(in, Options{})
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		if a.Weight() != b.Weight() {
+			t.Fatalf("trial %d: uniform DP %d != nonuniform DP %d", trial, a.Weight(), b.Weight())
+		}
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"sapalloc/internal/exact"
+	"sapalloc/internal/model"
+)
+
+// mixedInstance produces tasks across all three size classes.
+func mixedInstance(r *rand.Rand, m, n int) *model.Instance {
+	in := &model.Instance{Capacity: make([]int64, m)}
+	for e := range in.Capacity {
+		in.Capacity[e] = 64 * (1 + r.Int63n(4))
+	}
+	for i := 0; i < n; i++ {
+		s := r.Intn(m)
+		e := s + 1 + r.Intn(m-s)
+		b := in.Bottleneck(model.Task{Start: s, End: e, Demand: 1})
+		var d int64
+		switch r.Intn(3) {
+		case 0: // small: d ≤ b/16
+			d = 1 + r.Int63n(b/16)
+		case 1: // medium: b/16 < d ≤ b/2
+			d = b/16 + 1 + r.Int63n(b/2-b/16)
+		default: // large: d > b/2
+			d = b/2 + 1 + r.Int63n(b-b/2)
+		}
+		in.Tasks = append(in.Tasks, model.Task{
+			ID: i, Start: s, End: e, Demand: d, Weight: 1 + r.Int63n(50),
+		})
+	}
+	return in
+}
+
+func TestPartition(t *testing.T) {
+	in := &model.Instance{
+		Capacity: []int64{64},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, End: 1, Demand: 4, Weight: 1},  // = b/16 → small
+			{ID: 1, Start: 0, End: 1, Demand: 5, Weight: 1},  // medium
+			{ID: 2, Start: 0, End: 1, Demand: 32, Weight: 1}, // = b/2 → medium
+			{ID: 3, Start: 0, End: 1, Demand: 33, Weight: 1}, // large
+		},
+	}
+	small, medium, large := Partition(in, 16)
+	if len(small) != 1 || small[0].ID != 0 {
+		t.Errorf("small = %v", small)
+	}
+	if len(medium) != 2 {
+		t.Errorf("medium = %v", medium)
+	}
+	if len(large) != 1 || large[0].ID != 3 {
+		t.Errorf("large = %v", large)
+	}
+}
+
+func TestPartitionCoversAll(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 20; trial++ {
+		in := mixedInstance(r, 3+r.Intn(5), 5+r.Intn(20))
+		s, m, l := Partition(in, 16)
+		if len(s)+len(m)+len(l) != len(in.Tasks) {
+			t.Fatalf("partition lost tasks: %d+%d+%d != %d", len(s), len(m), len(l), len(in.Tasks))
+		}
+	}
+}
+
+func TestSolveFeasible(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 12; trial++ {
+		in := mixedInstance(r, 3+r.Intn(4), 5+r.Intn(15))
+		res, err := Solve(in, Params{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := model.ValidSAP(in, res.Solution); err != nil {
+			t.Fatalf("trial %d: infeasible: %v", trial, err)
+		}
+		if res.NumSmall+res.NumMedium+res.NumLarge != len(in.Tasks) {
+			t.Fatalf("trial %d: bad partition counts", trial)
+		}
+		// Winner weight is the max of the arms.
+		maxW := res.SmallWeight
+		if res.MediumWeight > maxW {
+			maxW = res.MediumWeight
+		}
+		if res.LargeWeight > maxW {
+			maxW = res.LargeWeight
+		}
+		if res.Solution.Weight() != maxW {
+			t.Fatalf("trial %d: winner weight %d != max arm %d", trial, res.Solution.Weight(), maxW)
+		}
+	}
+}
+
+// Theorem 4's bound, measured: the combined solution must be within 9.5 of
+// the exact optimum (it is empirically within ~2; the harness records the
+// real ratios).
+func TestSolveWithinBound(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 10; trial++ {
+		in := mixedInstance(r, 2+r.Intn(3), 4+r.Intn(6))
+		res, err := Solve(in, Params{})
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		opt, err := exact.SolveSAP(in, exact.Options{})
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		// 9.5·w ≥ OPT ⟺ 19w ≥ 2·OPT.
+		if 19*res.Solution.Weight() < 2*opt.Weight() {
+			t.Fatalf("trial %d: combined %d below OPT/9.5 (OPT=%d)", trial, res.Solution.Weight(), opt.Weight())
+		}
+	}
+}
+
+func TestSolvePureArms(t *testing.T) {
+	// Pure large instance: winner must be the large arm.
+	in := &model.Instance{
+		Capacity: []int64{32, 32},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, End: 2, Demand: 20, Weight: 9},
+			{ID: 1, Start: 0, End: 1, Demand: 30, Weight: 4},
+		},
+	}
+	res, err := Solve(in, Params{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if res.Winner != ArmLarge || res.Solution.Weight() == 0 {
+		t.Errorf("winner = %v weight %d, want large arm with positive weight", res.Winner, res.Solution.Weight())
+	}
+
+	// Pure small instance.
+	small := &model.Instance{Capacity: []int64{256, 256}}
+	for i := 0; i < 12; i++ {
+		small.Tasks = append(small.Tasks, model.Task{
+			ID: i, Start: i % 2, End: i%2 + 1, Demand: 4, Weight: 10,
+		})
+	}
+	res2, err := Solve(small, Params{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if res2.Winner != ArmSmall || res2.Solution.Weight() == 0 {
+		t.Errorf("winner = %v weight %d, want small arm", res2.Winner, res2.Solution.Weight())
+	}
+}
+
+func TestSolveEmpty(t *testing.T) {
+	in := &model.Instance{Capacity: []int64{8}}
+	res, err := Solve(in, Params{})
+	if err != nil || res.Solution.Len() != 0 {
+		t.Errorf("empty: %+v %v", res, err)
+	}
+}
+
+func TestBestOf(t *testing.T) {
+	mk := func(w int64) *model.Solution {
+		return model.NewSolution(
+			[]model.Task{{ID: 0, Start: 0, End: 1, Demand: 1, Weight: w}}, []int64{0})
+	}
+	if got := BestOf([]*model.Solution{mk(3), mk(9), mk(5)}); got != 1 {
+		t.Errorf("BestOf = %d, want 1", got)
+	}
+	if got := BestOf([]*model.Solution{mk(3)}); got != 0 {
+		t.Errorf("BestOf single = %d", got)
+	}
+}
+
+func TestArmString(t *testing.T) {
+	if ArmSmall.String() == "" || ArmMedium.String() == "" || ArmLarge.String() == "" {
+		t.Errorf("empty arm strings")
+	}
+}
+
+func TestImproveNeverHurts(t *testing.T) {
+	r := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		in := mixedInstance(r, 3+r.Intn(5), 6+r.Intn(15))
+		res, err := Solve(in, Params{})
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		improved := Improve(in, res.Solution)
+		if err := model.ValidSAP(in, improved); err != nil {
+			t.Fatalf("trial %d: improved solution infeasible: %v", trial, err)
+		}
+		if improved.Weight() < res.Solution.Weight() {
+			t.Fatalf("trial %d: Improve lost weight: %d < %d", trial, improved.Weight(), res.Solution.Weight())
+		}
+		// All original tasks survive.
+		have := map[int]bool{}
+		for _, p := range improved.Items {
+			have[p.Task.ID] = true
+		}
+		for _, p := range res.Solution.Items {
+			if !have[p.Task.ID] {
+				t.Fatalf("trial %d: Improve dropped task %d", trial, p.Task.ID)
+			}
+		}
+	}
+}
+
+func TestImproveFillsObviousGap(t *testing.T) {
+	in := &model.Instance{
+		Capacity: []int64{10},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, End: 1, Demand: 4, Weight: 5},
+			{ID: 1, Start: 0, End: 1, Demand: 4, Weight: 5},
+		},
+	}
+	// Start from a solution holding only task 0.
+	sol := model.NewSolution([]model.Task{in.Tasks[0]}, []int64{0})
+	improved := Improve(in, sol)
+	if improved.Weight() != 10 {
+		t.Errorf("Improve weight = %d, want 10 (both tasks fit)", improved.Weight())
+	}
+}
+
+func TestImproveEmptyInput(t *testing.T) {
+	in := &model.Instance{
+		Capacity: []int64{4},
+		Tasks:    []model.Task{{ID: 0, Start: 0, End: 1, Demand: 2, Weight: 3}},
+	}
+	improved := Improve(in, &model.Solution{})
+	if improved.Weight() != 3 {
+		t.Errorf("Improve from empty = %d, want 3", improved.Weight())
+	}
+}

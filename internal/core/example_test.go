@@ -1,0 +1,46 @@
+package core_test
+
+import (
+	"fmt"
+
+	"sapalloc/internal/core"
+	"sapalloc/internal/model"
+)
+
+// Example demonstrates the basic solve flow: build an instance, run the
+// combined (9+ε)-approximation, inspect the winner arm and the schedule.
+func ExampleSolve() {
+	in := &model.Instance{
+		Capacity: []int64{10, 10, 10},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, End: 3, Demand: 6, Weight: 5}, // ½-large
+			{ID: 1, Start: 0, End: 2, Demand: 3, Weight: 4}, // medium
+			{ID: 2, Start: 2, End: 3, Demand: 3, Weight: 4}, // medium
+		},
+	}
+	res, err := core.Solve(in, core.Params{Eps: 0.5})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("feasible:", model.ValidSAP(in, res.Solution) == nil)
+	fmt.Println("weight:", res.Solution.Weight())
+	// Output:
+	// feasible: true
+	// weight: 8
+}
+
+// ExamplePartition shows the Theorem 4 size classes for δ = 1/16.
+func ExamplePartition() {
+	in := &model.Instance{
+		Capacity: []int64{64},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, End: 1, Demand: 2, Weight: 1},  // ≤ 64/16 → small
+			{ID: 1, Start: 0, End: 1, Demand: 20, Weight: 1}, // medium
+			{ID: 2, Start: 0, End: 1, Demand: 50, Weight: 1}, // > 32 → large
+		},
+	}
+	s, m, l := core.Partition(in, 16)
+	fmt.Println(len(s), len(m), len(l))
+	// Output:
+	// 1 1 1
+}

@@ -1,0 +1,292 @@
+// Package dsa implements the dynamic-storage-allocation substrate of the
+// library: contiguous first-fit packing of tasks into a bounded strip, the
+// UFPP→SAP strip conversion used by the small-task algorithm (the library's
+// stand-in for Lemma 4 of the paper, which cites the DSA algorithm of
+// Buchsbaum et al.), and the gravity normaliser of Observation 11.
+package dsa
+
+import (
+	"sort"
+
+	"sapalloc/internal/intervals"
+	"sapalloc/internal/model"
+)
+
+// Order selects the insertion order used by first-fit packing.
+type Order int
+
+const (
+	// ByStart inserts tasks by increasing left endpoint — the classic DSA
+	// order with the best empirical makespan.
+	ByStart Order = iota
+	// ByDensity inserts tasks by decreasing weight/demand ratio, which
+	// maximises retained weight when the ceiling forces drops.
+	ByDensity
+	// ByInput keeps the caller's order.
+	ByInput
+)
+
+// OrderedTasks returns a copy of tasks arranged according to ord; it is the
+// insertion order used by the first-fit packers, exported for consumers
+// that run their own placement loop (e.g. the min-stretch extension).
+func OrderedTasks(tasks []model.Task, ord Order) []model.Task {
+	return orderTasks(tasks, ord)
+}
+
+// orderTasks returns a copy of tasks arranged according to ord. Sorting is
+// stable with ID tie-breaks so results are deterministic.
+func orderTasks(tasks []model.Task, ord Order) []model.Task {
+	out := append([]model.Task(nil), tasks...)
+	switch ord {
+	case ByStart:
+		sort.SliceStable(out, func(i, j int) bool {
+			if out[i].Start != out[j].Start {
+				return out[i].Start < out[j].Start
+			}
+			if out[i].End != out[j].End {
+				return out[i].End > out[j].End
+			}
+			return out[i].ID < out[j].ID
+		})
+	case ByDensity:
+		sort.SliceStable(out, func(i, j int) bool {
+			// w_i/d_i > w_j/d_j without division.
+			li := out[i].Weight * out[j].Demand
+			lj := out[j].Weight * out[i].Demand
+			if li != lj {
+				return li > lj
+			}
+			return out[i].ID < out[j].ID
+		})
+	}
+	return out
+}
+
+// placed is an internal record of an allocated rectangle.
+type placed struct {
+	start, end int
+	bottom     int64
+	top        int64
+}
+
+// lowestFreeSlot returns the lowest height h ≥ 0 such that [h, h+demand)
+// does not intersect any placed rectangle whose interval overlaps
+// [start, end). Candidate heights are 0 and the tops of overlapping
+// rectangles, which is sufficient: the lowest feasible height is always one
+// of them.
+func lowestFreeSlot(rects []placed, start, end int, demand int64) int64 {
+	var overlapping []placed
+	for _, r := range rects {
+		if r.start < end && start < r.end {
+			overlapping = append(overlapping, r)
+		}
+	}
+	candidates := make([]int64, 0, len(overlapping)+1)
+	candidates = append(candidates, 0)
+	for _, r := range overlapping {
+		candidates = append(candidates, r.top)
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	for _, h := range candidates {
+		ok := true
+		for _, r := range overlapping {
+			if h < r.top && r.bottom < h+demand {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return h
+		}
+	}
+	// Unreachable: the candidate max(top) is always free.
+	return candidates[len(candidates)-1]
+}
+
+// PackStrip packs tasks into a uniform strip [0, ceiling) by first-fit
+// contiguous allocation in the given order. Tasks that cannot be placed
+// below the ceiling are returned in dropped. The returned solution is always
+// a feasible SAP solution for any instance whose capacities are ≥ ceiling on
+// the tasks' edges.
+func PackStrip(tasks []model.Task, ceiling int64, ord Order) (sol *model.Solution, dropped []model.Task) {
+	sol = &model.Solution{}
+	var rects []placed
+	for _, t := range orderTasks(tasks, ord) {
+		if t.Demand > ceiling {
+			dropped = append(dropped, t)
+			continue
+		}
+		h := lowestFreeSlot(rects, t.Start, t.End, t.Demand)
+		if h+t.Demand > ceiling {
+			dropped = append(dropped, t)
+			continue
+		}
+		rects = append(rects, placed{start: t.Start, end: t.End, bottom: h, top: h + t.Demand})
+		sol.Items = append(sol.Items, model.Placement{Task: t, Height: h})
+	}
+	return sol, dropped
+}
+
+// PackStripUnbounded packs all tasks into an unbounded strip by first-fit in
+// the given order and returns the solution plus its makespan (the DSA
+// objective). No task is ever dropped.
+func PackStripUnbounded(tasks []model.Task, ord Order) (*model.Solution, int64) {
+	sol := &model.Solution{}
+	var rects []placed
+	var makespan int64
+	for _, t := range orderTasks(tasks, ord) {
+		h := lowestFreeSlot(rects, t.Start, t.End, t.Demand)
+		rects = append(rects, placed{start: t.Start, end: t.End, bottom: h, top: h + t.Demand})
+		sol.Items = append(sol.Items, model.Placement{Task: t, Height: h})
+		if h+t.Demand > makespan {
+			makespan = h + t.Demand
+		}
+	}
+	return sol, makespan
+}
+
+// ConvertResult reports the outcome of a UFPP→SAP strip conversion.
+type ConvertResult struct {
+	Solution *model.Solution
+	Dropped  []model.Task
+	// RetainedWeight / InputWeight quantify the conversion loss (the
+	// (1−4δ) factor of Lemma 4 in the paper).
+	RetainedWeight int64
+	InputWeight    int64
+}
+
+// RetainedFraction returns RetainedWeight / InputWeight (1 for empty input).
+func (c ConvertResult) RetainedFraction() float64 {
+	if c.InputWeight == 0 {
+		return 1
+	}
+	return float64(c.RetainedWeight) / float64(c.InputWeight)
+}
+
+// ConvertToStrip converts a feasible UFPP task set into a SAP solution
+// confined to the strip [0, ceiling). It tries the ByStart and ByDensity
+// first-fit orders and returns the packing with the larger retained weight.
+// This is the library's substitute for Lemma 4 of the paper (the
+// Buchsbaum-et-al.-based transformation): for δ-small tasks whose UFPP load
+// is at most the ceiling, the measured retained fraction is expected to be
+// at least 1−4δ, and the experiment harness verifies exactly that.
+func ConvertToStrip(tasks []model.Task, ceiling int64) ConvertResult {
+	input := model.WeightOf(tasks)
+	var best ConvertResult
+	for i, ord := range []Order{ByStart, ByDensity} {
+		sol, dropped := PackStrip(tasks, ceiling, ord)
+		if w := sol.Weight(); i == 0 || w > best.RetainedWeight {
+			best = ConvertResult{Solution: sol, Dropped: dropped, RetainedWeight: w, InputWeight: input}
+		}
+	}
+	return best
+}
+
+// Gravity lowers every placement of sol as far as possible and returns a new
+// solution realising Observation 11 of the paper: every task either sits at
+// height 0 or its bottom touches the top of another task with an
+// intersecting path. The task set, the weights, and feasibility are
+// preserved; no height ever increases. Processing is in ascending original
+// height (ID tie-break), which a single pass provably compacts.
+func Gravity(sol *model.Solution) *model.Solution {
+	items := append([]model.Placement(nil), sol.Items...)
+	sort.SliceStable(items, func(i, j int) bool {
+		if items[i].Height != items[j].Height {
+			return items[i].Height < items[j].Height
+		}
+		return items[i].Task.ID < items[j].Task.ID
+	})
+	out := &model.Solution{Items: make([]model.Placement, 0, len(items))}
+	var rects []placed
+	for _, p := range items {
+		h := lowestFreeSlot(rects, p.Task.Start, p.Task.End, p.Task.Demand)
+		if h > p.Height {
+			// Cannot happen (see package tests): keep the original height
+			// to preserve feasibility in the presence of ties.
+			h = p.Height
+		}
+		rects = append(rects, placed{start: p.Task.Start, end: p.Task.End, bottom: h, top: h + p.Task.Demand})
+		out.Items = append(out.Items, model.Placement{Task: p.Task, Height: h})
+	}
+	return out
+}
+
+// IsGrounded reports whether the solution satisfies the Observation 11
+// property: each task has height 0 or its bottom equals the top of another
+// scheduled task whose path intersects it.
+func IsGrounded(sol *model.Solution) bool {
+	for i, p := range sol.Items {
+		if p.Height == 0 {
+			continue
+		}
+		supported := false
+		for j, q := range sol.Items {
+			if i == j {
+				continue
+			}
+			if p.Task.Overlaps(q.Task) && q.Height+q.Task.Demand == p.Height {
+				supported = true
+				break
+			}
+		}
+		if !supported {
+			return false
+		}
+	}
+	return true
+}
+
+// PackByClasses is an alternative DSA engine in the style of the boxing
+// arguments behind Lemma 4's source (Buchsbaum et al.): demands are rounded
+// up to powers of two, each class is packed by optimal interval-graph
+// coloring (tasks of one class have equal rounded height, so colors are
+// horizontal lanes), and the classes are stacked as bands. It trades some
+// makespan for a very regular layout; experiment E17 quantifies the trade
+// against plain first-fit.
+func PackByClasses(tasks []model.Task) (*model.Solution, int64) {
+	if len(tasks) == 0 {
+		return &model.Solution{}, 0
+	}
+	classes := map[int][]model.Task{}
+	maxClass := 0
+	for _, t := range tasks {
+		c := ceilLog2(t.Demand)
+		classes[c] = append(classes[c], t)
+		if c > maxClass {
+			maxClass = c
+		}
+	}
+	sol := &model.Solution{}
+	var base int64
+	// Stack the tallest class first: big lanes at the bottom keep the
+	// makespan bound tight.
+	for c := maxClass; c >= 0; c-- {
+		members := classes[c]
+		if len(members) == 0 {
+			continue
+		}
+		ivs := make([]intervals.Interval, len(members))
+		for i, t := range members {
+			ivs[i] = intervals.Interval{Start: t.Start, End: t.End}
+		}
+		colors, numColors := intervals.GreedyColor(ivs)
+		laneHeight := int64(1) << uint(c)
+		for i, t := range members {
+			sol.Items = append(sol.Items, model.Placement{
+				Task:   t,
+				Height: base + int64(colors[i])*laneHeight,
+			})
+		}
+		base += int64(numColors) * laneHeight
+	}
+	return sol, base
+}
+
+// ceilLog2 returns ⌈log2 v⌉ for v ≥ 1.
+func ceilLog2(v int64) int {
+	c := 0
+	for (int64(1) << uint(c)) < v {
+		c++
+	}
+	return c
+}

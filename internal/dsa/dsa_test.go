@@ -1,0 +1,329 @@
+package dsa
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sapalloc/internal/model"
+)
+
+// stripInstance wraps tasks in a uniform-capacity instance so model.ValidSAP
+// can check packings against a ceiling.
+func stripInstance(tasks []model.Task, ceiling int64, m int) *model.Instance {
+	in := &model.Instance{Capacity: make([]int64, m)}
+	for e := range in.Capacity {
+		in.Capacity[e] = ceiling
+	}
+	in.Tasks = tasks
+	return in
+}
+
+func randomTasks(r *rand.Rand, n, m int, maxDemand int64) []model.Task {
+	tasks := make([]model.Task, n)
+	for i := range tasks {
+		s := r.Intn(m)
+		e := s + 1 + r.Intn(m-s)
+		tasks[i] = model.Task{
+			ID: i, Start: s, End: e,
+			Demand: 1 + r.Int63n(maxDemand),
+			Weight: 1 + r.Int63n(40),
+		}
+	}
+	return tasks
+}
+
+func TestPackStripBasic(t *testing.T) {
+	tasks := []model.Task{
+		{ID: 0, Start: 0, End: 2, Demand: 2, Weight: 5},
+		{ID: 1, Start: 0, End: 1, Demand: 2, Weight: 4},
+		{ID: 2, Start: 1, End: 2, Demand: 2, Weight: 3},
+	}
+	sol, dropped := PackStrip(tasks, 4, ByStart)
+	if len(dropped) != 0 {
+		t.Fatalf("dropped %v with ceiling 4", dropped)
+	}
+	in := stripInstance(tasks, 4, 2)
+	if err := model.ValidSAP(in, sol); err != nil {
+		t.Fatalf("infeasible packing: %v", err)
+	}
+	if sol.MaxMakespan(2) != 4 {
+		t.Errorf("makespan = %d, want 4", sol.MaxMakespan(2))
+	}
+}
+
+func TestPackStripDrops(t *testing.T) {
+	tasks := []model.Task{
+		{ID: 0, Start: 0, End: 1, Demand: 3, Weight: 1},
+		{ID: 1, Start: 0, End: 1, Demand: 3, Weight: 1},
+	}
+	sol, dropped := PackStrip(tasks, 4, ByStart)
+	if sol.Len() != 1 || len(dropped) != 1 {
+		t.Errorf("placed %d dropped %d, want 1/1", sol.Len(), len(dropped))
+	}
+	// Task taller than the ceiling is dropped immediately.
+	sol2, dropped2 := PackStrip([]model.Task{{ID: 0, Start: 0, End: 1, Demand: 9, Weight: 1}}, 4, ByStart)
+	if sol2.Len() != 0 || len(dropped2) != 1 {
+		t.Errorf("oversized task not dropped")
+	}
+}
+
+func TestPackStripAlwaysFeasible(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 2 + r.Intn(8)
+		tasks := randomTasks(r, 2+r.Intn(25), m, 6)
+		ceiling := int64(4 + r.Intn(12))
+		for _, ord := range []Order{ByStart, ByDensity, ByInput} {
+			sol, dropped := PackStrip(tasks, ceiling, ord)
+			if sol.Len()+len(dropped) != len(tasks) {
+				return false
+			}
+			in := stripInstance(tasks, ceiling, m)
+			if model.ValidSAP(in, sol) != nil {
+				return false
+			}
+			if sol.MaxMakespan(m) > ceiling {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPackStripUnbounded(t *testing.T) {
+	r := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 60; trial++ {
+		m := 2 + r.Intn(8)
+		tasks := randomTasks(r, 2+r.Intn(25), m, 6)
+		sol, makespan := PackStripUnbounded(tasks, ByStart)
+		if sol.Len() != len(tasks) {
+			t.Fatalf("unbounded pack dropped tasks")
+		}
+		in := stripInstance(tasks, makespan, m)
+		if err := model.ValidSAP(in, sol); err != nil {
+			t.Fatalf("infeasible: %v", err)
+		}
+		if got := sol.MaxMakespan(m); got != makespan {
+			t.Fatalf("reported makespan %d != actual %d", makespan, got)
+		}
+		// DSA sanity: makespan ≥ LOAD.
+		if makespan < in.MaxLoad(tasks) {
+			t.Fatalf("makespan %d below load %d", makespan, in.MaxLoad(tasks))
+		}
+	}
+}
+
+// First-fit by start on δ-small tasks should stay close to LOAD; assert a
+// generous 2x factor that the small-task pipeline relies on headroom-wise.
+func TestFirstFitMakespanNearLoad(t *testing.T) {
+	r := rand.New(rand.NewSource(33))
+	for trial := 0; trial < 40; trial++ {
+		m := 4 + r.Intn(10)
+		tasks := randomTasks(r, 60, m, 4) // small demands vs load
+		sol, makespan := PackStripUnbounded(tasks, ByStart)
+		_ = sol
+		in := stripInstance(tasks, 1, m)
+		load := in.MaxLoad(tasks)
+		if makespan > 2*load {
+			t.Errorf("trial %d: makespan %d > 2·load %d", trial, makespan, load)
+		}
+	}
+}
+
+func TestConvertToStrip(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	for trial := 0; trial < 40; trial++ {
+		m := 3 + r.Intn(8)
+		tasks := randomTasks(r, 30, m, 3)
+		in := stripInstance(tasks, 1, m)
+		load := in.MaxLoad(tasks)
+		res := ConvertToStrip(tasks, 2*load)
+		if res.RetainedWeight != res.Solution.Weight() {
+			t.Fatalf("retained weight mismatch")
+		}
+		if res.InputWeight != model.WeightOf(tasks) {
+			t.Fatalf("input weight mismatch")
+		}
+		if res.Solution.Len()+len(res.Dropped) != len(tasks) {
+			t.Fatalf("task count mismatch")
+		}
+		if err := model.ValidSAP(stripInstance(tasks, 2*load, m), res.Solution); err != nil {
+			t.Fatalf("infeasible conversion: %v", err)
+		}
+		if res.RetainedFraction() < 0 || res.RetainedFraction() > 1 {
+			t.Fatalf("retained fraction %g out of range", res.RetainedFraction())
+		}
+	}
+	empty := ConvertToStrip(nil, 10)
+	if empty.RetainedFraction() != 1 {
+		t.Errorf("empty conversion fraction = %g, want 1", empty.RetainedFraction())
+	}
+}
+
+func TestGravityFig5(t *testing.T) {
+	// A floating arrangement that gravity must compact (Fig. 5 of the paper).
+	tasks := []model.Task{
+		{ID: 0, Start: 0, End: 2, Demand: 2, Weight: 1},
+		{ID: 1, Start: 1, End: 3, Demand: 2, Weight: 1},
+		{ID: 2, Start: 2, End: 4, Demand: 2, Weight: 1},
+	}
+	sol := model.NewSolution(tasks, []int64{3, 6, 1})
+	in := stripInstance(tasks, 10, 4)
+	if err := model.ValidSAP(in, sol); err != nil {
+		t.Fatalf("setup solution infeasible: %v", err)
+	}
+	g := Gravity(sol)
+	if err := model.ValidSAP(in, g); err != nil {
+		t.Fatalf("gravity broke feasibility: %v", err)
+	}
+	if g.Weight() != sol.Weight() || g.Len() != sol.Len() {
+		t.Fatalf("gravity changed the task set")
+	}
+	if !IsGrounded(g) {
+		t.Fatalf("gravity output not grounded: %+v", g.Items)
+	}
+	// Specific compaction: task 2 falls to 0, task 0 falls to 0, task 1 on top.
+	byID := map[int]int64{}
+	for _, p := range g.Items {
+		byID[p.Task.ID] = p.Height
+	}
+	if byID[0] != 0 || byID[2] != 0 || byID[1] != 2 {
+		t.Errorf("gravity heights = %v, want {0:0, 1:2, 2:0}", byID)
+	}
+}
+
+// Properties of gravity: feasibility preserved, heights never increase,
+// output grounded, idempotent.
+func TestGravityProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 2 + r.Intn(8)
+		tasks := randomTasks(r, 2+r.Intn(20), m, 5)
+		ceiling := int64(30)
+		// Build a feasible but floating solution: place with first fit, then
+		// lift each task by a random even slack below the ceiling.
+		base, _ := PackStrip(tasks, ceiling, ByInput)
+		in := stripInstance(tasks, ceiling+40, m)
+		sol := base.Clone()
+		for i := range sol.Items {
+			sol.Items[i].Height += r.Int63n(20)
+		}
+		if model.ValidSAP(in, sol) != nil {
+			// Random lifting may collide; retry by skipping (treat as pass —
+			// covered by other seeds).
+			sol = base
+		}
+		g := Gravity(sol)
+		if model.ValidSAP(in, g) != nil {
+			return false
+		}
+		if g.Len() != sol.Len() || g.Weight() != sol.Weight() {
+			return false
+		}
+		heights := map[int]int64{}
+		for _, p := range sol.Items {
+			heights[p.Task.ID] = p.Height
+		}
+		for _, p := range g.Items {
+			if p.Height > heights[p.Task.ID] {
+				return false
+			}
+		}
+		if !IsGrounded(g) {
+			return false
+		}
+		// Idempotence.
+		g2 := Gravity(g)
+		h1 := map[int]int64{}
+		for _, p := range g.Items {
+			h1[p.Task.ID] = p.Height
+		}
+		for _, p := range g2.Items {
+			if h1[p.Task.ID] != p.Height {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIsGroundedNegative(t *testing.T) {
+	tasks := []model.Task{{ID: 0, Start: 0, End: 1, Demand: 1, Weight: 1}}
+	floating := model.NewSolution(tasks, []int64{5})
+	if IsGrounded(floating) {
+		t.Errorf("floating task reported grounded")
+	}
+}
+
+func TestOrderTasksDeterminism(t *testing.T) {
+	tasks := []model.Task{
+		{ID: 2, Start: 0, End: 2, Demand: 2, Weight: 6},
+		{ID: 0, Start: 0, End: 1, Demand: 2, Weight: 6},
+		{ID: 1, Start: 0, End: 1, Demand: 1, Weight: 3},
+	}
+	a := orderTasks(tasks, ByDensity)
+	b := orderTasks(tasks, ByDensity)
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatalf("non-deterministic ordering")
+		}
+	}
+	// All three have density 3; tie-break by ID.
+	if a[0].ID != 0 || a[1].ID != 1 || a[2].ID != 2 {
+		t.Errorf("density tie-break by ID violated: %v", a)
+	}
+	s := orderTasks(tasks, ByStart)
+	// Same start: longer interval first ([0,2) before [0,1)).
+	if s[0].ID != 2 {
+		t.Errorf("ByStart should place longer task first: %v", s)
+	}
+	inOrd := orderTasks(tasks, ByInput)
+	if inOrd[0].ID != 2 || inOrd[1].ID != 0 {
+		t.Errorf("ByInput must preserve order: %v", inOrd)
+	}
+}
+
+func TestPackByClasses(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		m := 2 + r.Intn(8)
+		tasks := randomTasks(r, 2+r.Intn(25), m, 7)
+		sol, makespan := PackByClasses(tasks)
+		if sol.Len() != len(tasks) {
+			t.Fatalf("trial %d: packed %d of %d", trial, sol.Len(), len(tasks))
+		}
+		in := stripInstance(tasks, makespan, m)
+		if err := model.ValidSAP(in, sol); err != nil {
+			t.Fatalf("trial %d: infeasible: %v", trial, err)
+		}
+		if got := sol.MaxMakespan(m); got > makespan {
+			t.Fatalf("trial %d: actual makespan %d exceeds reported %d", trial, got, makespan)
+		}
+		// The band structure wastes at most a constant factor over first-fit
+		// on these sizes; sanity: within 4x of LOAD.
+		load := in.MaxLoad(tasks)
+		if makespan > 4*load+8 {
+			t.Errorf("trial %d: class packing makespan %d far above 4·LOAD (%d)", trial, makespan, load)
+		}
+	}
+	empty, ms := PackByClasses(nil)
+	if empty.Len() != 0 || ms != 0 {
+		t.Errorf("empty packing: %v %d", empty, ms)
+	}
+}
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int64]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4}
+	for v, want := range cases {
+		if got := ceilLog2(v); got != want {
+			t.Errorf("ceilLog2(%d) = %d, want %d", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package dsa_test
+
+import (
+	"fmt"
+
+	"sapalloc/internal/dsa"
+	"sapalloc/internal/model"
+)
+
+// ExampleGravity compacts a floating schedule (Observation 11 of the
+// paper): every task ends at height 0 or resting on a supporter.
+func ExampleGravity() {
+	tasks := []model.Task{
+		{ID: 0, Start: 0, End: 2, Demand: 2, Weight: 1},
+		{ID: 1, Start: 1, End: 3, Demand: 2, Weight: 1},
+	}
+	floating := model.NewSolution(tasks, []int64{3, 7})
+	grounded := dsa.Gravity(floating)
+	for _, p := range grounded.SortByID().Items {
+		fmt.Printf("task %d at height %d\n", p.Task.ID, p.Height)
+	}
+	fmt.Println("grounded:", dsa.IsGrounded(grounded))
+	// Output:
+	// task 0 at height 0
+	// task 1 at height 2
+	// grounded: true
+}
+
+// ExamplePackStrip first-fits tasks into a bounded strip, dropping what
+// cannot fit below the ceiling.
+func ExamplePackStrip() {
+	tasks := []model.Task{
+		{ID: 0, Start: 0, End: 1, Demand: 3, Weight: 9},
+		{ID: 1, Start: 0, End: 1, Demand: 3, Weight: 1},
+	}
+	sol, dropped := dsa.PackStrip(tasks, 4, dsa.ByDensity)
+	fmt.Println("placed:", sol.Len(), "dropped:", len(dropped))
+	fmt.Println("kept weight:", sol.Weight())
+	// Output:
+	// placed: 1 dropped: 1
+	// kept weight: 9
+}

@@ -1,0 +1,434 @@
+// Package exact provides exact (exponential-time) solvers for SAP, UFPP and
+// SAP on rings, used by the experiment harness to measure the empirical
+// approximation ratios of the polynomial algorithms against true optima on
+// small instances, and by the test suite as ground truth.
+//
+// The SAP search exploits Observation 11 of the paper (every instance has a
+// "grounded" optimal solution, obtainable by gravity) together with an
+// exchange argument: a grounded solution can be built by placing its tasks
+// in nondecreasing height order, and while doing so each next task may be
+// moved down to its lowest feasible slot without losing completability.
+// The branch-and-bound therefore branches only on which task is placed next
+// and always places it at its lowest feasible candidate height (0 or the
+// top of an already placed, path-intersecting task).
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sapalloc/internal/model"
+	"sapalloc/internal/par"
+)
+
+// ErrTooLarge is returned when an instance exceeds the exact solvers' size
+// limit (bitmask width).
+var ErrTooLarge = errors.New("exact: instance too large for exact solver")
+
+// MaxTasks is the hard cap on the number of tasks the exact solvers accept.
+const MaxTasks = 62
+
+// Budget bounds the number of search nodes; Solve* returns ErrBudget when
+// it is exhausted so callers can distinguish "proved optimal" from "gave
+// up".
+var ErrBudget = errors.New("exact: search budget exhausted")
+
+// item is the geometry-only view of a task used by the shared search core:
+// an explicit edge set (as a bitset), demand, weight, and the bottleneck
+// capacity that upper-bounds the item's top.
+type item struct {
+	edges  []uint64
+	demand int64
+	weight int64
+	cap    int64
+}
+
+func (a item) overlaps(b item) bool {
+	for w := range a.edges {
+		if a.edges[w]&b.edges[w] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+type rect struct {
+	itemIdx int
+	bottom  int64
+	top     int64
+}
+
+// searcher is the shared branch-and-bound core.
+type searcher struct {
+	items   []item
+	overlap [][]bool // precomputed pairwise path intersection
+
+	bestWeight  int64
+	bestHeights []int64 // per item, -1 = not scheduled
+	nodes       int64
+	maxNodes    int64
+	exhausted   bool
+
+	heights []int64 // working heights, -1 = unplaced
+}
+
+func newSearcher(items []item, maxNodes int64) *searcher {
+	n := len(items)
+	s := &searcher{items: items, maxNodes: maxNodes}
+	s.overlap = make([][]bool, n)
+	for i := range s.overlap {
+		s.overlap[i] = make([]bool, n)
+		for j := range s.overlap[i] {
+			if i != j {
+				s.overlap[i][j] = items[i].overlaps(items[j])
+			}
+		}
+	}
+	s.heights = make([]int64, n)
+	s.bestHeights = make([]int64, n)
+	for i := range s.heights {
+		s.heights[i] = -1
+		s.bestHeights[i] = -1
+	}
+	return s
+}
+
+// lowestSlot returns the lowest feasible height for item j given the placed
+// rectangles, or -1 when none exists. Candidates are 0 and the tops of
+// placed items whose paths intersect j's.
+func (s *searcher) lowestSlot(j int, placed []rect) int64 {
+	it := s.items[j]
+	candidates := []int64{0}
+	for _, r := range placed {
+		if s.overlap[j][r.itemIdx] {
+			candidates = append(candidates, r.top)
+		}
+	}
+	sort.Slice(candidates, func(a, b int) bool { return candidates[a] < candidates[b] })
+	for _, h := range candidates {
+		if h+it.demand > it.cap {
+			continue // candidates are ascending; later ones are worse
+		}
+		ok := true
+		for _, r := range placed {
+			if s.overlap[j][r.itemIdx] && h < r.top && r.bottom < h+it.demand {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return h
+		}
+	}
+	return -1
+}
+
+func (s *searcher) run() {
+	n := len(s.items)
+	full := uint64(0)
+	for i := 0; i < n; i++ {
+		full |= 1 << uint(i)
+	}
+	// Seed the incumbent with a greedy packing (weight-descending first
+	// fit) so the bound prunes early.
+	s.greedySeed()
+	var placed []rect
+	s.rec(full, placed, 0)
+}
+
+func (s *searcher) greedySeed() {
+	n := len(s.items)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return s.items[order[a]].weight > s.items[order[b]].weight })
+	var placed []rect
+	var w int64
+	heights := make([]int64, n)
+	for i := range heights {
+		heights[i] = -1
+	}
+	for _, j := range order {
+		if h := s.lowestSlot(j, placed); h >= 0 {
+			placed = append(placed, rect{itemIdx: j, bottom: h, top: h + s.items[j].demand})
+			heights[j] = h
+			w += s.items[j].weight
+		}
+	}
+	s.bestWeight = w
+	copy(s.bestHeights, heights)
+}
+
+// rec explores placements. remaining is the bitmask of items not yet placed
+// or discarded (a branch discards implicitly by never placing an item:
+// placing any strict subset of remaining is reachable because the recursion
+// can stop improving at any node), placed holds the committed rectangles,
+// cur the committed weight.
+func (s *searcher) rec(remaining uint64, placed []rect, cur int64) {
+	s.nodes++
+	if s.maxNodes > 0 && s.nodes > s.maxNodes {
+		s.exhausted = true
+		return
+	}
+	if cur > s.bestWeight {
+		s.bestWeight = cur
+		for i := range s.bestHeights {
+			s.bestHeights[i] = s.heights[i]
+		}
+	}
+	// Upper bound: current + everything remaining.
+	var rem int64
+	for m := remaining; m != 0; m &= m - 1 {
+		j := trailingZeros(m)
+		rem += s.items[j].weight
+	}
+	if cur+rem <= s.bestWeight {
+		return
+	}
+	// Branch on which remaining item is placed next, at its lowest slot.
+	// The nondecreasing-height exchange argument makes this complete.
+	for m := remaining; m != 0; m &= m - 1 {
+		j := trailingZeros(m)
+		if s.exhausted {
+			return
+		}
+		h := s.lowestSlot(j, placed)
+		if h < 0 {
+			// j can never be placed deeper in this branch (slots only
+			// close); drop it from remaining for the whole subtree.
+			remaining &^= 1 << uint(j)
+			rem -= s.items[j].weight
+			if cur+rem <= s.bestWeight {
+				return
+			}
+			continue
+		}
+		s.heights[j] = h
+		placed = append(placed, rect{itemIdx: j, bottom: h, top: h + s.items[j].demand})
+		s.rec(remaining&^(1<<uint(j)), placed, cur+s.items[j].weight)
+		placed = placed[:len(placed)-1]
+		s.heights[j] = -1
+	}
+}
+
+func trailingZeros(m uint64) int {
+	n := 0
+	for m&1 == 0 {
+		m >>= 1
+		n++
+	}
+	return n
+}
+
+// Options configures the exact solvers.
+type Options struct {
+	// MaxNodes caps the branch-and-bound node count (0 = 50 million).
+	MaxNodes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 50_000_000
+	}
+	return o
+}
+
+// edgeBits builds an edge bitset for the half-open range [start, end).
+func edgeBits(words, start, end int) []uint64 {
+	bits := make([]uint64, words)
+	for e := start; e < end; e++ {
+		bits[e/64] |= 1 << (uint(e) % 64)
+	}
+	return bits
+}
+
+// SolveSAP computes an optimal SAP solution by branch and bound. Instances
+// with more than MaxTasks tasks are rejected with ErrTooLarge; if the node
+// budget is exhausted the incumbent is returned together with ErrBudget.
+func SolveSAP(in *model.Instance, opts Options) (*model.Solution, error) {
+	opts = opts.withDefaults()
+	n := len(in.Tasks)
+	if n > MaxTasks {
+		return nil, fmt.Errorf("%w: %d tasks (max %d)", ErrTooLarge, n, MaxTasks)
+	}
+	words := in.Edges()/64 + 1
+	items := make([]item, n)
+	for i, t := range in.Tasks {
+		items[i] = item{
+			edges:  edgeBits(words, t.Start, t.End),
+			demand: t.Demand,
+			weight: t.Weight,
+			cap:    in.Bottleneck(t),
+		}
+	}
+	s := newSearcher(items, opts.MaxNodes)
+	s.run()
+	sol := &model.Solution{}
+	for i, h := range s.bestHeights {
+		if h >= 0 {
+			sol.Items = append(sol.Items, model.Placement{Task: in.Tasks[i], Height: h})
+		}
+	}
+	if s.exhausted {
+		return sol, ErrBudget
+	}
+	return sol, nil
+}
+
+// SolveUFPP computes an optimal UFPP solution by include/exclude branch and
+// bound with per-edge load tracking.
+func SolveUFPP(in *model.Instance, opts Options) ([]model.Task, error) {
+	opts = opts.withDefaults()
+	n := len(in.Tasks)
+	if n > MaxTasks {
+		return nil, fmt.Errorf("%w: %d tasks (max %d)", ErrTooLarge, n, MaxTasks)
+	}
+	// Order by weight descending for good incumbents early.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return in.Tasks[order[a]].Weight > in.Tasks[order[b]].Weight })
+	suffix := make([]int64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + in.Tasks[order[i]].Weight
+	}
+	load := make([]int64, in.Edges())
+	taken := make([]bool, n)
+	bestTaken := make([]bool, n)
+	var best int64 = -1
+	var nodes int64
+	exhausted := false
+	var rec func(k int, cur int64)
+	rec = func(k int, cur int64) {
+		nodes++
+		if nodes > opts.MaxNodes {
+			exhausted = true
+			return
+		}
+		if cur > best {
+			best = cur
+			copy(bestTaken, taken)
+		}
+		if k == n || cur+suffix[k] <= best {
+			return
+		}
+		t := in.Tasks[order[k]]
+		fits := true
+		for e := t.Start; e < t.End; e++ {
+			if load[e]+t.Demand > in.Capacity[e] {
+				fits = false
+				break
+			}
+		}
+		if fits {
+			for e := t.Start; e < t.End; e++ {
+				load[e] += t.Demand
+			}
+			taken[order[k]] = true
+			rec(k+1, cur+t.Weight)
+			taken[order[k]] = false
+			for e := t.Start; e < t.End; e++ {
+				load[e] -= t.Demand
+			}
+		}
+		if exhausted {
+			return
+		}
+		rec(k+1, cur)
+	}
+	rec(0, 0)
+	var out []model.Task
+	for i, tk := range bestTaken {
+		if tk {
+			out = append(out, in.Tasks[i])
+		}
+	}
+	if exhausted {
+		return out, ErrBudget
+	}
+	return out, nil
+}
+
+// SolveRingSAP computes an optimal SAP solution on a ring by enumerating the
+// orientation of every task (2^n assignments) and running the SAP search on
+// each induced arc system. Practical for n ≤ ~14.
+func SolveRingSAP(r *model.RingInstance, opts Options) (*model.RingSolution, error) {
+	opts = opts.withDefaults()
+	n := len(r.Tasks)
+	if n > 20 {
+		return nil, fmt.Errorf("%w: %d ring tasks (max 20 for orientation enumeration)", ErrTooLarge, n)
+	}
+	m := r.Edges()
+	words := m/64 + 1
+	type maskOut struct {
+		sol       *model.RingSolution
+		weight    int64
+		exhausted bool
+	}
+	// Orientation assignments are independent; search them concurrently
+	// and merge in mask order for determinism.
+	outs, err := par.Map(1<<uint(n), 0, func(mask int) (maskOut, error) {
+		items := make([]item, n)
+		orients := make([]model.Orientation, n)
+		for i, t := range r.Tasks {
+			o := model.Clockwise
+			if mask&(1<<uint(i)) != 0 {
+				o = model.CounterClockwise
+			}
+			orients[i] = o
+			bits := make([]uint64, words)
+			for _, e := range r.ArcEdges(t, o) {
+				bits[e/64] |= 1 << (uint(e) % 64)
+			}
+			items[i] = item{edges: bits, demand: t.Demand, weight: t.Weight, cap: r.ArcBottleneck(t, o)}
+		}
+		s := newSearcher(items, opts.MaxNodes/int64(1<<uint(n))+1)
+		s.run()
+		sol := &model.RingSolution{}
+		for i, h := range s.bestHeights {
+			if h >= 0 {
+				sol.Items = append(sol.Items, model.RingPlacement{
+					Task: r.Tasks[i], Orientation: orients[i], Height: h,
+				})
+			}
+		}
+		return maskOut{sol: sol, weight: s.bestWeight, exhausted: s.exhausted}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	best := &model.RingSolution{}
+	var bestW int64 = -1
+	budgetHit := false
+	for _, out := range outs {
+		if out.exhausted {
+			budgetHit = true
+		}
+		if out.weight > bestW {
+			bestW = out.weight
+			best = out.sol
+		}
+	}
+	if budgetHit {
+		return best, ErrBudget
+	}
+	return best, nil
+}
+
+// SolveSAPAuto picks the best exact engine for the instance: thin uniform
+// or small-capacity instances go to the polynomial occupancy DP (via the
+// caller-supplied dpSolve hook to avoid an import cycle), everything else
+// to the branch-and-bound. Exposed as a convenience for harnesses; both
+// engines are cross-checked against each other in the test suites.
+func SolveSAPAuto(in *model.Instance, opts Options, dpSolve func(*model.Instance) (*model.Solution, error)) (*model.Solution, error) {
+	if dpSolve != nil && in.MaxCapacity() <= 12 && len(in.Tasks) > 16 {
+		if sol, err := dpSolve(in); err == nil {
+			return sol, nil
+		}
+		// DP rejected or overflowed its state cap: fall through to B&B.
+	}
+	return SolveSAP(in, opts)
+}

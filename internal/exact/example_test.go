@@ -1,0 +1,22 @@
+package exact_test
+
+import (
+	"fmt"
+
+	"sapalloc/internal/exact"
+	"sapalloc/internal/gen"
+)
+
+// ExampleSolveSAP computes the true optimum of the Figure 1(b) instance:
+// six of the seven tasks — the whole set is UFPP-feasible but not
+// SAP-packable.
+func ExampleSolveSAP() {
+	in := gen.Fig1b()
+	sol, err := exact.SolveSAP(in, exact.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("SAP OPT = %d of %d\n", sol.Weight(), in.TotalWeight())
+	// Output:
+	// SAP OPT = 6 of 7
+}

@@ -1,0 +1,122 @@
+package exact
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sapalloc/internal/model"
+)
+
+// ErrStateSpace is returned when the UFPP path DP exceeds its state cap.
+var ErrStateSpace = errors.New("exact: UFPP DP state space exceeds limit")
+
+// SolveUFPPPathDP computes an optimal UFPP solution by a left-to-right
+// dynamic program whose states are the feasible subsets of tasks crossing
+// each edge. It is exact, independent of the branch-and-bound in SolveUFPP
+// (the tests cross-check the two), and fast whenever edge capacities keep
+// the number of feasible crossing subsets small — e.g. on large-task
+// instances or tight capacities, where the include/exclude search degrades.
+// maxStates caps the per-edge state count (0 = 1 million).
+func SolveUFPPPathDP(in *model.Instance, maxStates int) ([]model.Task, error) {
+	if maxStates <= 0 {
+		maxStates = 1_000_000
+	}
+	n := len(in.Tasks)
+	if n > 64 {
+		return nil, fmt.Errorf("%w: %d tasks (max 64)", ErrTooLarge, n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	m := in.Edges()
+	startAt := make([][]int, m)
+	for i, t := range in.Tasks {
+		startAt[t.Start] = append(startAt[t.Start], i)
+	}
+	type entry struct {
+		weight   int64
+		prevMask uint64
+		added    uint64
+	}
+	trace := make([]map[uint64]entry, m)
+	cur := map[uint64]entry{0: {}}
+	for e := 0; e < m; e++ {
+		next := make(map[uint64]entry, len(cur))
+		for mask, ent := range cur {
+			kept := mask
+			var keptLoad int64
+			for mm := mask; mm != 0; mm &= mm - 1 {
+				i := tzBit(mm)
+				if in.Tasks[i].End == e {
+					kept &^= 1 << uint(i)
+				} else {
+					keptLoad += in.Tasks[i].Demand
+				}
+			}
+			// Capacities can drop between edges: a crossing set feasible at
+			// e−1 may overload e, so reject such states here.
+			if keptLoad > in.Capacity[e] {
+				continue
+			}
+			// Enumerate subsets of tasks starting at e that keep the load
+			// within this edge's capacity. Capacity on later edges is
+			// checked when those edges are processed (the crossing set is
+			// carried forward).
+			starters := startAt[e]
+			var extend func(idx int, addMask uint64, addLoad, addW int64)
+			extend = func(idx int, addMask uint64, addLoad, addW int64) {
+				if idx == len(starters) {
+					nm := kept | addMask
+					w := ent.weight + addW
+					if old, ok := next[nm]; !ok || w > old.weight {
+						next[nm] = entry{weight: w, prevMask: mask, added: addMask}
+					}
+					return
+				}
+				extend(idx+1, addMask, addLoad, addW)
+				i := starters[idx]
+				d := in.Tasks[i].Demand
+				if keptLoad+addLoad+d <= in.Capacity[e] {
+					extend(idx+1, addMask|1<<uint(i), addLoad+d, addW+in.Tasks[i].Weight)
+				}
+			}
+			extend(0, 0, 0, 0)
+			if len(next) > maxStates {
+				return nil, fmt.Errorf("%w: more than %d states at edge %d", ErrStateSpace, maxStates, e)
+			}
+		}
+		trace[e] = next
+		cur = next
+	}
+	var bestMask uint64
+	var bestW int64 = -1
+	for mask, ent := range cur {
+		if ent.weight > bestW {
+			bestW = ent.weight
+			bestMask = mask
+		}
+	}
+	var chosenMask uint64
+	mask := bestMask
+	for e := m - 1; e >= 0; e-- {
+		ent := trace[e][mask]
+		chosenMask |= ent.added
+		mask = ent.prevMask
+	}
+	var out []model.Task
+	for mm := chosenMask; mm != 0; mm &= mm - 1 {
+		out = append(out, in.Tasks[tzBit(mm)])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+func tzBit(m uint64) int {
+	n := 0
+	for m&1 == 0 {
+		m >>= 1
+		n++
+	}
+	return n
+}

@@ -1,0 +1,227 @@
+// Package gen provides deterministic workload generators for the
+// experiment harness, the examples and the benchmarks: random instances per
+// size class, domain workloads that motivate SAP in the paper's
+// introduction (memory allocation, banner advertising, contiguous spectrum
+// assignment), degenerate knapsack instances, ring workloads, and exact
+// reproductions of the paper's figures.
+package gen
+
+import (
+	"math/rand"
+
+	"sapalloc/internal/model"
+)
+
+// Class selects the demand regime of generated tasks relative to their
+// bottleneck b(j), matching the partition of Theorem 4 (k=2, β=¼).
+type Class int
+
+const (
+	// Mixed draws from all three regimes uniformly.
+	Mixed Class = iota
+	// Small draws d ≤ b/16 (δ-small for δ = 1/16).
+	Small
+	// Medium draws b/16 < d ≤ b/2.
+	Medium
+	// Large draws d > b/2 (½-large).
+	Large
+)
+
+func (c Class) String() string {
+	switch c {
+	case Small:
+		return "small"
+	case Medium:
+		return "medium"
+	case Large:
+		return "large"
+	default:
+		return "mixed"
+	}
+}
+
+// Config parameterises the random path-instance generator.
+type Config struct {
+	Seed  int64
+	Edges int
+	Tasks int
+	// CapLo and CapHi bound the per-edge capacities (inclusive lo,
+	// exclusive hi). Defaults: 64, 257.
+	CapLo, CapHi int64
+	// Class selects the demand regime.
+	Class Class
+	// MaxWeight bounds task weights (default 100).
+	MaxWeight int64
+	// MaxSpan bounds the number of edges a task may cover (default: Edges).
+	MaxSpan int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Edges <= 0 {
+		c.Edges = 16
+	}
+	if c.Tasks <= 0 {
+		c.Tasks = 32
+	}
+	if c.CapLo <= 0 {
+		c.CapLo = 64
+	}
+	if c.CapHi <= c.CapLo {
+		c.CapHi = 4*c.CapLo + 1
+	}
+	if c.MaxWeight <= 0 {
+		c.MaxWeight = 100
+	}
+	if c.MaxSpan <= 0 || c.MaxSpan > c.Edges {
+		c.MaxSpan = c.Edges
+	}
+	return c
+}
+
+// Random generates a deterministic random instance per the configuration.
+func Random(cfg Config) *model.Instance {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	in := &model.Instance{Capacity: make([]int64, cfg.Edges)}
+	for e := range in.Capacity {
+		in.Capacity[e] = cfg.CapLo + r.Int63n(cfg.CapHi-cfg.CapLo)
+	}
+	for i := 0; i < cfg.Tasks; i++ {
+		s := r.Intn(cfg.Edges)
+		span := 1 + r.Intn(cfg.MaxSpan)
+		e := s + span
+		if e > cfg.Edges {
+			e = cfg.Edges
+		}
+		probe := model.Task{Start: s, End: e, Demand: 1}
+		b := in.Bottleneck(probe)
+		in.Tasks = append(in.Tasks, model.Task{
+			ID: i, Start: s, End: e,
+			Demand: demandFor(r, cfg.Class, b),
+			Weight: 1 + r.Int63n(cfg.MaxWeight),
+		})
+	}
+	return in
+}
+
+func demandFor(r *rand.Rand, class Class, b int64) int64 {
+	pick := class
+	if class == Mixed {
+		pick = Class(1 + r.Intn(3))
+	}
+	switch pick {
+	case Small:
+		hi := b / 16
+		if hi < 1 {
+			hi = 1
+		}
+		return 1 + r.Int63n(hi)
+	case Medium:
+		lo := b/16 + 1
+		hi := b / 2
+		if hi < lo {
+			hi = lo
+		}
+		return lo + r.Int63n(hi-lo+1)
+	default:
+		lo := b/2 + 1
+		if lo > b {
+			lo = b
+		}
+		return lo + r.Int63n(b-lo+1)
+	}
+}
+
+// Uniform generates a uniform-capacity instance (SAP-U / UFPP-U).
+func Uniform(seed int64, edges, tasks int, capacity int64, class Class) *model.Instance {
+	cfg := Config{Seed: seed, Edges: edges, Tasks: tasks, CapLo: capacity, CapHi: capacity + 1, Class: class}.withDefaults()
+	cfg.CapLo, cfg.CapHi = capacity, capacity+1
+	return Random(cfg)
+}
+
+// KnapsackDegenerate generates an instance where every task crosses one
+// shared edge — SAP and UFPP both degenerate to knapsack (the classic
+// NP-hardness witness mentioned in Section 1.1).
+func KnapsackDegenerate(seed int64, tasks int, capacity int64) *model.Instance {
+	r := rand.New(rand.NewSource(seed))
+	in := &model.Instance{Capacity: []int64{capacity, capacity, capacity}}
+	for i := 0; i < tasks; i++ {
+		s := r.Intn(2) // [0,2) or [1,3): all cross edge 1
+		in.Tasks = append(in.Tasks, model.Task{
+			ID: i, Start: s, End: s + 2,
+			Demand: 1 + r.Int63n(capacity/2+1),
+			Weight: 1 + r.Int63n(100),
+		})
+	}
+	return in
+}
+
+// NBA generates an instance satisfying the no-bottleneck assumption:
+// max_j d_j ≤ min_e c_e.
+func NBA(seed int64, edges, tasks int) *model.Instance {
+	r := rand.New(rand.NewSource(seed))
+	in := &model.Instance{Capacity: make([]int64, edges)}
+	minCap := int64(32)
+	for e := range in.Capacity {
+		in.Capacity[e] = minCap + r.Int63n(4*minCap)
+	}
+	for i := 0; i < tasks; i++ {
+		s := r.Intn(edges)
+		e := s + 1 + r.Intn(edges-s)
+		in.Tasks = append(in.Tasks, model.Task{
+			ID: i, Start: s, End: e,
+			Demand: 1 + r.Int63n(minCap), // ≤ min capacity
+			Weight: 1 + r.Int63n(100),
+		})
+	}
+	return in
+}
+
+// Staircase generates capacities that rise to a peak and fall again, a
+// worst-case-ish profile for bottleneck classification: each task's
+// bottleneck sits at one of its endpoints.
+func Staircase(seed int64, edges, tasks int, step int64, class Class) *model.Instance {
+	r := rand.New(rand.NewSource(seed))
+	in := &model.Instance{Capacity: make([]int64, edges)}
+	for e := range in.Capacity {
+		dist := e
+		if edges-1-e < dist {
+			dist = edges - 1 - e
+		}
+		in.Capacity[e] = 32 + step*int64(dist)
+	}
+	for i := 0; i < tasks; i++ {
+		s := r.Intn(edges)
+		e := s + 1 + r.Intn(edges-s)
+		probe := model.Task{Start: s, End: e, Demand: 1}
+		b := in.Bottleneck(probe)
+		in.Tasks = append(in.Tasks, model.Task{
+			ID: i, Start: s, End: e,
+			Demand: demandFor(r, class, b),
+			Weight: 1 + r.Int63n(100),
+		})
+	}
+	return in
+}
+
+// Ring generates a random ring instance.
+func Ring(seed int64, edges, tasks int, capLo, capHi int64) *model.RingInstance {
+	r := rand.New(rand.NewSource(seed))
+	ring := &model.RingInstance{Capacity: make([]int64, edges)}
+	for e := range ring.Capacity {
+		ring.Capacity[e] = capLo + r.Int63n(capHi-capLo)
+	}
+	for i := 0; i < tasks; i++ {
+		s := r.Intn(edges)
+		e := r.Intn(edges)
+		for e == s {
+			e = r.Intn(edges)
+		}
+		ring.Tasks = append(ring.Tasks, model.RingTask{
+			ID: i, Start: s, End: e,
+			Demand: 1 + r.Int63n(capLo/2+1),
+			Weight: 1 + r.Int63n(100),
+		})
+	}
+	return ring
+}

@@ -1,0 +1,331 @@
+package gen
+
+import (
+	"testing"
+
+	"sapalloc/internal/dsa"
+	"sapalloc/internal/exact"
+	"sapalloc/internal/largesap"
+	"sapalloc/internal/model"
+)
+
+func TestRandomDeterministicAndValid(t *testing.T) {
+	a := Random(Config{Seed: 7, Edges: 10, Tasks: 20})
+	b := Random(Config{Seed: 7, Edges: 10, Tasks: 20})
+	if len(a.Tasks) != 20 || a.Edges() != 10 {
+		t.Fatalf("dimensions wrong")
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("generator not deterministic at task %d", i)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("invalid instance: %v", err)
+	}
+	c := Random(Config{Seed: 8, Edges: 10, Tasks: 20})
+	same := true
+	for i := range a.Tasks {
+		if a.Tasks[i] != c.Tasks[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Errorf("different seeds produced identical instances")
+	}
+}
+
+func TestClassGeneration(t *testing.T) {
+	for _, cls := range []Class{Small, Medium, Large} {
+		in := Random(Config{Seed: 3, Edges: 8, Tasks: 40, Class: cls})
+		for _, tk := range in.Tasks {
+			b := in.Bottleneck(tk)
+			switch cls {
+			case Small:
+				if tk.Demand*16 > b && tk.Demand > 1 {
+					t.Errorf("small class: task %v has d > b/16 (b=%d)", tk, b)
+				}
+			case Medium:
+				if 2*tk.Demand > b {
+					t.Errorf("medium class: task %v has d > b/2 (b=%d)", tk, b)
+				}
+			case Large:
+				if 2*tk.Demand <= b {
+					t.Errorf("large class: task %v has d ≤ b/2 (b=%d)", tk, b)
+				}
+			}
+		}
+	}
+}
+
+func TestClassString(t *testing.T) {
+	for _, c := range []Class{Mixed, Small, Medium, Large} {
+		if c.String() == "" {
+			t.Errorf("empty class string for %d", c)
+		}
+	}
+}
+
+func TestUniform(t *testing.T) {
+	in := Uniform(1, 8, 16, 64, Small)
+	if !in.Uniform() || in.Capacity[0] != 64 {
+		t.Errorf("not uniform-64: %v", in.Capacity)
+	}
+	if err := in.Validate(); err != nil {
+		t.Errorf("%v", err)
+	}
+}
+
+func TestKnapsackDegenerate(t *testing.T) {
+	in := KnapsackDegenerate(5, 12, 40)
+	if err := in.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	for _, tk := range in.Tasks {
+		if !tk.Uses(1) {
+			t.Errorf("task %v misses the shared edge", tk)
+		}
+	}
+}
+
+func TestNBA(t *testing.T) {
+	in := NBA(9, 12, 30)
+	if err := in.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	minCap := in.MinCapacity()
+	for _, tk := range in.Tasks {
+		if tk.Demand > minCap {
+			t.Errorf("NBA violated: d=%d > min cap %d", tk.Demand, minCap)
+		}
+	}
+}
+
+func TestStaircase(t *testing.T) {
+	in := Staircase(2, 11, 20, 8, Mixed)
+	if err := in.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	// Peak in the middle.
+	mid := in.Capacity[5]
+	if in.Capacity[0] >= mid || in.Capacity[10] >= mid {
+		t.Errorf("staircase not peaked: %v", in.Capacity)
+	}
+}
+
+func TestRingGenerator(t *testing.T) {
+	ring := Ring(4, 8, 12, 16, 64)
+	if err := ring.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+}
+
+func TestMemTrace(t *testing.T) {
+	in := MemTrace(MemTraceConfig{Seed: 1})
+	if err := in.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if !in.Uniform() {
+		t.Errorf("heap capacity should be uniform")
+	}
+	for _, tk := range in.Tasks {
+		if tk.Weight != tk.Demand*int64(tk.End-tk.Start) {
+			t.Errorf("weight must be size·lifetime: %v", tk)
+		}
+	}
+}
+
+func TestBanner(t *testing.T) {
+	in := Banner(BannerConfig{Seed: 2})
+	if err := in.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	for _, tk := range in.Tasks {
+		if tk.End-tk.Start > 10 {
+			t.Errorf("booking longer than 10 days: %v", tk)
+		}
+	}
+}
+
+func TestSpectrum(t *testing.T) {
+	in := Spectrum(SpectrumConfig{Seed: 3})
+	if err := in.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	for _, tk := range in.Tasks {
+		if tk.Demand > 16 {
+			t.Errorf("demand beyond 16 slots: %v", tk)
+		}
+	}
+}
+
+func TestSortTasksByStart(t *testing.T) {
+	in := Random(Config{Seed: 11, Edges: 8, Tasks: 15})
+	SortTasksByStart(in)
+	for i := 1; i < len(in.Tasks); i++ {
+		if in.Tasks[i].Start < in.Tasks[i-1].Start {
+			t.Fatalf("not sorted at %d", i)
+		}
+	}
+}
+
+// --- figure reproductions ---
+
+func TestFig1a(t *testing.T) {
+	in := Fig1a()
+	if err := in.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if err := model.ValidUFPP(in, in.Tasks); err != nil {
+		t.Fatalf("Fig1a not UFPP-feasible: %v", err)
+	}
+	opt, err := exact.SolveSAP(in, exact.Options{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if opt.Weight() >= in.TotalWeight() {
+		t.Errorf("Fig1a: SAP packs all tasks (OPT=%d), gap lost", opt.Weight())
+	}
+}
+
+func TestFig1b(t *testing.T) {
+	in := Fig1b()
+	if err := in.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if !in.Uniform() {
+		t.Fatalf("Fig1b must have uniform capacities")
+	}
+	if err := model.ValidUFPP(in, in.Tasks); err != nil {
+		t.Fatalf("Fig1b not UFPP-feasible: %v", err)
+	}
+	opt, err := exact.SolveSAP(in, exact.Options{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if opt.Weight() >= in.TotalWeight() {
+		t.Errorf("Fig1b: SAP packs all tasks (OPT=%d of %d), gap lost", opt.Weight(), in.TotalWeight())
+	}
+}
+
+func TestFig2(t *testing.T) {
+	a, b := Fig2a(), Fig2b()
+	if err := a.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	if !a.Uniform() || b.Uniform() {
+		t.Errorf("Fig2a must be uniform, Fig2b non-uniform")
+	}
+	// All tasks are 1/4-small in both.
+	for _, in := range []*model.Instance{a, b} {
+		for _, tk := range in.Tasks {
+			if !in.IsDeltaSmall(tk, 1, 4) {
+				t.Errorf("task %v is not 1/4-small (b=%d)", tk, in.Bottleneck(tk))
+			}
+		}
+	}
+}
+
+func TestFig8(t *testing.T) {
+	in := Fig8()
+	if err := in.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	rects := largesap.RectanglesOf(in)
+	if len(rects) != 5 {
+		t.Fatalf("want 5 rectangles, got %d", len(rects))
+	}
+	// ½-large.
+	for _, r := range rects {
+		if 2*r.Task.Demand <= in.Bottleneck(r.Task) {
+			t.Errorf("task %d not ½-large", r.Task.ID)
+		}
+	}
+	// Exactly a 5-cycle: degree 2 each, 5 edges total.
+	degs := map[int]int{}
+	edges := 0
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			if rects[i].Intersects(rects[j]) {
+				degs[i]++
+				degs[j]++
+				edges++
+			}
+		}
+	}
+	if edges != 5 {
+		t.Fatalf("rectangle graph has %d edges, want 5", edges)
+	}
+	for i, d := range degs {
+		if d != 2 {
+			t.Fatalf("rectangle %d has degree %d, want 2", i, d)
+		}
+	}
+	// All five tasks pack simultaneously at residual heights.
+	var tasks []model.Task
+	var heights []int64
+	for _, r := range rects {
+		tasks = append(tasks, r.Task)
+		heights = append(heights, r.Bottom)
+	}
+	if err := model.ValidSAP(in, model.NewSolution(tasks, heights)); err != nil {
+		t.Fatalf("residual packing infeasible: %v", err)
+	}
+	// Lemma 17 tightness at k=2: degeneracy exactly 2 and 3 colors needed.
+	_, num, degen := largesap.SmallestLastColoring(rects)
+	if degen != 2 {
+		t.Errorf("degeneracy = %d, want 2", degen)
+	}
+	if num != 3 {
+		t.Errorf("smallest-last used %d colors, want 3 (C5 is not 2-colorable)", num)
+	}
+}
+
+func TestFig5Floating(t *testing.T) {
+	in, sol := Fig5Floating()
+	if err := model.ValidSAP(in, sol); err != nil {
+		t.Fatalf("floating arrangement infeasible: %v", err)
+	}
+	if dsa.IsGrounded(sol) {
+		t.Errorf("Fig5 arrangement should be floating")
+	}
+	g := dsa.Gravity(sol)
+	if err := model.ValidSAP(in, g); err != nil {
+		t.Fatalf("gravity result infeasible: %v", err)
+	}
+	if !dsa.IsGrounded(g) {
+		t.Errorf("gravity result not grounded")
+	}
+}
+
+func TestGapChain(t *testing.T) {
+	in := GapChain(6)
+	if err := in.Validate(); err != nil {
+		t.Fatalf("%v", err)
+	}
+	// Every task's demand equals its bottleneck.
+	for _, tk := range in.Tasks {
+		if tk.Demand != in.Bottleneck(tk) {
+			t.Errorf("task %d: demand %d != bottleneck %d", tk.ID, tk.Demand, in.Bottleneck(tk))
+		}
+	}
+	// Pairwise conflicting: any two tasks overload the later bottleneck.
+	for i := 0; i < len(in.Tasks); i++ {
+		for j := i + 1; j < len(in.Tasks); j++ {
+			if model.ValidUFPP(in, []model.Task{in.Tasks[i], in.Tasks[j]}) == nil {
+				t.Errorf("tasks %d and %d coexist — gap construction broken", i, j)
+			}
+		}
+	}
+	// Bounds clamp.
+	if got := GapChain(0); len(got.Tasks) != 1 {
+		t.Errorf("GapChain(0) tasks = %d", len(got.Tasks))
+	}
+	if got := GapChain(99); len(got.Tasks) != 60 {
+		t.Errorf("GapChain(99) tasks = %d", len(got.Tasks))
+	}
+}

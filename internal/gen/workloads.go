@@ -1,0 +1,211 @@
+package gen
+
+import (
+	"math/rand"
+	"sort"
+
+	"sapalloc/internal/model"
+)
+
+// MemTraceConfig parameterises the synthetic memory-allocation workload:
+// each task is an object that must occupy a contiguous address range for a
+// lifetime interval (the storage-allocation reading of SAP in the paper's
+// introduction: the path is time, height is address space).
+type MemTraceConfig struct {
+	Seed int64
+	// Slots is the number of time steps (path edges). Default 64.
+	Slots int
+	// Objects is the number of allocation requests. Default 128.
+	Objects int
+	// Heap is the address-space capacity (uniform across time). Default 4096.
+	Heap int64
+	// MaxLifetime bounds object lifetimes in slots (default Slots/4).
+	MaxLifetime int
+}
+
+func (c MemTraceConfig) withDefaults() MemTraceConfig {
+	if c.Slots <= 0 {
+		c.Slots = 64
+	}
+	if c.Objects <= 0 {
+		c.Objects = 128
+	}
+	if c.Heap <= 0 {
+		c.Heap = 4096
+	}
+	if c.MaxLifetime <= 0 {
+		c.MaxLifetime = c.Slots / 4
+		if c.MaxLifetime < 1 {
+			c.MaxLifetime = 1
+		}
+	}
+	return c
+}
+
+// MemTrace generates a malloc-style workload: object sizes follow a rounded
+// geometric-ish distribution (many small blocks, few big buffers), weights
+// equal size·lifetime (the "value" of keeping the object resident).
+func MemTrace(cfg MemTraceConfig) *model.Instance {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	in := &model.Instance{Capacity: make([]int64, cfg.Slots)}
+	for e := range in.Capacity {
+		in.Capacity[e] = cfg.Heap
+	}
+	for i := 0; i < cfg.Objects; i++ {
+		s := r.Intn(cfg.Slots)
+		life := 1 + r.Intn(cfg.MaxLifetime)
+		e := s + life
+		if e > cfg.Slots {
+			e = cfg.Slots
+		}
+		// Size: 2^(0..log2(Heap/16)) scaled, biased small.
+		maxExp := 0
+		for v := cfg.Heap / 16; v > 1; v >>= 1 {
+			maxExp++
+		}
+		exp := r.Intn(maxExp + 1)
+		if r.Intn(4) != 0 && exp > 2 { // bias toward small blocks
+			exp = r.Intn(3)
+		}
+		size := int64(1) << uint(exp)
+		size += r.Int63n(size + 1) // de-align a bit
+		in.Tasks = append(in.Tasks, model.Task{
+			ID: i, Start: s, End: e,
+			Demand: size,
+			Weight: size * int64(e-s),
+		})
+	}
+	return in
+}
+
+// BannerConfig parameterises the banner-advertising workload from the
+// paper's introduction: the path is calendar time, the capacity is the
+// banner height, each advertisement needs a contiguous horizontal stripe of
+// its height for its booked interval, and the weight is the price paid.
+type BannerConfig struct {
+	Seed int64
+	// Days is the number of calendar slots (default 30).
+	Days int
+	// Ads is the number of bookings (default 60).
+	Ads int
+	// Height is the banner height in pixels (default 600).
+	Height int64
+}
+
+func (c BannerConfig) withDefaults() BannerConfig {
+	if c.Days <= 0 {
+		c.Days = 30
+	}
+	if c.Ads <= 0 {
+		c.Ads = 60
+	}
+	if c.Height <= 0 {
+		c.Height = 600
+	}
+	return c
+}
+
+// Banner generates the advertisement workload. Ad heights cluster on
+// standard creative sizes; prices grow superlinearly with height (premium
+// placements).
+func Banner(cfg BannerConfig) *model.Instance {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	in := &model.Instance{Capacity: make([]int64, cfg.Days)}
+	for e := range in.Capacity {
+		in.Capacity[e] = cfg.Height
+	}
+	sizes := []int64{50, 90, 120, 200, 250, 300}
+	for i := 0; i < cfg.Ads; i++ {
+		s := r.Intn(cfg.Days)
+		e := s + 1 + r.Intn(cfg.Days-s)
+		if e-s > 10 {
+			e = s + 1 + r.Intn(10)
+		}
+		h := sizes[r.Intn(len(sizes))]
+		if h > cfg.Height {
+			h = cfg.Height
+		}
+		price := h * h / 50 * int64(e-s) / 2
+		if price < 1 {
+			price = 1
+		}
+		in.Tasks = append(in.Tasks, model.Task{
+			ID: i, Start: s, End: e, Demand: h, Weight: price,
+		})
+	}
+	return in
+}
+
+// SpectrumConfig parameterises the contiguous-frequency workload: the path
+// is a fiber route whose segments have been upgraded to different numbers
+// of wavelength slots (non-uniform capacities); each demand must receive a
+// contiguous slot range along its whole route (elastic optical networks).
+type SpectrumConfig struct {
+	Seed int64
+	// Segments is the number of fiber segments (default 24).
+	Segments int
+	// Demands is the number of connection requests (default 48).
+	Demands int
+	// BaseSlots is the capacity of legacy segments; upgraded segments get
+	// 2x or 4x (default 32).
+	BaseSlots int64
+	// MaxHops bounds connection route lengths in segments (default 6).
+	MaxHops int
+}
+
+func (c SpectrumConfig) withDefaults() SpectrumConfig {
+	if c.Segments <= 0 {
+		c.Segments = 24
+	}
+	if c.Demands <= 0 {
+		c.Demands = 48
+	}
+	if c.BaseSlots <= 0 {
+		c.BaseSlots = 32
+	}
+	if c.MaxHops <= 0 {
+		c.MaxHops = 6
+	}
+	return c
+}
+
+// Spectrum generates the wavelength-assignment workload. Demands are 1-16
+// slots wide; weights favour wide, long-haul connections.
+func Spectrum(cfg SpectrumConfig) *model.Instance {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	in := &model.Instance{Capacity: make([]int64, cfg.Segments)}
+	for e := range in.Capacity {
+		mult := int64(1) << uint(r.Intn(3)) // 1x, 2x or 4x upgraded
+		in.Capacity[e] = cfg.BaseSlots * mult
+	}
+	for i := 0; i < cfg.Demands; i++ {
+		s := r.Intn(cfg.Segments)
+		hops := cfg.Segments - s
+		if hops > cfg.MaxHops {
+			hops = cfg.MaxHops
+		}
+		e := s + 1 + r.Intn(hops)
+		slots := int64(1) << uint(r.Intn(5)) // 1..16
+		in.Tasks = append(in.Tasks, model.Task{
+			ID: i, Start: s, End: e,
+			Demand: slots,
+			Weight: slots * int64(e-s),
+		})
+	}
+	return in
+}
+
+// SortTasksByStart orders an instance's tasks by start vertex (stable,
+// ID tie-break); generators emit arrival order, some consumers want
+// positional order.
+func SortTasksByStart(in *model.Instance) {
+	sort.SliceStable(in.Tasks, func(i, j int) bool {
+		if in.Tasks[i].Start != in.Tasks[j].Start {
+			return in.Tasks[i].Start < in.Tasks[j].Start
+		}
+		return in.Tasks[i].ID < in.Tasks[j].ID
+	})
+}

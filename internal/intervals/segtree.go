@@ -1,0 +1,117 @@
+package intervals
+
+// SegTree is a lazy segment tree over positions 0..n-1 supporting range add
+// and range max of int64 values. It backs the first-fit contiguous
+// allocator (skyline queries over edges) and fast load/makespan profiles.
+// The zero tree has size 0; use NewSegTree.
+type SegTree struct {
+	n    int
+	mx   []int64
+	lazy []int64
+}
+
+// NewSegTree returns a tree over n positions, all values zero.
+func NewSegTree(n int) *SegTree {
+	if n < 0 {
+		panic("intervals: negative segment tree size")
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	if n == 0 {
+		size = 1
+	}
+	return &SegTree{n: n, mx: make([]int64, 2*size), lazy: make([]int64, 2*size)}
+}
+
+// Len returns the number of positions.
+func (s *SegTree) Len() int { return s.n }
+
+func (s *SegTree) push(node int) {
+	if l := s.lazy[node]; l != 0 {
+		for _, c := range [2]int{2*node + 1, 2*node + 2} {
+			if c < len(s.mx) {
+				s.mx[c] += l
+				s.lazy[c] += l
+			}
+		}
+		s.lazy[node] = 0
+	}
+}
+
+// Add adds v to every position in [lo, hi).
+func (s *SegTree) Add(lo, hi int, v int64) {
+	if lo < 0 || hi > s.n || lo > hi {
+		panic("intervals: Add range out of bounds")
+	}
+	if lo == hi || v == 0 {
+		return
+	}
+	s.add(0, 0, s.leafSpan(), lo, hi, v)
+}
+
+func (s *SegTree) leafSpan() int {
+	return (len(s.mx) + 1) / 2
+}
+
+func (s *SegTree) add(node, nodeLo, nodeHi, lo, hi int, v int64) {
+	if hi <= nodeLo || nodeHi <= lo {
+		return
+	}
+	if lo <= nodeLo && nodeHi <= hi {
+		s.mx[node] += v
+		s.lazy[node] += v
+		return
+	}
+	s.push(node)
+	mid := (nodeLo + nodeHi) / 2
+	s.add(2*node+1, nodeLo, mid, lo, hi, v)
+	s.add(2*node+2, mid, nodeHi, lo, hi, v)
+	s.mx[node] = max64(s.mx[2*node+1], s.mx[2*node+2])
+}
+
+// Max returns the maximum value over [lo, hi). Max over an empty range is 0.
+func (s *SegTree) Max(lo, hi int) int64 {
+	if lo < 0 || hi > s.n || lo > hi {
+		panic("intervals: Max range out of bounds")
+	}
+	if lo == hi {
+		return 0
+	}
+	return s.query(0, 0, s.leafSpan(), lo, hi)
+}
+
+func (s *SegTree) query(node, nodeLo, nodeHi, lo, hi int) int64 {
+	if lo <= nodeLo && nodeHi <= hi {
+		return s.mx[node]
+	}
+	s.push(node)
+	mid := (nodeLo + nodeHi) / 2
+	if hi <= mid {
+		return s.query(2*node+1, nodeLo, mid, lo, hi)
+	}
+	if lo >= mid {
+		return s.query(2*node+2, mid, nodeHi, lo, hi)
+	}
+	return max64(s.query(2*node+1, nodeLo, mid, lo, hi), s.query(2*node+2, mid, nodeHi, lo, hi))
+}
+
+// Get returns the value at a single position.
+func (s *SegTree) Get(i int) int64 { return s.Max(i, i+1) }
+
+// Snapshot returns all position values as a slice (for tests/diagnostics).
+func (s *SegTree) Snapshot() []int64 {
+	out := make([]int64, s.n)
+	for i := range out {
+		out[i] = s.Get(i)
+	}
+	return out
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

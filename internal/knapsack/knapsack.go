@@ -1,0 +1,163 @@
+// Package knapsack provides exact and approximate solvers for the 0/1
+// knapsack problem. The ring algorithm (Section 7 of the paper, Lemma 18)
+// stacks all tasks routed through the cut edge bottom-up, which is exactly a
+// knapsack on (demand, weight) with capacity equal to the minimum edge
+// capacity; the paper calls an FPTAS there, and so do we.
+package knapsack
+
+import "sort"
+
+// Item is a knapsack item with a size and a profit.
+type Item struct {
+	Size   int64
+	Profit int64
+}
+
+// SolveExact computes the optimal 0/1 knapsack selection by dynamic
+// programming over profits, which keeps the table small when the total
+// profit is moderate: time O(n · P), where P is the total profit. It returns
+// the chosen item indices (ascending) and the optimal profit. Items with
+// Size > capacity are never chosen; items with non-positive profit are
+// ignored.
+func SolveExact(items []Item, capacity int64) (chosen []int, profit int64) {
+	var totalProfit int64
+	for _, it := range items {
+		if it.Profit > 0 && it.Size <= capacity {
+			totalProfit += it.Profit
+		}
+	}
+	if totalProfit == 0 {
+		return nil, 0
+	}
+	const inf = int64(1) << 62
+	// minSize[p] = minimal total size achieving profit exactly p.
+	minSize := make([]int64, totalProfit+1)
+	for p := int64(1); p <= totalProfit; p++ {
+		minSize[p] = inf
+	}
+	// take records, per item, the profit levels whose optimum was improved
+	// by that item at the time it was processed. Reconstructing backwards
+	// over items (last to first) against this record is exact, unlike
+	// predecessor pointers which later items can corrupt.
+	words := int(totalProfit/64) + 1
+	take := make([][]uint64, len(items))
+	for i, it := range items {
+		if it.Profit <= 0 || it.Size > capacity {
+			continue
+		}
+		row := make([]uint64, words)
+		for p := totalProfit; p >= it.Profit; p-- {
+			if minSize[p-it.Profit] == inf {
+				continue
+			}
+			if s := minSize[p-it.Profit] + it.Size; s < minSize[p] {
+				minSize[p] = s
+				row[p/64] |= 1 << (uint(p) % 64)
+			}
+		}
+		take[i] = row
+	}
+	best := int64(0)
+	for p := totalProfit; p > 0; p-- {
+		if minSize[p] <= capacity {
+			best = p
+			break
+		}
+	}
+	// Reconstruct: walk items in reverse; item i was the last item able to
+	// improve level p, so if its bit is set at the current level it is part
+	// of an optimal witness for that level.
+	p := best
+	for i := len(items) - 1; i >= 0 && p > 0; i-- {
+		if take[i] == nil {
+			continue
+		}
+		if take[i][p/64]&(1<<(uint(p)%64)) != 0 {
+			chosen = append(chosen, i)
+			p -= items[i].Profit
+		}
+	}
+	sort.Ints(chosen)
+	return chosen, best
+}
+
+// SolveFPTAS computes a (1+eps)-approximate 0/1 knapsack selection by the
+// classic profit-scaling FPTAS: profits are scaled down by K = eps·Pmax/n,
+// the scaled instance is solved exactly, and the selection is returned with
+// its true profit. eps must be positive. The returned profit is at least
+// OPT/(1+eps).
+func SolveFPTAS(items []Item, capacity int64, eps float64) (chosen []int, profit int64) {
+	if eps <= 0 {
+		panic("knapsack: eps must be positive")
+	}
+	n := len(items)
+	if n == 0 {
+		return nil, 0
+	}
+	var pmax int64
+	for _, it := range items {
+		if it.Size <= capacity && it.Profit > pmax {
+			pmax = it.Profit
+		}
+	}
+	if pmax == 0 {
+		return nil, 0
+	}
+	k := eps * float64(pmax) / float64(n)
+	if k < 1 {
+		k = 1
+	}
+	scaled := make([]Item, n)
+	for i, it := range items {
+		scaled[i] = Item{Size: it.Size, Profit: int64(float64(it.Profit) / k)}
+	}
+	chosen, _ = SolveExact(scaled, capacity)
+	for _, i := range chosen {
+		profit += items[i].Profit
+	}
+	return chosen, profit
+}
+
+// Greedy computes the classic density-greedy + best-single-item
+// 2-approximation; it is used as a cheap baseline in benchmarks.
+func Greedy(items []Item, capacity int64) (chosen []int, profit int64) {
+	order := make([]int, 0, len(items))
+	for i, it := range items {
+		if it.Size <= capacity && it.Profit > 0 {
+			order = append(order, i)
+		}
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ia, ib := items[order[a]], items[order[b]]
+		// profit/size descending; exact integer comparison.
+		l := ia.Profit * ib.Size
+		r := ib.Profit * ia.Size
+		if l != r {
+			return l > r
+		}
+		return order[a] < order[b]
+	})
+	var used int64
+	var packProfit int64
+	var pack []int
+	for _, i := range order {
+		if used+items[i].Size <= capacity {
+			used += items[i].Size
+			packProfit += items[i].Profit
+			pack = append(pack, i)
+		}
+	}
+	bestSingle := -1
+	var bestSingleProfit int64
+	for _, i := range order {
+		if items[i].Profit > bestSingleProfit {
+			bestSingleProfit = items[i].Profit
+			bestSingle = i
+		}
+	}
+	if bestSingleProfit > packProfit {
+		return []int{bestSingle}, bestSingleProfit
+	}
+	sort.Ints(pack)
+	return pack, packProfit
+}

@@ -1,0 +1,159 @@
+package knapsack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func bruteForce(items []Item, capacity int64) int64 {
+	var best int64
+	n := len(items)
+	for mask := 0; mask < 1<<n; mask++ {
+		var size, profit int64
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				size += items[i].Size
+				profit += items[i].Profit
+			}
+		}
+		if size <= capacity && profit > best {
+			best = profit
+		}
+	}
+	return best
+}
+
+func verifySelection(t *testing.T, items []Item, capacity int64, chosen []int, profit int64) {
+	t.Helper()
+	var size, sum int64
+	seen := map[int]bool{}
+	for _, i := range chosen {
+		if i < 0 || i >= len(items) {
+			t.Fatalf("chosen index %d out of range", i)
+		}
+		if seen[i] {
+			t.Fatalf("index %d chosen twice", i)
+		}
+		seen[i] = true
+		size += items[i].Size
+		sum += items[i].Profit
+	}
+	if size > capacity {
+		t.Fatalf("selection size %d exceeds capacity %d", size, capacity)
+	}
+	if sum != profit {
+		t.Fatalf("reported profit %d != recomputed %d", profit, sum)
+	}
+}
+
+func TestSolveExactSmall(t *testing.T) {
+	items := []Item{{Size: 3, Profit: 4}, {Size: 4, Profit: 5}, {Size: 2, Profit: 3}}
+	chosen, profit := SolveExact(items, 6)
+	verifySelection(t, items, 6, chosen, profit)
+	if profit != 8 { // items 1+2: size 6, profit 8
+		t.Errorf("profit = %d, want 8", profit)
+	}
+}
+
+func TestSolveExactEdgeCases(t *testing.T) {
+	if _, p := SolveExact(nil, 10); p != 0 {
+		t.Errorf("empty items profit = %d", p)
+	}
+	items := []Item{{Size: 11, Profit: 100}, {Size: 1, Profit: 0}}
+	chosen, p := SolveExact(items, 10)
+	if p != 0 || len(chosen) != 0 {
+		t.Errorf("oversized/zero-profit items selected: %v %d", chosen, p)
+	}
+}
+
+func TestSolveExactMatchesBruteForce(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(10)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{Size: 1 + r.Int63n(15), Profit: r.Int63n(20)}
+		}
+		capacity := 1 + r.Int63n(40)
+		chosen, profit := SolveExact(items, capacity)
+		var size int64
+		for _, i := range chosen {
+			size += items[i].Size
+		}
+		if size > capacity {
+			return false
+		}
+		return profit == bruteForce(items, capacity)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveFPTASGuarantee(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + r.Intn(10)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{Size: 1 + r.Int63n(15), Profit: r.Int63n(50)}
+		}
+		capacity := 1 + r.Int63n(40)
+		opt := bruteForce(items, capacity)
+		for _, eps := range []float64{0.1, 0.5, 1.0} {
+			chosen, profit := SolveFPTAS(items, capacity, eps)
+			verifySelection(t, items, capacity, chosen, profit)
+			if float64(profit)*(1+eps) < float64(opt)-1e-9 {
+				t.Fatalf("trial %d eps %g: profit %d below OPT/(1+eps), OPT=%d", trial, eps, profit, opt)
+			}
+		}
+	}
+}
+
+func TestSolveFPTASPanicsOnBadEps(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("expected panic for eps=0")
+		}
+	}()
+	SolveFPTAS([]Item{{1, 1}}, 1, 0)
+}
+
+func TestSolveFPTASEmpty(t *testing.T) {
+	if _, p := SolveFPTAS(nil, 5, 0.5); p != 0 {
+		t.Errorf("empty FPTAS profit = %d", p)
+	}
+	if _, p := SolveFPTAS([]Item{{Size: 9, Profit: 5}}, 5, 0.5); p != 0 {
+		t.Errorf("all-oversized FPTAS profit = %d", p)
+	}
+}
+
+func TestGreedyGuarantee(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 80; trial++ {
+		n := 1 + r.Intn(10)
+		items := make([]Item, n)
+		for i := range items {
+			items[i] = Item{Size: 1 + r.Int63n(15), Profit: r.Int63n(50)}
+		}
+		capacity := 1 + r.Int63n(40)
+		opt := bruteForce(items, capacity)
+		chosen, profit := Greedy(items, capacity)
+		verifySelection(t, items, capacity, chosen, profit)
+		if 2*profit < opt {
+			t.Fatalf("trial %d: greedy %d below OPT/2 (OPT=%d)", trial, profit, opt)
+		}
+	}
+}
+
+func TestGreedyPrefersSingleHugeItem(t *testing.T) {
+	items := []Item{
+		{Size: 1, Profit: 2},   // density 2
+		{Size: 10, Profit: 11}, // density 1.1 but huge profit
+	}
+	_, profit := Greedy(items, 10)
+	if profit != 11 {
+		t.Errorf("greedy profit = %d, want 11 (best single item)", profit)
+	}
+}

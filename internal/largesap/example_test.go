@@ -1,0 +1,31 @@
+package largesap_test
+
+import (
+	"fmt"
+
+	"sapalloc/internal/gen"
+	"sapalloc/internal/largesap"
+)
+
+// ExampleSmallestLastColoring reproduces the Figure 8 computation: the
+// five-cycle rectangle family needs 2k−1 = 3 colors and has degeneracy
+// 2k−2 = 2, witnessing that Lemma 17 is tight for k = 2.
+func ExampleSmallestLastColoring() {
+	rects := largesap.RectanglesOf(gen.Fig8())
+	_, colors, degeneracy := largesap.SmallestLastColoring(rects)
+	fmt.Println("colors:", colors)
+	fmt.Println("degeneracy:", degeneracy)
+	// Output:
+	// colors: 3
+	// degeneracy: 2
+}
+
+// ExampleRectangleOf shows the Fig. 7 reduction: R(j) hangs from the
+// task's bottleneck capacity.
+func ExampleRectangleOf() {
+	in := gen.Fig8()
+	r := largesap.RectangleOf(in, in.Tasks[4]) // task 5, spans the whole path
+	fmt.Printf("R(j) = [%d,%d) x [%d,%d]\n", r.Task.Start, r.Task.End, r.Bottom, r.Top)
+	// Output:
+	// R(j) = [0,9) x [4,10]
+}

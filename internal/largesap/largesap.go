@@ -1,0 +1,399 @@
+// Package largesap implements Section 6 of the paper: the (2k−1)-
+// approximation for 1/k-large SAP instances.
+//
+// Every task j is mapped to the fixed rectangle
+//
+//	R(j) = [s_j, t_j) × [ℓ(j), b(j)),   ℓ(j) = b(j) − d_j,
+//
+// the rectangle induced by assigning j its residual height (Fig. 7). A set
+// of pairwise non-intersecting rectangles is immediately a feasible SAP
+// solution, so a maximum-weight independent set of R(J) is the paper's
+// algorithm for large tasks (Theorem 7 computes it exactly; here a
+// path-decomposition dynamic program over the edges, exact as well, plays
+// that role, with a branch-and-bound fallback when the state space
+// explodes). The (2k−1) guarantee follows from Lemma 16/17 — any feasible
+// 1/k-large SAP solution has a (2k−2)-degenerate rectangle graph — which
+// this package also implements (smallest-last coloring) so the experiments
+// can verify the bound empirically.
+package largesap
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"sapalloc/internal/model"
+)
+
+// Rect is the fixed rectangle R(j) = [s_j, t_j) × [ℓ(j), b(j)] of a task.
+// Following the paper, the horizontal extent is the half-open edge interval
+// while the vertical extent is closed: two rectangles that merely touch
+// vertically DO intersect (their tasks occupy adjacent storage bands).
+type Rect struct {
+	Task   model.Task
+	Bottom int64 // ℓ(j) = b(j) − d_j
+	Top    int64 // b(j)
+}
+
+// Intersects reports whether two rectangles intersect: horizontal edge
+// intervals overlap (half-open) and the closed vertical intervals
+// [Bottom, Top] intersect.
+func (r Rect) Intersects(o Rect) bool {
+	return r.Task.Overlaps(o.Task) && r.Bottom <= o.Top && o.Bottom <= r.Top
+}
+
+// RectangleOf computes R(j) for task t in the given instance.
+func RectangleOf(in *model.Instance, t model.Task) Rect {
+	b := in.Bottleneck(t)
+	return Rect{Task: t, Bottom: b - t.Demand, Top: b}
+}
+
+// RectanglesOf computes R(j) for every task of the instance. Tasks whose
+// demand exceeds their bottleneck can never be scheduled and are skipped.
+func RectanglesOf(in *model.Instance) []Rect {
+	out := make([]Rect, 0, len(in.Tasks))
+	for _, t := range in.Tasks {
+		r := RectangleOf(in, t)
+		if r.Bottom < 0 {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// Options bounds the exact independent-set computation.
+type Options struct {
+	// MaxStates caps the number of DP states per edge before falling back
+	// to branch and bound (0 = 200000).
+	MaxStates int
+	// MaxNodes caps the fallback branch-and-bound nodes (0 = 20 million).
+	MaxNodes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxStates == 0 {
+		o.MaxStates = 200_000
+	}
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 20_000_000
+	}
+	return o
+}
+
+// ErrBudget is returned when both the DP state cap and the fallback node
+// budget are exhausted; the incumbent solution is still returned.
+var ErrBudget = errors.New("largesap: search budget exhausted")
+
+// Solve runs the large-task algorithm: exact maximum-weight independent set
+// of the rectangle family, returned directly as a SAP solution with
+// h(j) = ℓ(j). It is exact for the rectangle packing, and hence a
+// (2k−1)-approximation for any 1/k-large instance by Theorem 3 of the
+// paper.
+func Solve(in *model.Instance, opts Options) (*model.Solution, error) {
+	opts = opts.withDefaults()
+	rects := RectanglesOf(in)
+	chosen, err := MaxWeightIndependentSet(rects, in.Edges(), opts)
+	sol := &model.Solution{}
+	for _, i := range chosen {
+		sol.Items = append(sol.Items, model.Placement{Task: rects[i].Task, Height: rects[i].Bottom})
+	}
+	return sol, err
+}
+
+// MaxWeightIndependentSet computes an exact maximum-weight independent set
+// of the rectangle family by a left-to-right dynamic program whose states
+// are the pairwise-disjoint subsets of rectangles crossing each edge. The
+// state space is output-sensitive: for 1/k-large families few rectangles
+// can cross an edge disjointly (Lemma 16), so states stay small. If the cap
+// is exceeded the exact branch-and-bound fallback finishes the job. Indices
+// into rects are returned.
+func MaxWeightIndependentSet(rects []Rect, edges int, opts Options) ([]int, error) {
+	opts = opts.withDefaults()
+	n := len(rects)
+	if n == 0 {
+		return nil, nil
+	}
+	if n > 64 {
+		return mwisBranchBound(rects, opts)
+	}
+	chosen, ok := mwisPathDP(rects, edges, opts.MaxStates)
+	if ok {
+		return chosen, nil
+	}
+	return mwisBranchBound(rects, opts)
+}
+
+// mwisPathDP is the path-decomposition DP. Returns ok=false if the state
+// cap was exceeded.
+func mwisPathDP(rects []Rect, edges int, maxStates int) ([]int, bool) {
+	n := len(rects)
+	startAt := make([][]int, edges)
+	for i, r := range rects {
+		startAt[r.Task.Start] = append(startAt[r.Task.Start], i)
+	}
+	conflict := make([][]bool, n)
+	for i := range conflict {
+		conflict[i] = make([]bool, n)
+		for j := range conflict[i] {
+			if i != j {
+				conflict[i][j] = rects[i].Intersects(rects[j])
+			}
+		}
+	}
+	type entry struct {
+		weight   int64
+		prevMask uint64 // state at the previous edge this one came from
+		added    uint64 // rectangles added at this edge
+	}
+	// trace[e] records the best entry per state mask at edge e.
+	trace := make([]map[uint64]entry, edges)
+	cur := map[uint64]entry{0: {}}
+	for e := 0; e < edges; e++ {
+		next := make(map[uint64]entry, len(cur))
+		for mask, ent := range cur {
+			// Rectangles leaving after edge e-1 (End == e) are dropped.
+			kept := mask
+			if e > 0 {
+				for m := mask; m != 0; m &= m - 1 {
+					i := tz(m)
+					if rects[i].Task.End == e {
+						kept &^= 1 << uint(i)
+					}
+				}
+			}
+			// Enumerate disjoint subsets of rectangles starting at e that
+			// are compatible with kept.
+			var starters []int
+			for _, i := range startAt[e] {
+				okToAdd := true
+				for m := kept; m != 0; m &= m - 1 {
+					if conflict[i][tz(m)] {
+						okToAdd = false
+						break
+					}
+				}
+				if okToAdd {
+					starters = append(starters, i)
+				}
+			}
+			var extend func(idx int, added uint64, addW int64)
+			extend = func(idx int, added uint64, addW int64) {
+				if idx == len(starters) {
+					newMask := kept | added
+					w := ent.weight + addW
+					if old, exists := next[newMask]; !exists || w > old.weight {
+						next[newMask] = entry{weight: w, prevMask: mask, added: added}
+					}
+					return
+				}
+				// Skip starter idx.
+				extend(idx+1, added, addW)
+				// Take starter idx if disjoint from added so far.
+				i := starters[idx]
+				for m := added; m != 0; m &= m - 1 {
+					if conflict[i][tz(m)] {
+						return // cannot take; but siblings after skip are done
+					}
+				}
+				extend(idx+1, added|1<<uint(i), addW+rects[i].Task.Weight)
+			}
+			extend(0, 0, 0)
+			if len(next) > maxStates {
+				return nil, false
+			}
+		}
+		trace[e] = next
+		cur = next
+	}
+	// Best final state.
+	var bestMask uint64
+	var bestW int64 = -1
+	for mask, ent := range cur {
+		if ent.weight > bestW {
+			bestW = ent.weight
+			bestMask = mask
+		}
+	}
+	// Reconstruct.
+	var chosenMask uint64
+	mask := bestMask
+	for e := edges - 1; e >= 0; e-- {
+		ent := trace[e][mask]
+		chosenMask |= ent.added
+		mask = ent.prevMask
+	}
+	var chosen []int
+	for m := chosenMask; m != 0; m &= m - 1 {
+		chosen = append(chosen, tz(m))
+	}
+	sort.Ints(chosen)
+	return chosen, true
+}
+
+// mwisBranchBound is an exact include/exclude search over rectangles sorted
+// by weight, with suffix-weight pruning.
+func mwisBranchBound(rects []Rect, opts Options) ([]int, error) {
+	n := len(rects)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return rects[order[a]].Task.Weight > rects[order[b]].Task.Weight })
+	suffix := make([]int64, n+1)
+	for i := n - 1; i >= 0; i-- {
+		suffix[i] = suffix[i+1] + rects[order[i]].Task.Weight
+	}
+	conflict := func(i, j int) bool { return rects[i].Intersects(rects[j]) }
+	var best int64 = -1
+	var bestSet []int
+	var cur []int
+	var nodes int64
+	exhausted := false
+	var rec func(k int, w int64)
+	rec = func(k int, w int64) {
+		nodes++
+		if nodes > opts.MaxNodes {
+			exhausted = true
+			return
+		}
+		if w > best {
+			best = w
+			bestSet = append(bestSet[:0], cur...)
+		}
+		if k == n || w+suffix[k] <= best {
+			return
+		}
+		i := order[k]
+		ok := true
+		for _, j := range cur {
+			if conflict(i, j) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			cur = append(cur, i)
+			rec(k+1, w+rects[i].Task.Weight)
+			cur = cur[:len(cur)-1]
+		}
+		if exhausted {
+			return
+		}
+		rec(k+1, w)
+	}
+	rec(0, 0)
+	out := append([]int(nil), bestSet...)
+	sort.Ints(out)
+	if exhausted {
+		return out, fmt.Errorf("%w: %d nodes", ErrBudget, nodes)
+	}
+	return out, nil
+}
+
+func tz(m uint64) int {
+	n := 0
+	for m&1 == 0 {
+		m >>= 1
+		n++
+	}
+	return n
+}
+
+// SmallestLastColoring colors the rectangle intersection graph by the
+// smallest-last (degeneracy) ordering of Matula and Beck, the procedure in
+// the proof of Theorem 3. It returns the color classes (0-based per rect),
+// the number of colors used, and the graph's degeneracy. For the rectangle
+// family of any feasible 1/k-large SAP solution, Lemma 17 guarantees
+// degeneracy ≤ 2k−2 and hence at most 2k−1 colors.
+func SmallestLastColoring(rects []Rect) (colors []int, numColors, degeneracy int) {
+	n := len(rects)
+	colors = make([]int, n)
+	if n == 0 {
+		return colors, 0, 0
+	}
+	adj := make([][]int, n)
+	deg := make([]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rects[i].Intersects(rects[j]) {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+				deg[i]++
+				deg[j]++
+			}
+		}
+	}
+	removed := make([]bool, n)
+	orderRev := make([]int, 0, n)
+	for len(orderRev) < n {
+		best := -1
+		for v := 0; v < n; v++ {
+			if removed[v] {
+				continue
+			}
+			if best == -1 || deg[v] < deg[best] {
+				best = v
+			}
+		}
+		if deg[best] > degeneracy {
+			degeneracy = deg[best]
+		}
+		removed[best] = true
+		orderRev = append(orderRev, best)
+		for _, u := range adj[best] {
+			if !removed[u] {
+				deg[u]--
+			}
+		}
+	}
+	// Color in reverse removal order with the smallest available color.
+	for i := range colors {
+		colors[i] = -1
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := orderRev[i]
+		used := map[int]bool{}
+		for _, u := range adj[v] {
+			if colors[u] >= 0 {
+				used[colors[u]] = true
+			}
+		}
+		c := 0
+		for used[c] {
+			c++
+		}
+		colors[v] = c
+		if c+1 > numColors {
+			numColors = c + 1
+		}
+	}
+	return colors, numColors, degeneracy
+}
+
+// BestColorClass returns the indices of the heaviest color class under the
+// smallest-last coloring — the constructive (2k−1)-factor witness used in
+// the proof of Theorem 3.
+func BestColorClass(rects []Rect) []int {
+	colors, numColors, _ := SmallestLastColoring(rects)
+	if numColors == 0 {
+		return nil
+	}
+	weights := make([]int64, numColors)
+	for i, c := range colors {
+		weights[c] += rects[i].Task.Weight
+	}
+	best := 0
+	for c := 1; c < numColors; c++ {
+		if weights[c] > weights[best] {
+			best = c
+		}
+	}
+	var out []int
+	for i, c := range colors {
+		if c == best {
+			out = append(out, i)
+		}
+	}
+	return out
+}

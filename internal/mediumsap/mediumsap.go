@@ -1,0 +1,245 @@
+// Package mediumsap implements Section 5 of the paper: the (2+ε)-
+// approximation for medium (δ-large and (1−2β)-small) SAP instances.
+//
+// Algorithm AlmostUniform partitions the tasks into "almost uniform"
+// classes J^{k,ℓ} = { j : 2^k ≤ b(j) < 2^{k+ℓ} }, obtains a β-elevated
+// 2-approximate solution for every class via Elevator — an optimal solution
+// (Lemma 13) split into two β-elevated halves (Lemma 14), keeping the
+// heavier (Lemma 15) — and stacks the classes of every residue
+// r mod (ℓ+q), q = ⌈log2(1/β)⌉, which Lemma 8 shows is feasible. The best
+// residue is a (1+ε)·2-approximation (Lemmas 9 and 10).
+//
+// Where the paper's Lemma 13 uses a dynamic program over edges whose states
+// are the O(n^{L²}) proper (set, height) pairs, this library computes the
+// per-class optimum with the exact branch-and-bound of internal/exact,
+// which is exact by the same Observation 11 the DP rests on and is fast on
+// δ-large classes precisely because at most 2^ℓ/δ tasks fit on an edge
+// (Lemma 12 (i)); DESIGN.md records the substitution.
+package mediumsap
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sapalloc/internal/exact"
+	"sapalloc/internal/model"
+	"sapalloc/internal/par"
+)
+
+// Params configures Algorithm AlmostUniform.
+type Params struct {
+	// Eps is the ε of Theorem 2; it determines ℓ = ⌈q/ε⌉. Must be > 0.
+	Eps float64
+	// BetaNum/BetaDen is β ∈ (0, ½). Medium tasks must be (1−2β)-small for
+	// the elevation of Lemma 14 to be feasible. The paper's Theorem 4 uses
+	// β = ¼.
+	BetaNum, BetaDen int64
+	// Exact configures the per-class exact solver.
+	Exact exact.Options
+	// Workers bounds the number of classes solved concurrently
+	// (0 ⇒ GOMAXPROCS). Classes are independent, so the result is
+	// identical to the sequential run.
+	Workers int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Eps <= 0 {
+		p.Eps = 0.5
+	}
+	if p.BetaNum == 0 || p.BetaDen == 0 {
+		p.BetaNum, p.BetaDen = 1, 4
+	}
+	if p.Exact.MaxNodes == 0 {
+		// Large classes can make the exact per-class search expensive; the
+		// budget caps it, and Elevator falls back to the feasible incumbent
+		// when the budget is exhausted (see Elevator).
+		p.Exact.MaxNodes = 500_000
+	}
+	return p
+}
+
+// q returns ⌈log2(BetaDen/BetaNum)⌉ = ⌈log2(1/β)⌉.
+func (p Params) q() int {
+	q := 0
+	// Smallest q with 2^q ≥ den/num, i.e. num·2^q ≥ den.
+	v := p.BetaNum
+	for v < p.BetaDen {
+		v *= 2
+		q++
+	}
+	return q
+}
+
+// ell returns ℓ = ⌈q/ε⌉ (at least 1).
+func (p Params) ell() int {
+	l := int(math.Ceil(float64(p.q()) / p.Eps))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// Result carries the returned solution plus framework diagnostics.
+type Result struct {
+	Solution *model.Solution
+	// Classes maps each k ∈ K to the weight of its elevated class solution.
+	Classes map[int]int64
+	// Residue is the winning r*, Ell and Q the framework parameters.
+	Residue, Ell, Q int
+}
+
+// Solve runs Algorithm AlmostUniform on the instance. Tasks are expected to
+// be (1−2β)-small (use core.Partition to select them); δ-largeness affects
+// only running time. The returned solution is feasible for the instance.
+func Solve(in *model.Instance, p Params) (*Result, error) {
+	p = p.withDefaults()
+	if 2*p.BetaNum >= p.BetaDen {
+		return nil, fmt.Errorf("mediumsap: β = %d/%d is not in (0, 1/2)", p.BetaNum, p.BetaDen)
+	}
+	q := p.q()
+	ell := p.ell()
+	res := &Result{Classes: map[int]int64{}, Ell: ell, Q: q}
+	if len(in.Tasks) == 0 {
+		res.Solution = &model.Solution{}
+		return res, nil
+	}
+
+	// Assign every task to its ℓ classes: k with 2^k ≤ b(j) < 2^{k+ℓ}, i.e.
+	// k ∈ { floor(log2 b) − ℓ + 1, …, floor(log2 b) }, clamped at 0 (b ≥ 1).
+	classTasks := map[int][]model.Task{}
+	for _, t := range in.Tasks {
+		b := in.Bottleneck(t)
+		top := floorLog2(b)
+		for k := top - ell + 1; k <= top; k++ {
+			classTasks[k] = append(classTasks[k], t)
+		}
+	}
+	ks := make([]int, 0, len(classTasks))
+	for k := range classTasks {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+
+	// Per class: elevated 2-approximate solutions, solved concurrently —
+	// the classes are independent sub-instances.
+	sols, err := par.Map(len(ks), p.Workers, func(i int) (*model.Solution, error) {
+		k := ks[i]
+		sol, err := Elevator(in, classTasks[k], k, ell, p)
+		if err != nil {
+			return nil, fmt.Errorf("mediumsap: class k=%d: %w", k, err)
+		}
+		return sol, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	classSols := map[int]*model.Solution{}
+	for i, k := range ks {
+		classSols[k] = sols[i]
+		res.Classes[k] = sols[i].Weight()
+	}
+
+	// Residue classes K(r) = K ∩ { r + i(ℓ+q) }.
+	period := ell + q
+	var best *model.Solution
+	bestR := 0
+	for r := 0; r < period; r++ {
+		merged := &model.Solution{}
+		for _, k := range ks {
+			if ((k-r)%period+period)%period == 0 {
+				merged.Merge(classSols[k].Clone())
+			}
+		}
+		if best == nil || merged.Weight() > best.Weight() {
+			best = merged
+			bestR = r
+		}
+	}
+	res.Solution = best.SortByID()
+	res.Residue = bestR
+	return res, nil
+}
+
+// Elevator computes a β-elevated 2-approximate SAP solution for the class
+// J^{k,ℓ} (Lemma 15): it clips the capacities to min(c_e, 2^{k+ℓ})
+// (Observation 7 makes this lossless), solves the class exactly, partitions
+// the optimum into two β-elevated solutions (Lemma 14) and returns the
+// heavier.
+func Elevator(in *model.Instance, tasks []model.Task, k, ell int, p Params) (*model.Solution, error) {
+	p = p.withDefaults()
+	classIn := in.Restrict(tasks)
+	if k+ell >= 0 && k+ell < 62 {
+		classIn = classIn.ClipCapacities(int64(1) << uint(k+ell))
+	}
+	opt, err := exact.SolveSAP(classIn, p.Exact)
+	if errors.Is(err, exact.ErrBudget) {
+		// The class was too large to prove optimality within the node
+		// budget; the incumbent is still feasible, so the pipeline degrades
+		// gracefully from the proven 2-approximation to a best-effort
+		// solution (the experiment harness reports measured ratios either
+		// way). This mirrors the paper's reliance on a DP whose exponent
+		// L² makes it polynomial only for constant δ and ℓ.
+		err = nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	lo, hi := ElevatePartition(opt, k, p.BetaNum, p.BetaDen)
+	if lo.Weight() >= hi.Weight() {
+		return lo, nil
+	}
+	return hi, nil
+}
+
+// ElevatePartition splits a feasible class solution into two β-elevated
+// solutions per Lemma 14 (Fig. 6 of the paper): tasks with h(j) < β·2^k are
+// lifted by ⌈β·2^k⌉ (feasible because the tasks are (1−2β)-small and every
+// class edge has capacity ≥ 2^k by Observation 6); the rest keep their
+// heights. Both returned solutions are β-elevated with respect to k.
+func ElevatePartition(sol *model.Solution, k int, betaNum, betaDen int64) (lifted, kept *model.Solution) {
+	lifted = &model.Solution{}
+	kept = &model.Solution{}
+	num, den := lambda(k, betaNum, betaDen)
+	ceilLam := (num + den - 1) / den
+	for _, pl := range sol.Items {
+		if pl.Height*den < num {
+			pl.Height += ceilLam
+			lifted.Items = append(lifted.Items, pl)
+		} else {
+			kept.Items = append(kept.Items, pl)
+		}
+	}
+	return lifted, kept
+}
+
+// lambda returns λ = β·2^k as the exact rational num/den, valid for
+// negative k as well.
+func lambda(k int, betaNum, betaDen int64) (num, den int64) {
+	if k >= 0 {
+		return betaNum << uint(k), betaDen
+	}
+	return betaNum, betaDen << uint(-k)
+}
+
+// IsElevated reports whether every placement satisfies h(j) ≥ β·2^k.
+func IsElevated(sol *model.Solution, k int, betaNum, betaDen int64) bool {
+	num, den := lambda(k, betaNum, betaDen)
+	for _, pl := range sol.Items {
+		if pl.Height*den < num {
+			return false
+		}
+	}
+	return true
+}
+
+// floorLog2 returns ⌊log2 v⌋ for v ≥ 1.
+func floorLog2(v int64) int {
+	l := -1
+	for v > 0 {
+		v >>= 1
+		l++
+	}
+	return l
+}

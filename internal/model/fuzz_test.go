@@ -1,0 +1,93 @@
+package model
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadInstanceJSON hardens the decoder: arbitrary bytes must never
+// panic, and anything accepted must validate and survive a round trip.
+func FuzzReadInstanceJSON(f *testing.F) {
+	var seed bytes.Buffer
+	if err := (&Instance{
+		Capacity: []int64{4, 8},
+		Tasks:    []Task{{ID: 0, Start: 0, End: 2, Demand: 2, Weight: 3}},
+	}).WriteJSON(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte(`{"kind":"path","capacity":[],"tasks":[]}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(`{"kind":"path","capacity":[0],"tasks":[]}`))
+	f.Add([]byte(`{"kind":"path","capacity":[5],"tasks":[{"id":1,"start":0,"end":9,"demand":1,"weight":1}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := ReadInstanceJSON(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if err := in.Validate(); err != nil {
+			t.Fatalf("decoder accepted an invalid instance: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := in.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := ReadInstanceJSON(&buf)
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if len(back.Tasks) != len(in.Tasks) || back.Edges() != in.Edges() {
+			t.Fatalf("round trip changed shape")
+		}
+	})
+}
+
+// FuzzValidSAP checks the validator never panics on arbitrary placements
+// and is consistent with B-packability on accepted ones.
+func FuzzValidSAP(f *testing.F) {
+	f.Add(int64(1), uint8(3), uint8(4))
+	f.Add(int64(42), uint8(1), uint8(1))
+	f.Add(int64(-7), uint8(6), uint8(20))
+	f.Fuzz(func(t *testing.T, seed int64, mRaw, nRaw uint8) {
+		m := int(mRaw%8) + 1
+		n := int(nRaw%16) + 1
+		rng := newSplitMix(uint64(seed))
+		in := &Instance{Capacity: make([]int64, m)}
+		for e := range in.Capacity {
+			in.Capacity[e] = int64(rng()%32) + 1
+		}
+		sol := &Solution{}
+		for i := 0; i < n; i++ {
+			s := int(rng() % uint64(m))
+			e := s + 1 + int(rng()%uint64(m-s))
+			tk := Task{ID: i, Start: s, End: e, Demand: int64(rng()%16) + 1, Weight: int64(rng() % 64)}
+			in.Tasks = append(in.Tasks, tk)
+			if rng()%2 == 0 {
+				sol.Items = append(sol.Items, Placement{Task: tk, Height: int64(rng()%24) - 2})
+			}
+		}
+		err := ValidSAP(in, sol)
+		if err == nil {
+			// Accepted solutions must satisfy the makespan bound on every
+			// edge they use.
+			mu := sol.Makespan(m)
+			for e := 0; e < m; e++ {
+				if mu[e] > in.Capacity[e] {
+					t.Fatalf("validator accepted makespan %d > cap %d at edge %d", mu[e], in.Capacity[e], e)
+				}
+			}
+		}
+	})
+}
+
+// newSplitMix is a tiny deterministic RNG for fuzz bodies (avoids pulling
+// math/rand state into the corpus semantics).
+func newSplitMix(state uint64) func() uint64 {
+	return func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+}

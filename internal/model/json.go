@@ -1,0 +1,129 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// instanceJSON is the on-disk representation of a path instance.
+type instanceJSON struct {
+	Kind     string     `json:"kind"` // "path"
+	Capacity []int64    `json:"capacity"`
+	Tasks    []taskJSON `json:"tasks"`
+}
+
+type taskJSON struct {
+	ID     int   `json:"id"`
+	Start  int   `json:"start"`
+	End    int   `json:"end"`
+	Demand int64 `json:"demand"`
+	Weight int64 `json:"weight"`
+}
+
+type ringJSON struct {
+	Kind     string     `json:"kind"` // "ring"
+	Capacity []int64    `json:"capacity"`
+	Tasks    []taskJSON `json:"tasks"`
+}
+
+// WriteJSON serialises the instance in the library's interchange format.
+func (in *Instance) WriteJSON(w io.Writer) error {
+	doc := instanceJSON{Kind: "path", Capacity: in.Capacity}
+	for _, t := range in.Tasks {
+		doc.Tasks = append(doc.Tasks, taskJSON{ID: t.ID, Start: t.Start, End: t.End, Demand: t.Demand, Weight: t.Weight})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadInstanceJSON parses a path instance written by WriteJSON and validates
+// it.
+func ReadInstanceJSON(r io.Reader) (*Instance, error) {
+	var doc instanceJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decode instance: %w", err)
+	}
+	if doc.Kind != "" && doc.Kind != "path" {
+		return nil, fmt.Errorf("decode instance: kind %q is not a path instance", doc.Kind)
+	}
+	in := &Instance{Capacity: doc.Capacity}
+	for _, t := range doc.Tasks {
+		in.Tasks = append(in.Tasks, Task{ID: t.ID, Start: t.Start, End: t.End, Demand: t.Demand, Weight: t.Weight})
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("decode instance: %w", err)
+	}
+	return in, nil
+}
+
+// WriteJSON serialises the ring instance.
+func (r *RingInstance) WriteJSON(w io.Writer) error {
+	doc := ringJSON{Kind: "ring", Capacity: r.Capacity}
+	for _, t := range r.Tasks {
+		doc.Tasks = append(doc.Tasks, taskJSON{ID: t.ID, Start: t.Start, End: t.End, Demand: t.Demand, Weight: t.Weight})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadRingJSON parses a ring instance written by RingInstance.WriteJSON and
+// validates it.
+func ReadRingJSON(rd io.Reader) (*RingInstance, error) {
+	var doc ringJSON
+	if err := json.NewDecoder(rd).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decode ring instance: %w", err)
+	}
+	if doc.Kind != "ring" {
+		return nil, fmt.Errorf("decode ring instance: kind %q is not a ring instance", doc.Kind)
+	}
+	r := &RingInstance{Capacity: doc.Capacity}
+	for _, t := range doc.Tasks {
+		r.Tasks = append(r.Tasks, RingTask{ID: t.ID, Start: t.Start, End: t.End, Demand: t.Demand, Weight: t.Weight})
+	}
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("decode ring instance: %w", err)
+	}
+	return r, nil
+}
+
+// solutionJSON is the on-disk representation of a SAP solution.
+type solutionJSON struct {
+	Items []placementJSON `json:"items"`
+}
+
+type placementJSON struct {
+	TaskID int   `json:"task_id"`
+	Height int64 `json:"height"`
+}
+
+// WriteJSON serialises the solution as (task id, height) pairs.
+func (s *Solution) WriteJSON(w io.Writer) error {
+	var doc solutionJSON
+	for _, p := range s.Items {
+		doc.Items = append(doc.Items, placementJSON{TaskID: p.Task.ID, Height: p.Height})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadSolutionJSON parses a solution written by Solution.WriteJSON, binding
+// task IDs to the tasks of the given instance.
+func ReadSolutionJSON(r io.Reader, in *Instance) (*Solution, error) {
+	var doc solutionJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decode solution: %w", err)
+	}
+	s := &Solution{}
+	for _, p := range doc.Items {
+		t, ok := in.TaskByID(p.TaskID)
+		if !ok {
+			return nil, fmt.Errorf("decode solution: task id %d not in instance", p.TaskID)
+		}
+		s.Items = append(s.Items, Placement{Task: t, Height: p.Height})
+	}
+	return s, nil
+}

@@ -1,0 +1,467 @@
+// Package model defines the core combinatorial objects of the storage
+// allocation problem (SAP) and the unsplittable flow problem on paths
+// (UFPP): path instances, tasks, solutions with height assignments, ring
+// instances, and the validators and measures (load, makespan, bottleneck)
+// used throughout the library.
+//
+// # Conventions
+//
+// A path with m edges has vertices 0..m and edges 0..m-1; edge e connects
+// vertices e and e+1. A task with Start=s and End=t (0 <= s < t <= m) uses
+// edges s..t-1, i.e. the half-open edge interval [s, t). All demands,
+// capacities, weights and heights are int64: heights produced by the
+// algorithms in this module are sums of demands, so integer arithmetic is
+// exact and closed.
+package model
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Task is a single allocation request on the path: the half-open edge
+// interval [Start, End), a demand (rectangle height) and a weight (profit).
+type Task struct {
+	// ID is the caller-assigned identity of the task. Generators assign
+	// sequential IDs; algorithms preserve them. IDs must be unique within
+	// an Instance.
+	ID int
+	// Start and End delimit the half-open edge interval [Start, End) the
+	// task occupies. 0 <= Start < End <= m.
+	Start, End int
+	// Demand is the vertical extent the task needs on every edge it uses.
+	Demand int64
+	// Weight is the profit collected if the task is scheduled.
+	Weight int64
+}
+
+// Edges returns the number of edges the task spans.
+func (t Task) Edges() int { return t.End - t.Start }
+
+// Uses reports whether the task uses edge e.
+func (t Task) Uses(e int) bool { return t.Start <= e && e < t.End }
+
+// Overlaps reports whether the edge intervals of t and u intersect.
+func (t Task) Overlaps(u Task) bool { return t.Start < u.End && u.Start < t.End }
+
+// String renders the task compactly for diagnostics.
+func (t Task) String() string {
+	return fmt.Sprintf("task{id=%d [%d,%d) d=%d w=%d}", t.ID, t.Start, t.End, t.Demand, t.Weight)
+}
+
+// Instance is a SAP/UFPP instance on a path: per-edge capacities and a task
+// set. The zero value is an empty instance on an empty path.
+type Instance struct {
+	// Capacity holds the capacity of each edge; len(Capacity) is the number
+	// of edges m.
+	Capacity []int64
+	// Tasks is the request set J.
+	Tasks []Task
+}
+
+// Edges returns the number of edges of the underlying path.
+func (in *Instance) Edges() int { return len(in.Capacity) }
+
+// Validate checks structural well-formedness: positive demands and
+// capacities, non-negative weights, task intervals within the path, and
+// unique IDs. Algorithms in this module assume Validate passes.
+func (in *Instance) Validate() error {
+	m := in.Edges()
+	for e, c := range in.Capacity {
+		if c <= 0 {
+			return fmt.Errorf("edge %d: capacity %d is not positive", e, c)
+		}
+	}
+	seen := make(map[int]bool, len(in.Tasks))
+	for i, t := range in.Tasks {
+		if t.Start < 0 || t.End > m || t.Start >= t.End {
+			return fmt.Errorf("task %d (id %d): interval [%d,%d) outside path with %d edges", i, t.ID, t.Start, t.End, m)
+		}
+		if t.Demand <= 0 {
+			return fmt.Errorf("task %d (id %d): demand %d is not positive", i, t.ID, t.Demand)
+		}
+		if t.Weight < 0 {
+			return fmt.Errorf("task %d (id %d): weight %d is negative", i, t.ID, t.Weight)
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("task %d: duplicate id %d", i, t.ID)
+		}
+		seen[t.ID] = true
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the instance.
+func (in *Instance) Clone() *Instance {
+	out := &Instance{
+		Capacity: append([]int64(nil), in.Capacity...),
+		Tasks:    append([]Task(nil), in.Tasks...),
+	}
+	return out
+}
+
+// TaskByID returns the task with the given ID and whether it exists.
+func (in *Instance) TaskByID(id int) (Task, bool) {
+	for _, t := range in.Tasks {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return Task{}, false
+}
+
+// Bottleneck returns b(j) = min_{e in I_j} c_e for the given task, the
+// capacity of a bottleneck edge of the task.
+func (in *Instance) Bottleneck(t Task) int64 {
+	b := in.Capacity[t.Start]
+	for e := t.Start + 1; e < t.End; e++ {
+		if in.Capacity[e] < b {
+			b = in.Capacity[e]
+		}
+	}
+	return b
+}
+
+// Bottlenecks returns b(j) for every task, indexed like Tasks.
+func (in *Instance) Bottlenecks() []int64 {
+	out := make([]int64, len(in.Tasks))
+	for i, t := range in.Tasks {
+		out[i] = in.Bottleneck(t)
+	}
+	return out
+}
+
+// MinCapacity returns the minimum edge capacity of the path, or 0 for an
+// empty path.
+func (in *Instance) MinCapacity() int64 {
+	if len(in.Capacity) == 0 {
+		return 0
+	}
+	c := in.Capacity[0]
+	for _, v := range in.Capacity[1:] {
+		if v < c {
+			c = v
+		}
+	}
+	return c
+}
+
+// MaxCapacity returns the maximum edge capacity of the path, or 0 for an
+// empty path.
+func (in *Instance) MaxCapacity() int64 {
+	var c int64
+	for _, v := range in.Capacity {
+		if v > c {
+			c = v
+		}
+	}
+	return c
+}
+
+// TotalWeight returns the sum of all task weights.
+func (in *Instance) TotalWeight() int64 {
+	var w int64
+	for _, t := range in.Tasks {
+		w += t.Weight
+	}
+	return w
+}
+
+// Load returns, for each edge, the total demand of the given tasks using it:
+// d(S(e)) for every e.
+func (in *Instance) Load(tasks []Task) []int64 {
+	load := make([]int64, in.Edges())
+	for _, t := range tasks {
+		for e := t.Start; e < t.End; e++ {
+			load[e] += t.Demand
+		}
+	}
+	return load
+}
+
+// MaxLoad returns LOAD(S) = max_e d(S(e)).
+func (in *Instance) MaxLoad(tasks []Task) int64 {
+	var mx int64
+	for _, l := range in.Load(tasks) {
+		if l > mx {
+			mx = l
+		}
+	}
+	return mx
+}
+
+// IsDeltaSmall reports whether task t is δ-small, i.e. num/den ≥ d_j / b(j)
+// (d_j ≤ δ·b(j) with δ = num/den evaluated exactly in integers).
+func (in *Instance) IsDeltaSmall(t Task, num, den int64) bool {
+	// d <= (num/den)*b  <=>  d*den <= num*b
+	return t.Demand*den <= num*in.Bottleneck(t)
+}
+
+// IsDeltaLarge reports whether task t is δ-large: d_j > δ·b(j) with
+// δ = num/den.
+func (in *Instance) IsDeltaLarge(t Task, num, den int64) bool {
+	return !in.IsDeltaSmall(t, num, den)
+}
+
+// SplitDelta partitions the tasks into the δ-small and δ-large subsets for
+// δ = num/den.
+func (in *Instance) SplitDelta(num, den int64) (small, large []Task) {
+	for _, t := range in.Tasks {
+		if in.IsDeltaSmall(t, num, den) {
+			small = append(small, t)
+		} else {
+			large = append(large, t)
+		}
+	}
+	return small, large
+}
+
+// Uniform reports whether all edge capacities are equal (a SAP-U / UFPP-U
+// instance).
+func (in *Instance) Uniform() bool {
+	for _, c := range in.Capacity {
+		if c != in.Capacity[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// Restrict returns a new instance containing only the given tasks (same
+// path). The tasks must belong to the instance's path.
+func (in *Instance) Restrict(tasks []Task) *Instance {
+	return &Instance{Capacity: append([]int64(nil), in.Capacity...), Tasks: append([]Task(nil), tasks...)}
+}
+
+// ClipCapacities returns a copy of the instance whose edge capacities are
+// clipped from above to hi (capacities below hi are unchanged). Per
+// Observation 2 of the paper, for a task set whose bottlenecks are all < hi
+// this does not change the feasible SAP solutions.
+func (in *Instance) ClipCapacities(hi int64) *Instance {
+	out := in.Clone()
+	for e, c := range out.Capacity {
+		if c > hi {
+			out.Capacity[e] = hi
+		}
+	}
+	return out
+}
+
+// Placement is one scheduled task: the task itself plus its assigned height.
+type Placement struct {
+	Task   Task
+	Height int64
+}
+
+// Top returns Height + Demand, the top of the placed rectangle.
+func (p Placement) Top() int64 { return p.Height + p.Task.Demand }
+
+// Solution is a SAP solution: a set of placed tasks. A Solution with all
+// heights zero can also represent a UFPP solution (use ValidUFPP).
+type Solution struct {
+	Items []Placement
+}
+
+// NewSolution builds a solution from tasks and a parallel heights slice.
+func NewSolution(tasks []Task, heights []int64) *Solution {
+	if len(tasks) != len(heights) {
+		panic("model: tasks and heights length mismatch")
+	}
+	s := &Solution{Items: make([]Placement, len(tasks))}
+	for i := range tasks {
+		s.Items[i] = Placement{Task: tasks[i], Height: heights[i]}
+	}
+	return s
+}
+
+// Weight returns the total weight of the scheduled tasks.
+func (s *Solution) Weight() int64 {
+	var w int64
+	for _, p := range s.Items {
+		w += p.Task.Weight
+	}
+	return w
+}
+
+// Tasks returns the scheduled task set.
+func (s *Solution) Tasks() []Task {
+	out := make([]Task, len(s.Items))
+	for i, p := range s.Items {
+		out[i] = p.Task
+	}
+	return out
+}
+
+// Len returns the number of scheduled tasks.
+func (s *Solution) Len() int { return len(s.Items) }
+
+// Clone deep-copies the solution.
+func (s *Solution) Clone() *Solution {
+	return &Solution{Items: append([]Placement(nil), s.Items...)}
+}
+
+// Lift adds delta to the height of every placement and returns s.
+func (s *Solution) Lift(delta int64) *Solution {
+	for i := range s.Items {
+		s.Items[i].Height += delta
+	}
+	return s
+}
+
+// Merge appends the placements of other into s and returns s. The caller is
+// responsible for the union remaining feasible (e.g. via disjoint vertical
+// bands as in Strip-Pack).
+func (s *Solution) Merge(other *Solution) *Solution {
+	s.Items = append(s.Items, other.Items...)
+	return s
+}
+
+// SortByID orders the placements by task ID (for deterministic output).
+func (s *Solution) SortByID() *Solution {
+	sort.Slice(s.Items, func(i, j int) bool { return s.Items[i].Task.ID < s.Items[j].Task.ID })
+	return s
+}
+
+// Makespan returns μ_h(S(e)) per edge: the maximum top among placements
+// using each edge (0 where no task runs).
+func (s *Solution) Makespan(m int) []int64 {
+	mu := make([]int64, m)
+	for _, p := range s.Items {
+		top := p.Top()
+		for e := p.Task.Start; e < p.Task.End; e++ {
+			if top > mu[e] {
+				mu[e] = top
+			}
+		}
+	}
+	return mu
+}
+
+// MaxMakespan returns the maximum edge makespan of the solution.
+func (s *Solution) MaxMakespan(m int) int64 {
+	var mx int64
+	for _, v := range s.Makespan(m) {
+		if v > mx {
+			mx = v
+		}
+	}
+	return mx
+}
+
+// Packable reports whether the solution is B-packable: every edge makespan
+// is at most B (Section 2 of the paper).
+func (s *Solution) Packable(m int, b int64) bool {
+	return s.MaxMakespan(m) <= b
+}
+
+// ErrInfeasible is wrapped by all validation failures reported by
+// ValidSAP/ValidUFPP.
+var ErrInfeasible = errors.New("infeasible solution")
+
+// ValidSAP checks that the solution is a feasible SAP solution for the
+// instance: no duplicate tasks, every task belongs to the instance,
+// non-negative heights, capacity respected on every edge of every task, and
+// vertically disjoint rectangles for tasks whose paths intersect. It returns
+// nil when feasible and an error wrapping ErrInfeasible describing the first
+// violation otherwise.
+func ValidSAP(in *Instance, s *Solution) error {
+	byID := make(map[int]Task, len(in.Tasks))
+	for _, t := range in.Tasks {
+		byID[t.ID] = t
+	}
+	used := make(map[int]bool, len(s.Items))
+	for _, p := range s.Items {
+		t, ok := byID[p.Task.ID]
+		if !ok || t != p.Task {
+			return fmt.Errorf("%w: %v not in instance", ErrInfeasible, p.Task)
+		}
+		if used[p.Task.ID] {
+			return fmt.Errorf("%w: task id %d scheduled twice", ErrInfeasible, p.Task.ID)
+		}
+		used[p.Task.ID] = true
+		if p.Height < 0 {
+			return fmt.Errorf("%w: task id %d has negative height %d", ErrInfeasible, p.Task.ID, p.Height)
+		}
+		for e := p.Task.Start; e < p.Task.End; e++ {
+			if p.Top() > in.Capacity[e] {
+				return fmt.Errorf("%w: task id %d tops at %d above capacity %d of edge %d",
+					ErrInfeasible, p.Task.ID, p.Top(), in.Capacity[e], e)
+			}
+		}
+	}
+	// Pairwise vertical disjointness on intersecting paths. A sweep keeps
+	// the check near-linear for typical instances: sort by Start and compare
+	// each placement against the actives overlapping it.
+	items := append([]Placement(nil), s.Items...)
+	sort.Slice(items, func(i, j int) bool { return items[i].Task.Start < items[j].Task.Start })
+	type active struct {
+		end    int
+		bottom int64
+		top    int64
+		id     int
+	}
+	var actives []active
+	for _, p := range items {
+		keep := actives[:0]
+		for _, a := range actives {
+			if a.end > p.Task.Start {
+				keep = append(keep, a)
+			}
+		}
+		actives = keep
+		for _, a := range actives {
+			if p.Height < a.top && a.bottom < p.Top() {
+				return fmt.Errorf("%w: tasks id %d and id %d overlap vertically on shared edges",
+					ErrInfeasible, a.id, p.Task.ID)
+			}
+		}
+		actives = append(actives, active{end: p.Task.End, bottom: p.Height, top: p.Top(), id: p.Task.ID})
+	}
+	return nil
+}
+
+// ValidUFPP checks that the given task set is a feasible UFPP solution:
+// every task belongs to the instance, no duplicates, and the load on every
+// edge is within its capacity.
+func ValidUFPP(in *Instance, tasks []Task) error {
+	byID := make(map[int]Task, len(in.Tasks))
+	for _, t := range in.Tasks {
+		byID[t.ID] = t
+	}
+	used := make(map[int]bool, len(tasks))
+	for _, t := range tasks {
+		it, ok := byID[t.ID]
+		if !ok || it != t {
+			return fmt.Errorf("%w: %v not in instance", ErrInfeasible, t)
+		}
+		if used[t.ID] {
+			return fmt.Errorf("%w: task id %d selected twice", ErrInfeasible, t.ID)
+		}
+		used[t.ID] = true
+	}
+	for e, l := range in.Load(tasks) {
+		if l > in.Capacity[e] {
+			return fmt.Errorf("%w: load %d exceeds capacity %d on edge %d", ErrInfeasible, l, in.Capacity[e], e)
+		}
+	}
+	return nil
+}
+
+// WeightOf sums the weights of a task slice.
+func WeightOf(tasks []Task) int64 {
+	var w int64
+	for _, t := range tasks {
+		w += t.Weight
+	}
+	return w
+}
+
+// DemandOf sums the demands of a task slice (d(S) in the paper).
+func DemandOf(tasks []Task) int64 {
+	var d int64
+	for _, t := range tasks {
+		d += t.Demand
+	}
+	return d
+}

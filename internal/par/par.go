@@ -1,0 +1,112 @@
+// Package par provides the small deterministic-parallelism substrate used
+// across the library: fork-join loops over independent work items (class
+// solves, rounding trials, orientation masks, experiment runners) with
+// first-error capture and panic propagation. Results are written into
+// caller-owned slots indexed by item, so the output is identical to the
+// sequential execution regardless of scheduling.
+package par
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Workers returns the effective worker count: w if positive, otherwise
+// GOMAXPROCS, and never more than n.
+func Workers(w, n int) int {
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// capturedPanic wraps a recovered panic so it can be re-raised on the
+// calling goroutine with the original value visible.
+type capturedPanic struct {
+	value any
+}
+
+func (c capturedPanic) String() string { return fmt.Sprintf("par: worker panic: %v", c.value) }
+
+// ForEach runs fn(i) for every i in [0, n) using at most workers
+// goroutines (0 ⇒ GOMAXPROCS). It returns the first error in index order.
+// A panic in any worker is re-raised on the caller after all workers have
+// stopped, preserving crash semantics of the sequential loop.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var panicMu sync.Mutex
+	var panicked *capturedPanic
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for g := 0; g < w; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				func() {
+					defer func() {
+						if r := recover(); r != nil {
+							panicMu.Lock()
+							if panicked == nil {
+								panicked = &capturedPanic{value: r}
+							}
+							panicMu.Unlock()
+						}
+					}()
+					errs[i] = fn(i)
+				}()
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	if panicked != nil {
+		panic(panicked.value)
+	}
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Map runs fn over [0, n) in parallel and collects the results in index
+// order.
+func Map[T any](n, workers int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(n, workers, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

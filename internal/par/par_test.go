@@ -1,0 +1,138 @@
+package par
+
+import (
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	const n = 1000
+	var count int64
+	hit := make([]int32, n)
+	err := ForEach(n, 8, func(i int) error {
+		atomic.AddInt64(&count, 1)
+		atomic.AddInt32(&hit[i], 1)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("ForEach: %v", err)
+	}
+	if count != n {
+		t.Fatalf("ran %d of %d", count, n)
+	}
+	for i, h := range hit {
+		if h != 1 {
+			t.Fatalf("index %d ran %d times", i, h)
+		}
+	}
+}
+
+func TestForEachSequentialFallback(t *testing.T) {
+	order := []int{}
+	err := ForEach(5, 1, func(i int) error {
+		order = append(order, i) // safe: single worker
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential order violated: %v", order)
+		}
+	}
+}
+
+func TestForEachFirstErrorInIndexOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := ForEach(10, 4, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 7:
+			return errB
+		}
+		return nil
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("want first error (index 3), got %v", err)
+	}
+}
+
+func TestForEachSequentialStopsAtError(t *testing.T) {
+	ran := 0
+	boom := errors.New("boom")
+	err := ForEach(10, 1, func(i int) error {
+		ran++
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) || ran != 3 {
+		t.Fatalf("err=%v ran=%d", err, ran)
+	}
+}
+
+func TestForEachPanicPropagates(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("panic not propagated")
+		}
+		if s, ok := r.(string); !ok || s != "kaboom" {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	_ = ForEach(10, 4, func(i int) error {
+		if i == 5 {
+			panic("kaboom")
+		}
+		return nil
+	})
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(0, 4, func(int) error { t.Fatal("called"); return nil }); err != nil {
+		t.Fatalf("%v", err)
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	out, err := Map(100, 8, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	if _, err := Map(10, 4, func(i int) (int, error) {
+		if i == 4 {
+			return 0, boom
+		}
+		return i, nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(0, 100) != runtime.GOMAXPROCS(0) && runtime.GOMAXPROCS(0) <= 100 {
+		t.Errorf("Workers(0, 100) = %d", Workers(0, 100))
+	}
+	if Workers(8, 3) != 3 {
+		t.Errorf("Workers(8,3) = %d", Workers(8, 3))
+	}
+	if Workers(-1, 0) != 1 {
+		t.Errorf("Workers(-1,0) = %d", Workers(-1, 0))
+	}
+}

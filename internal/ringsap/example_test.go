@@ -1,0 +1,28 @@
+package ringsap_test
+
+import (
+	"fmt"
+
+	"sapalloc/internal/model"
+	"sapalloc/internal/ringsap"
+)
+
+// ExampleSolve routes ring tasks around a congested cut edge (Theorem 5).
+func ExampleSolve() {
+	ring := &model.RingInstance{
+		Capacity: []int64{2, 32, 32, 32},
+		Tasks: []model.RingTask{
+			{ID: 0, Start: 0, End: 1, Demand: 2, Weight: 5}, // must avoid edge 0
+			{ID: 1, Start: 1, End: 3, Demand: 2, Weight: 4},
+		},
+	}
+	res, err := ringsap.Solve(ring, ringsap.Params{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cut edge:", res.CutEdge)
+	fmt.Println("weight:", res.Solution.Weight())
+	// Output:
+	// cut edge: 0
+	// weight: 9
+}

@@ -1,0 +1,152 @@
+// Package ringsap implements Section 7 of the paper: the (10+ε)-
+// approximation for SAP on ring networks (Theorem 5).
+//
+// Per Lemma 18, a minimum-capacity edge e is removed; the (9+ε) path
+// algorithm handles the tasks routed away from e, and a knapsack FPTAS
+// handles the tasks routed through e (every task may be routed through e,
+// and since c_e is the ring minimum, a bottom-up stack of any feasible
+// knapsack selection fits under every edge of the ring). The heavier of the
+// two solutions is a (1 + (9+ε') + ε)-approximation.
+package ringsap
+
+import (
+	"fmt"
+	"sort"
+
+	"sapalloc/internal/core"
+	"sapalloc/internal/knapsack"
+	"sapalloc/internal/model"
+)
+
+// Params configures the ring solver.
+type Params struct {
+	// Eps is used both for the knapsack FPTAS and the path algorithm
+	// (default 0.5).
+	Eps float64
+	// Path configures the path-SAP arm.
+	Path core.Params
+}
+
+func (p Params) withDefaults() Params {
+	if p.Eps <= 0 {
+		p.Eps = 0.5
+	}
+	return p
+}
+
+// Arm identifies which reduction arm won.
+type Arm int
+
+const (
+	// ArmPath is the cut-edge path solution (tasks avoid the cut edge).
+	ArmPath Arm = iota
+	// ArmKnapsack is the stacked knapsack over tasks routed through the cut
+	// edge.
+	ArmKnapsack
+)
+
+func (a Arm) String() string {
+	if a == ArmKnapsack {
+		return "knapsack-through-cut"
+	}
+	return "path"
+}
+
+// Result reports the ring solution and diagnostics.
+type Result struct {
+	Solution *model.RingSolution
+	Winner   Arm
+	CutEdge  int
+	// PathWeight and KnapsackWeight are the two arm weights.
+	PathWeight, KnapsackWeight int64
+	// PathDetail exposes the path arm's combined-solver diagnostics.
+	PathDetail *core.Result
+}
+
+// Solve runs the ring algorithm of Theorem 5.
+func Solve(r *model.RingInstance, p Params) (*Result, error) {
+	p = p.withDefaults()
+	if err := r.Validate(); err != nil {
+		return nil, fmt.Errorf("ringsap: %w", err)
+	}
+	cut := r.MinCapacityEdge()
+	res := &Result{CutEdge: cut}
+
+	// Arm 1: path solution on the cut ring; tasks are routed on the arc
+	// avoiding the cut edge.
+	pathIn := r.CutAt(cut)
+	pathRes, err := core.Solve(pathIn, p.Path)
+	if err != nil {
+		return nil, fmt.Errorf("ringsap: path arm: %w", err)
+	}
+	res.PathDetail = pathRes
+	res.PathWeight = pathRes.Solution.Weight()
+	pathSol := &model.RingSolution{}
+	for _, pl := range pathRes.Solution.Items {
+		rt, ok := ringTaskByID(r, pl.Task.ID)
+		if !ok {
+			return nil, fmt.Errorf("ringsap: path solution refers to unknown task %d", pl.Task.ID)
+		}
+		pathSol.Items = append(pathSol.Items, model.RingPlacement{
+			Task:        rt,
+			Orientation: orientationAvoiding(r, rt, cut),
+			Height:      pl.Height,
+		})
+	}
+
+	// Arm 2: knapsack over all tasks routed through the cut edge, stacked
+	// bottom-up (h_2(j) = Σ_{ℓ<j, ℓ∈S₂} d_ℓ as in the paper).
+	items := make([]knapsack.Item, len(r.Tasks))
+	for i, t := range r.Tasks {
+		items[i] = knapsack.Item{Size: t.Demand, Profit: t.Weight}
+	}
+	chosen, _ := knapsack.SolveFPTAS(items, r.Capacity[cut], p.Eps)
+	sort.Ints(chosen)
+	knapSol := &model.RingSolution{}
+	var h int64
+	for _, i := range chosen {
+		t := r.Tasks[i]
+		knapSol.Items = append(knapSol.Items, model.RingPlacement{
+			Task:        t,
+			Orientation: orientationThrough(r, t, cut),
+			Height:      h,
+		})
+		h += t.Demand
+	}
+	res.KnapsackWeight = knapSol.Weight()
+
+	if res.KnapsackWeight > res.PathWeight {
+		res.Solution, res.Winner = knapSol, ArmKnapsack
+	} else {
+		res.Solution, res.Winner = pathSol, ArmPath
+	}
+	return res, nil
+}
+
+func ringTaskByID(r *model.RingInstance, id int) (model.RingTask, bool) {
+	for _, t := range r.Tasks {
+		if t.ID == id {
+			return t, true
+		}
+	}
+	return model.RingTask{}, false
+}
+
+// orientationAvoiding returns the orientation whose arc does not use edge
+// cut. Exactly one of the two arcs contains any given edge.
+func orientationAvoiding(r *model.RingInstance, t model.RingTask, cut int) model.Orientation {
+	for _, e := range r.ArcEdges(t, model.Clockwise) {
+		if e == cut {
+			return model.CounterClockwise
+		}
+	}
+	return model.Clockwise
+}
+
+// orientationThrough returns the orientation whose arc uses edge cut.
+func orientationThrough(r *model.RingInstance, t model.RingTask, cut int) model.Orientation {
+	if orientationAvoiding(r, t, cut) == model.Clockwise {
+		return model.CounterClockwise
+	}
+	return model.Clockwise
+}

@@ -1,0 +1,157 @@
+// Package smallsap implements Section 4 of the paper: Algorithm Strip-Pack,
+// the (4+ε)-approximation for δ-small SAP instances.
+//
+// Tasks are partitioned into bottleneck classes
+// J_t = { j : 2^t ≤ b(j) < 2^{t+1} }. For each class, capacities are clipped
+// to 2^{t+1} (lossless by Observation 2), a ½B-packable UFPP solution with
+// B = 2^t is computed — by LP rounding (Lemma 5, the default) or by the
+// appendix's local-ratio Algorithm Strip — and converted into a SAP solution
+// inside the strip [0, 2^{t-1}) (the library's Lemma 4 substitute,
+// dsa.ConvertToStrip). Lifting the class-t strip by 2^{t-1} stacks the
+// strips into disjoint vertical bands [2^{t-1}, 2^t), which yields a
+// feasible solution for the whole instance (Fig. 4 of the paper).
+package smallsap
+
+import (
+	"fmt"
+	"sort"
+
+	"sapalloc/internal/dsa"
+	"sapalloc/internal/model"
+	"sapalloc/internal/par"
+	"sapalloc/internal/ufpp"
+)
+
+// Rounding selects the per-class ½B-packable UFPP engine.
+type Rounding int
+
+const (
+	// LPRound uses the LP-relaxation rounding of Lemma 5 ((4+ε) overall).
+	LPRound Rounding = iota
+	// LocalRatio uses the appendix's Algorithm Strip ((5+ε) overall).
+	LocalRatio
+)
+
+func (r Rounding) String() string {
+	if r == LocalRatio {
+		return "local-ratio"
+	}
+	return "lp-round"
+}
+
+// Params configures Strip-Pack.
+type Params struct {
+	Rounding Rounding
+	// Round tunes the LP rounding (ignored for LocalRatio).
+	Round ufpp.RoundOptions
+	// Workers bounds the number of bottleneck classes solved concurrently
+	// (0 ⇒ GOMAXPROCS). Classes occupy disjoint vertical bands, so the
+	// merged result is identical to the sequential run.
+	Workers int
+}
+
+// ClassReport records per-class diagnostics for the experiment harness.
+type ClassReport struct {
+	T              int     // bottleneck class exponent
+	Tasks          int     // |J_t|
+	UFPPWeight     int64   // weight of the ½B-packable UFPP solution
+	LPBound        float64 // LP optimum of the class (0 for LocalRatio)
+	RetainedWeight int64   // weight surviving the strip conversion
+}
+
+// Result is the Strip-Pack outcome.
+type Result struct {
+	Solution *model.Solution
+	Classes  []ClassReport
+	// LPBoundTotal sums the per-class LP optima; it upper-bounds the sum of
+	// the class-wise SAP optima and hence OPT_SAP(J) when every task is
+	// δ-small (Theorem 1's accounting).
+	LPBoundTotal float64
+}
+
+// Solve runs Algorithm Strip-Pack on the instance. All tasks should be
+// δ-small for the approximation guarantee; feasibility of the returned
+// solution holds regardless. Tasks with b(j) ≤ 1 cannot be packed in a
+// half-integral strip and are skipped (integer demands make such classes
+// empty in practice).
+func Solve(in *model.Instance, p Params) (*Result, error) {
+	res := &Result{Solution: &model.Solution{}}
+	classes := map[int][]model.Task{}
+	for _, t := range in.Tasks {
+		b := in.Bottleneck(t)
+		cls := floorLog2(b)
+		classes[cls] = append(classes[cls], t)
+	}
+	ts := make([]int, 0, len(classes))
+	for t := range classes {
+		ts = append(ts, t)
+	}
+	sort.Ints(ts)
+	type classOut struct {
+		report ClassReport
+		sol    *model.Solution
+		skip   bool
+	}
+	outs, err := par.Map(len(ts), p.Workers, func(i int) (classOut, error) {
+		t := ts[i]
+		if t < 1 {
+			return classOut{skip: true}, nil // strip height 2^{t-1} < 1: nothing fits
+		}
+		report, sol, err := solveClass(in, classes[t], t, p)
+		if err != nil {
+			return classOut{}, fmt.Errorf("smallsap: class t=%d: %w", t, err)
+		}
+		return classOut{report: report, sol: sol}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, out := range outs {
+		if out.skip {
+			continue
+		}
+		res.Classes = append(res.Classes, out.report)
+		res.LPBoundTotal += out.report.LPBound
+		res.Solution.Merge(out.sol)
+	}
+	res.Solution.SortByID()
+	return res, nil
+}
+
+// solveClass handles one bottleneck class J_t: ½B-packable UFPP solution,
+// strip conversion, lift by 2^{t-1}.
+func solveClass(in *model.Instance, tasks []model.Task, t int, p Params) (ClassReport, *model.Solution, error) {
+	b := int64(1) << uint(t)
+	classIn := in.Restrict(tasks).ClipCapacities(2 * b)
+	report := ClassReport{T: t, Tasks: len(tasks)}
+
+	var sel []model.Task
+	switch p.Rounding {
+	case LocalRatio:
+		sel = ufpp.LocalRatioStrip(classIn, b)
+	default:
+		var lpOpt float64
+		var err error
+		sel, lpOpt, err = ufpp.HalfPackable(classIn, b, p.Round)
+		if err != nil {
+			return report, nil, err
+		}
+		report.LPBound = lpOpt
+	}
+	report.UFPPWeight = model.WeightOf(sel)
+
+	conv := dsa.ConvertToStrip(sel, b/2)
+	report.RetainedWeight = conv.RetainedWeight
+	sol := conv.Solution.Lift(b / 2)
+	return report, sol, nil
+}
+
+// floorLog2 returns ⌊log2 v⌋ for v ≥ 1.
+func floorLog2(v int64) int {
+	l := -1
+	for v > 0 {
+		v >>= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,31 @@
+package stretch_test
+
+import (
+	"fmt"
+
+	"sapalloc/internal/model"
+	"sapalloc/internal/stretch"
+)
+
+// ExampleMinStretch answers the paper's concluding open question for one
+// instance: the minimum factor ρ by which the capacity vector must be
+// scaled so that every task packs.
+func ExampleMinStretch() {
+	in := &model.Instance{
+		Capacity: []int64{4, 4},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, End: 2, Demand: 4, Weight: 1},
+			{ID: 1, Start: 0, End: 2, Demand: 4, Weight: 1},
+			{ID: 2, Start: 0, End: 2, Demand: 4, Weight: 1},
+		},
+	}
+	res, err := stretch.MinStretch(in)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rho = %.2f (lower bound %.2f)\n", res.Rho(), res.LowerBoundRho())
+	fmt.Println("all packed:", res.Solution.Len() == len(in.Tasks))
+	// Output:
+	// rho = 3.00 (lower bound 3.00)
+	// all packed: true
+}

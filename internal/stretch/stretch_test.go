@@ -1,0 +1,170 @@
+package stretch
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sapalloc/internal/exact"
+	"sapalloc/internal/gen"
+	"sapalloc/internal/model"
+)
+
+// verifyStretched checks the result's packing against the ν-stretched
+// instance and that it schedules every task.
+func verifyStretched(t *testing.T, in *model.Instance, res Result) {
+	t.Helper()
+	if res.Solution.Len() != len(in.Tasks) {
+		t.Fatalf("packed %d of %d tasks", res.Solution.Len(), len(in.Tasks))
+	}
+	sIn := stretched(in, res.Num)
+	if err := model.ValidSAP(sIn, res.Solution); err != nil {
+		t.Fatalf("stretched packing infeasible: %v", err)
+	}
+	if res.Num < res.LowerBoundNum {
+		t.Fatalf("stretch %d below certified lower bound %d", res.Num, res.LowerBoundNum)
+	}
+}
+
+func TestMinStretchSimple(t *testing.T) {
+	// Two conflicting full-span tasks on capacity 4, demands 4 and 4:
+	// load 8 → ρ = 2 exactly.
+	in := &model.Instance{
+		Capacity: []int64{4, 4},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, End: 2, Demand: 4, Weight: 1},
+			{ID: 1, Start: 0, End: 2, Demand: 4, Weight: 1},
+		},
+	}
+	res, err := MinStretch(in)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	verifyStretched(t, in, res)
+	if res.Rho() != 2 {
+		t.Errorf("ρ = %g, want 2", res.Rho())
+	}
+	if res.LowerBoundRho() != 2 {
+		t.Errorf("lower bound = %g, want 2", res.LowerBoundRho())
+	}
+}
+
+func TestMinStretchAlreadyFeasible(t *testing.T) {
+	in := &model.Instance{
+		Capacity: []int64{10, 10},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, End: 2, Demand: 3, Weight: 1},
+			{ID: 1, Start: 0, End: 2, Demand: 3, Weight: 1},
+		},
+	}
+	res, err := MinStretch(in)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	verifyStretched(t, in, res)
+	if res.Rho() > 1 {
+		t.Errorf("ρ = %g, want ≤ 1 (instance already packs)", res.Rho())
+	}
+}
+
+func TestMinStretchEmpty(t *testing.T) {
+	res, err := MinStretch(&model.Instance{Capacity: []int64{4}})
+	if err != nil || res.Num != 0 {
+		t.Errorf("empty: %+v %v", res, err)
+	}
+}
+
+func TestMinStretchRandomFeasibleAndBounded(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 30; trial++ {
+		in := gen.Random(gen.Config{
+			Seed: int64(trial), Edges: 3 + r.Intn(8), Tasks: 4 + r.Intn(20),
+			CapLo: 16, CapHi: 129, Class: gen.Mixed,
+		})
+		res, err := MinStretch(in)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		verifyStretched(t, in, res)
+	}
+}
+
+func TestMinStretchExactMatchesOrBeatsHeuristic(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 12; trial++ {
+		in := gen.Random(gen.Config{
+			Seed: int64(100 + trial), Edges: 2 + r.Intn(4), Tasks: 3 + r.Intn(5),
+			CapLo: 8, CapHi: 33, Class: gen.Mixed,
+		})
+		h, err := MinStretch(in)
+		if err != nil {
+			t.Fatalf("trial %d heuristic: %v", trial, err)
+		}
+		ex, err := MinStretchExact(in, exact.Options{})
+		if err != nil {
+			t.Fatalf("trial %d exact: %v", trial, err)
+		}
+		verifyStretched(t, in, ex)
+		if ex.Num > h.Num {
+			t.Errorf("trial %d: exact stretch %d worse than heuristic %d", trial, ex.Num, h.Num)
+		}
+		if ex.Num < ex.LowerBoundNum {
+			t.Errorf("trial %d: exact below lower bound", trial)
+		}
+	}
+}
+
+func TestMinStretchUnschedulable(t *testing.T) {
+	// A task whose demand exceeds 64x its bottleneck cannot be packed
+	// within the search limit.
+	in := &model.Instance{
+		Capacity: []int64{1},
+		Tasks:    []model.Task{{ID: 0, Start: 0, End: 1, Demand: 65, Weight: 1}},
+	}
+	if _, err := MinStretch(in); !errors.Is(err, ErrUnschedulable) {
+		t.Errorf("want ErrUnschedulable, got %v", err)
+	}
+	if _, err := MinStretchExact(in, exact.Options{}); !errors.Is(err, ErrUnschedulable) {
+		t.Errorf("exact: want ErrUnschedulable, got %v", err)
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	in := &model.Instance{
+		Capacity: []int64{4, 8},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, End: 2, Demand: 6, Weight: 1}, // d/b = 6/4 → ν ≥ 96
+			{ID: 1, Start: 1, End: 2, Demand: 2, Weight: 1},
+		},
+	}
+	// Edge 0: load 6/4 → ceil(64·6/4) = 96; edge 1: load 8/8 → 64;
+	// task 0: 96. LB = 96 (ρ = 1.5).
+	if lb := LowerBound(in); lb != 96 {
+		t.Errorf("LowerBound = %d, want 96", lb)
+	}
+	if LowerBound(&model.Instance{Capacity: []int64{4}}) != 0 {
+		t.Errorf("empty lower bound should be 0")
+	}
+}
+
+// On uniform capacities the min-stretch objective coincides with classic
+// DSA: ρ·c is the DSA makespan bound. Cross-check against the first-fit
+// makespan.
+func TestMinStretchUniformVsDSA(t *testing.T) {
+	in := gen.Uniform(5, 8, 25, 64, gen.Small)
+	res, err := MinStretch(in)
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	verifyStretched(t, in, res)
+	// ρ·64 must be at least LOAD and at most 2·LOAD (first-fit quality for
+	// small tasks).
+	load := in.MaxLoad(in.Tasks)
+	used := res.Rho() * 64
+	if used < float64(load)-1 {
+		t.Errorf("stretched capacity %g below LOAD %d", used, load)
+	}
+	if used > 2*float64(load)+64 {
+		t.Errorf("stretched capacity %g far above 2·LOAD %d", used, 2*load)
+	}
+}

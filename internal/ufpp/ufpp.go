@@ -1,0 +1,363 @@
+// Package ufpp implements the unsplittable-flow-on-paths algorithms that the
+// SAP pipeline of the paper builds on:
+//
+//   - an LP-rounding procedure that turns the optimal fractional solution of
+//     relaxation (1), scaled by 1/4, into a ½B-packable integral solution for
+//     δ-small instances whose capacities lie in [B, 2B) — the library's
+//     realisation of the Chekuri–Mydlarz–Shepherd rounding the paper invokes
+//     as Theorem 6;
+//   - Algorithm Strip, the local-ratio (5+ε)-approximation from the paper's
+//     appendix, implemented verbatim;
+//   - a local-ratio baseline for UFPP with uniform capacities in the style
+//     of Bar-Noy et al. (wide/narrow split), used as a comparison point in
+//     the experiment harness.
+package ufpp
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"sapalloc/internal/intervals"
+	"sapalloc/internal/lp"
+	"sapalloc/internal/model"
+	"sapalloc/internal/par"
+)
+
+// RoundOptions tunes the randomized LP rounding.
+type RoundOptions struct {
+	// Eps is the scale-down safety margin: tasks enter the sample with
+	// probability (1−Eps)·x′_j. Must lie in [0,1).
+	Eps float64
+	// Trials is the number of independent rounding trials; the heaviest
+	// repaired sample wins. Zero means 8.
+	Trials int
+	// Seed seeds the sampling RNG (deterministic for a fixed seed; each
+	// trial derives its own generator from Seed+trial, so results do not
+	// depend on scheduling).
+	Seed int64
+	// Workers bounds concurrent rounding trials (0 ⇒ GOMAXPROCS).
+	Workers int
+}
+
+func (o RoundOptions) withDefaults() RoundOptions {
+	if o.Trials == 0 {
+		o.Trials = 8
+	}
+	if o.Eps < 0 || o.Eps >= 1 {
+		o.Eps = 0.1
+	}
+	return o
+}
+
+// HalfPackable computes a (budget = B/2)-packable UFPP solution for an
+// instance whose capacities lie in [B, 2B). It solves the LP relaxation,
+// scales the fractional optimum by 1/4 (which makes the fractional load at
+// most B/2 on every edge, exactly as in Section 4.1 of the paper), and
+// rounds by randomized sampling with eviction repair; a deterministic
+// LP-density greedy run competes with the samples. The returned tasks have
+// load at most B/2 on every edge; the second return value is the LP optimum
+// of the (unscaled) relaxation — an upper bound on OPT_UFPP(J) and hence on
+// OPT_SAP(J).
+func HalfPackable(in *model.Instance, b int64, opts RoundOptions) ([]model.Task, float64, error) {
+	opts = opts.withDefaults()
+	if len(in.Tasks) == 0 {
+		return nil, 0, nil
+	}
+	x, lpOpt, err := lp.UFPPFractional(in)
+	if err != nil {
+		return nil, 0, fmt.Errorf("half-packable rounding: %w", err)
+	}
+	budget := b / 2
+	scaled := make([]float64, len(x))
+	for j := range x {
+		scaled[j] = x[j] / 4
+	}
+
+	best := greedyByLPDensity(in, scaled, budget)
+	bestW := model.WeightOf(best)
+
+	// Independent rounding trials, each with its own deterministic RNG, run
+	// concurrently and merged in trial order.
+	trials, err := par.Map(opts.Trials, opts.Workers, func(trial int) ([]model.Task, error) {
+		rng := rand.New(rand.NewSource(opts.Seed + int64(trial)))
+		var sample []model.Task
+		for j, t := range in.Tasks {
+			if rng.Float64() < (1-opts.Eps)*scaled[j] {
+				sample = append(sample, t)
+			}
+		}
+		return evictToBudget(in, sample, budget), nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	for _, repaired := range trials {
+		if w := model.WeightOf(repaired); w > bestW {
+			best, bestW = repaired, w
+		}
+	}
+	return best, lpOpt, nil
+}
+
+// greedyByLPDensity adds tasks in decreasing w_j·x_j/d_j order while the
+// load stays within the budget on every edge.
+func greedyByLPDensity(in *model.Instance, x []float64, budget int64) []model.Task {
+	type cand struct {
+		idx   int
+		score float64
+	}
+	cands := make([]cand, 0, len(in.Tasks))
+	for j, t := range in.Tasks {
+		if x[j] <= 0 || t.Demand > budget {
+			continue
+		}
+		cands = append(cands, cand{idx: j, score: float64(t.Weight) * x[j] / float64(t.Demand)})
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		if cands[a].score != cands[b].score {
+			return cands[a].score > cands[b].score
+		}
+		return in.Tasks[cands[a].idx].ID < in.Tasks[cands[b].idx].ID
+	})
+	tree := intervals.NewSegTree(in.Edges())
+	var out []model.Task
+	for _, c := range cands {
+		t := in.Tasks[c.idx]
+		if tree.Max(t.Start, t.End)+t.Demand <= budget {
+			tree.Add(t.Start, t.End, t.Demand)
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// evictToBudget removes tasks (lowest weight/demand first) until the load is
+// within budget on every edge.
+func evictToBudget(in *model.Instance, tasks []model.Task, budget int64) []model.Task {
+	kept := append([]model.Task(nil), tasks...)
+	sort.Slice(kept, func(i, j int) bool {
+		// ascending density; evict from the front on violation.
+		li := kept[i].Weight * kept[j].Demand
+		lj := kept[j].Weight * kept[i].Demand
+		if li != lj {
+			return li < lj
+		}
+		return kept[i].ID < kept[j].ID
+	})
+	load := in.Load(kept)
+	over := func() int {
+		for e, l := range load {
+			if l > budget {
+				return e
+			}
+		}
+		return -1
+	}
+	for {
+		e := over()
+		if e < 0 {
+			break
+		}
+		// Evict the least dense task using edge e.
+		victim := -1
+		for i, t := range kept {
+			if t.Uses(e) {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			break // cannot happen: positive load implies a user
+		}
+		t := kept[victim]
+		for f := t.Start; f < t.End; f++ {
+			load[f] -= t.Demand
+		}
+		kept = append(kept[:victim], kept[victim+1:]...)
+	}
+	return kept
+}
+
+// LocalRatioStrip is Algorithm Strip from the paper's appendix: a local
+// ratio algorithm returning a (B/2)-packable UFPP solution for a δ-small
+// instance whose capacities lie in [B, 2B). The implementation unrolls the
+// recursion into a pick phase (repeatedly select the positive-weight task j*
+// with minimum right endpoint and subtract w(j*)·2d_j/B from every
+// intersecting task) and the standard reverse unwind that inserts each j*
+// when the load on its rightmost edge e* stays within B/2.
+func LocalRatioStrip(in *model.Instance, b int64) []model.Task {
+	n := len(in.Tasks)
+	w := make([]float64, n)
+	alive := make([]bool, n)
+	for j, t := range in.Tasks {
+		w[j] = float64(t.Weight)
+		alive[j] = w[j] > 0
+	}
+	const tol = 1e-12
+	var picks []int
+	for {
+		// j* = alive task with minimum right endpoint (ID tie-break).
+		jstar := -1
+		for j := range in.Tasks {
+			if !alive[j] || w[j] <= tol {
+				continue
+			}
+			if jstar == -1 ||
+				in.Tasks[j].End < in.Tasks[jstar].End ||
+				(in.Tasks[j].End == in.Tasks[jstar].End && in.Tasks[j].ID < in.Tasks[jstar].ID) {
+				jstar = j
+			}
+		}
+		if jstar == -1 {
+			break
+		}
+		picks = append(picks, jstar)
+		wstar := w[jstar]
+		for j := range in.Tasks {
+			if j == jstar || !alive[j] {
+				continue
+			}
+			if in.Tasks[j].Overlaps(in.Tasks[jstar]) {
+				w[j] -= wstar * 2 * float64(in.Tasks[j].Demand) / float64(b)
+				if w[j] <= tol {
+					alive[j] = false
+				}
+			}
+		}
+		alive[jstar] = false
+	}
+	// Unwind: later picks are considered first; insert j* when the load on
+	// its rightmost edge leaves room below B/2.
+	budget := b / 2
+	load := make([]int64, in.Edges())
+	var chosen []model.Task
+	for i := len(picks) - 1; i >= 0; i-- {
+		t := in.Tasks[picks[i]]
+		estar := t.End - 1
+		if load[estar]+t.Demand <= budget {
+			for e := t.Start; e < t.End; e++ {
+				load[e] += t.Demand
+			}
+			chosen = append(chosen, t)
+		}
+	}
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i].ID < chosen[j].ID })
+	return chosen
+}
+
+// UniformBaseline is a local-ratio approximation for UFPP with uniform
+// capacities in the style of Bar-Noy et al.: tasks are split into wide
+// (d > c/2) and narrow (d ≤ c/2) sets; the wide set is solved exactly as
+// weighted interval scheduling (at most one wide task fits per edge), the
+// narrow set by a local-ratio pass, and the heavier of the two solutions is
+// returned. It is the classic baseline the paper's related-work section
+// attributes ratio 3 to; the experiment harness measures its actual ratio.
+// The instance must have uniform capacities.
+func UniformBaseline(in *model.Instance) ([]model.Task, error) {
+	if !in.Uniform() {
+		return nil, fmt.Errorf("ufpp: UniformBaseline requires uniform capacities")
+	}
+	if len(in.Tasks) == 0 {
+		return nil, nil
+	}
+	c := in.Capacity[0]
+	var wide, narrow []model.Task
+	for _, t := range in.Tasks {
+		if 2*t.Demand > c {
+			wide = append(wide, t)
+		} else {
+			narrow = append(narrow, t)
+		}
+	}
+	wideSol := solveWide(wide)
+	narrowSol := localRatioNarrow(in, narrow, c)
+	if model.WeightOf(wideSol) >= model.WeightOf(narrowSol) {
+		return wideSol, nil
+	}
+	return narrowSol, nil
+}
+
+// solveWide solves the wide sub-instance exactly: wide tasks each consume
+// more than half of every edge they use, so a feasible set is pairwise
+// disjoint — weighted interval scheduling.
+func solveWide(wide []model.Task) []model.Task {
+	if len(wide) == 0 {
+		return nil
+	}
+	ivs := make([]intervals.Interval, len(wide))
+	ws := make([]int64, len(wide))
+	for i, t := range wide {
+		ivs[i] = intervals.Interval{Start: t.Start, End: t.End}
+		ws[i] = t.Weight
+	}
+	idx, _ := intervals.MaxWeightScheduling(ivs, ws)
+	out := make([]model.Task, 0, len(idx))
+	for _, i := range idx {
+		out = append(out, wide[i])
+	}
+	return out
+}
+
+// localRatioNarrow runs the narrow-task local ratio pass: select j* with
+// minimum right endpoint, charge w(j*)·2d_j/c to intersecting tasks, recurse
+// on positive tasks, and insert j* on unwind when the load on its rightmost
+// edge stays within c − d_{j*}.
+func localRatioNarrow(in *model.Instance, narrow []model.Task, c int64) []model.Task {
+	n := len(narrow)
+	if n == 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	alive := make([]bool, n)
+	for j, t := range narrow {
+		w[j] = float64(t.Weight)
+		alive[j] = w[j] > 0
+	}
+	const tol = 1e-12
+	var picks []int
+	for {
+		jstar := -1
+		for j := range narrow {
+			if !alive[j] || w[j] <= tol {
+				continue
+			}
+			if jstar == -1 ||
+				narrow[j].End < narrow[jstar].End ||
+				(narrow[j].End == narrow[jstar].End && narrow[j].ID < narrow[jstar].ID) {
+				jstar = j
+			}
+		}
+		if jstar == -1 {
+			break
+		}
+		picks = append(picks, jstar)
+		wstar := w[jstar]
+		for j := range narrow {
+			if j == jstar || !alive[j] {
+				continue
+			}
+			if narrow[j].Overlaps(narrow[jstar]) {
+				w[j] -= wstar * 2 * float64(narrow[j].Demand) / float64(c)
+				if w[j] <= tol {
+					alive[j] = false
+				}
+			}
+		}
+		alive[jstar] = false
+	}
+	load := make([]int64, in.Edges())
+	var chosen []model.Task
+	for i := len(picks) - 1; i >= 0; i-- {
+		t := narrow[picks[i]]
+		estar := t.End - 1
+		if load[estar]+t.Demand <= c {
+			for e := t.Start; e < t.End; e++ {
+				load[e] += t.Demand
+			}
+			chosen = append(chosen, t)
+		}
+	}
+	sort.Slice(chosen, func(i, j int) bool { return chosen[i].ID < chosen[j].ID })
+	return chosen
+}

@@ -1,0 +1,314 @@
+// Package ufppfull assembles a combined approximation algorithm for UFPP
+// itself — the Bonsma–Schulz–Wiese pipeline that the paper's SAP algorithm
+// adapts (Section 1.2: "Our algorithm is based on the recent constant
+// factor approximation algorithm for UFPP by Bonsma et al."). Having both
+// pipelines side by side lets the experiment harness measure the price of
+// contiguity: how much weight the storage-allocation constraint costs on
+// identical workloads (experiment E22).
+//
+// The structure mirrors internal/core:
+//
+//   - small tasks: per bottleneck class J_t, a ½B-packable UFPP solution
+//     (the same LP rounding Strip-Pack uses); classes spaced 2 apart are
+//     combined, and the best of the two residues is kept. Halving the
+//     capacity both absorbs the geometric overflow of lower classes and is
+//     exactly what the SAP pipeline needs — so the comparison is apples to
+//     apples.
+//   - medium tasks: an AlmostUniform-style framework over classes J^{k,ℓ}
+//     with residue spacing ℓ+1; each class is solved exactly (budgeted
+//     branch and bound) on capacities min(c_e, 2^{k+ℓ})/2 — the halved
+//     capacities make residue-class unions feasible by the geometric-sum
+//     argument (Observation 1's analogue).
+//   - large tasks: the rectangle MWIS of internal/largesap (a set of
+//     pairwise disjoint rectangles is in particular a feasible UFPP
+//     solution; Bonsma et al. prove a 2k factor for 1/k-large UFPP).
+//
+// The heaviest arm wins (Lemma 3).
+package ufppfull
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"sapalloc/internal/exact"
+	"sapalloc/internal/largesap"
+	"sapalloc/internal/model"
+	"sapalloc/internal/par"
+	"sapalloc/internal/ufpp"
+)
+
+// Params configures the combined UFPP solver.
+type Params struct {
+	// Eps determines the medium framework's ℓ = ⌈2/ε⌉ (default 0.5).
+	Eps float64
+	// DeltaDen sets δ = 1/DeltaDen for the small/medium split (default 16).
+	DeltaDen int64
+	// Exact configures the per-class exact searches (budgeted).
+	Exact exact.Options
+	// Round tunes the small arm's LP rounding.
+	Round ufpp.RoundOptions
+	// Workers bounds concurrent class solves (0 ⇒ GOMAXPROCS).
+	Workers int
+}
+
+func (p Params) withDefaults() Params {
+	if p.Eps <= 0 {
+		p.Eps = 0.5
+	}
+	if p.DeltaDen <= 1 {
+		p.DeltaDen = 16
+	}
+	if p.Exact.MaxNodes == 0 {
+		p.Exact.MaxNodes = 500_000
+	}
+	return p
+}
+
+// Arm identifies the winning sub-algorithm.
+type Arm int
+
+const (
+	ArmSmall Arm = iota
+	ArmMedium
+	ArmLarge
+)
+
+func (a Arm) String() string {
+	switch a {
+	case ArmSmall:
+		return "small/strip-classes"
+	case ArmMedium:
+		return "medium/almost-uniform"
+	default:
+		return "large/rectangle-packing"
+	}
+}
+
+// Result reports the combined UFPP outcome.
+type Result struct {
+	Tasks  []model.Task
+	Winner Arm
+	// Per-arm weights.
+	SmallWeight, MediumWeight, LargeWeight int64
+}
+
+// Solve runs the combined UFPP approximation. The returned task set is
+// always a feasible UFPP solution for the instance.
+func Solve(in *model.Instance, p Params) (*Result, error) {
+	p = p.withDefaults()
+	small, medium, large := partition(in, p.DeltaDen)
+
+	smallSel, err := solveSmall(in.Restrict(small), p)
+	if err != nil {
+		return nil, fmt.Errorf("ufppfull: small arm: %w", err)
+	}
+	medSel, err := solveMedium(in.Restrict(medium), p)
+	if err != nil {
+		return nil, fmt.Errorf("ufppfull: medium arm: %w", err)
+	}
+	largeSol, err := largesap.Solve(in.Restrict(large), largesap.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("ufppfull: large arm: %w", err)
+	}
+	largeSel := largeSol.Tasks()
+
+	res := &Result{
+		SmallWeight:  model.WeightOf(smallSel),
+		MediumWeight: model.WeightOf(medSel),
+		LargeWeight:  model.WeightOf(largeSel),
+	}
+	res.Tasks, res.Winner = smallSel, ArmSmall
+	if res.MediumWeight > model.WeightOf(res.Tasks) {
+		res.Tasks, res.Winner = medSel, ArmMedium
+	}
+	if res.LargeWeight > model.WeightOf(res.Tasks) {
+		res.Tasks, res.Winner = largeSel, ArmLarge
+	}
+	sort.Slice(res.Tasks, func(i, j int) bool { return res.Tasks[i].ID < res.Tasks[j].ID })
+	return res, nil
+}
+
+// partition mirrors core.Partition (k = 2, β = ¼).
+func partition(in *model.Instance, deltaDen int64) (small, medium, large []model.Task) {
+	for _, t := range in.Tasks {
+		b := in.Bottleneck(t)
+		switch {
+		case t.Demand*deltaDen <= b:
+			small = append(small, t)
+		case 2*t.Demand <= b:
+			medium = append(medium, t)
+		default:
+			large = append(large, t)
+		}
+	}
+	return small, medium, large
+}
+
+// solveSmall handles δ-small tasks: per bottleneck class J_t a ½B-packable
+// solution; residues mod 2 are combined and the heavier kept. Feasibility
+// of a residue union: class t's load on any of its edges is ≤ 2^{t-1};
+// classes below t in the same residue contribute ≤ Σ_{i≥1} 2^{t-2i-1}
+// < 2^{t-1}, and every edge used by class t has capacity ≥ 2^t.
+func solveSmall(in *model.Instance, p Params) ([]model.Task, error) {
+	classes := map[int][]model.Task{}
+	for _, t := range in.Tasks {
+		classes[floorLog2(in.Bottleneck(t))] = append(classes[floorLog2(in.Bottleneck(t))], t)
+	}
+	ts := make([]int, 0, len(classes))
+	for t := range classes {
+		if t >= 1 {
+			ts = append(ts, t)
+		}
+	}
+	sort.Ints(ts)
+	sels, err := par.Map(len(ts), p.Workers, func(i int) ([]model.Task, error) {
+		t := ts[i]
+		b := int64(1) << uint(t)
+		classIn := in.Restrict(classes[t]).ClipCapacities(2 * b)
+		sel, _, err := ufpp.HalfPackable(classIn, b, p.Round)
+		return sel, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	var best []model.Task
+	var bestW int64 = -1
+	for r := 0; r < 2; r++ {
+		var union []model.Task
+		for i, t := range ts {
+			if t%2 == r {
+				union = append(union, sels[i]...)
+			}
+		}
+		if w := model.WeightOf(union); w > bestW {
+			best, bestW = union, w
+		}
+	}
+	return best, nil
+}
+
+// solveMedium handles the medium tasks with the UFPP analogue of Algorithm
+// AlmostUniform: classes J^{k,ℓ}, per class an exact (budgeted) UFPP solve
+// on capacities min(c_e, 2^{k+ℓ})/2, residues mod ℓ+1 combined, best kept.
+func solveMedium(in *model.Instance, p Params) ([]model.Task, error) {
+	if len(in.Tasks) == 0 {
+		return nil, nil
+	}
+	ell := int(math.Ceil(2 / p.Eps))
+	if ell < 1 {
+		ell = 1
+	}
+	classTasks := map[int][]model.Task{}
+	for _, t := range in.Tasks {
+		top := floorLog2(in.Bottleneck(t))
+		for k := top - ell + 1; k <= top; k++ {
+			classTasks[k] = append(classTasks[k], t)
+		}
+	}
+	ks := make([]int, 0, len(classTasks))
+	for k := range classTasks {
+		ks = append(ks, k)
+	}
+	sort.Ints(ks)
+	sels, err := par.Map(len(ks), p.Workers, func(i int) ([]model.Task, error) {
+		k := ks[i]
+		classIn := in.Restrict(classTasks[k])
+		if k+ell >= 0 && k+ell < 62 {
+			classIn = classIn.ClipCapacities(int64(1) << uint(k+ell))
+		}
+		for e := range classIn.Capacity {
+			classIn.Capacity[e] /= 2
+			if classIn.Capacity[e] < 1 {
+				classIn.Capacity[e] = 1
+			}
+		}
+		sel, err := exact.SolveUFPP(classIn, p.Exact)
+		if errors.Is(err, exact.ErrBudget) {
+			err = nil // incumbent is feasible; guarantee degrades gracefully
+		}
+		return sel, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	period := ell + 1
+	var best []model.Task
+	var bestW int64 = -1
+	for r := 0; r < period; r++ {
+		seen := map[int]bool{}
+		var union []model.Task
+		for i, k := range ks {
+			if ((k-r)%period+period)%period != 0 {
+				continue
+			}
+			for _, t := range sels[i] {
+				if !seen[t.ID] {
+					seen[t.ID] = true
+					union = append(union, t)
+				}
+			}
+		}
+		// Defensive: the union is feasible by the geometric-sum argument;
+		// verify and repair in the unlikely event the budgeted per-class
+		// incumbents broke an assumption.
+		union = repairToFeasible(in, union)
+		if w := model.WeightOf(union); w > bestW {
+			best, bestW = union, w
+		}
+	}
+	return best, nil
+}
+
+// repairToFeasible drops lowest-density tasks until the load fits (no-op
+// when the union is already feasible).
+func repairToFeasible(in *model.Instance, tasks []model.Task) []model.Task {
+	kept := append([]model.Task(nil), tasks...)
+	sort.Slice(kept, func(i, j int) bool {
+		li := kept[i].Weight * kept[j].Demand
+		lj := kept[j].Weight * kept[i].Demand
+		if li != lj {
+			return li < lj
+		}
+		return kept[i].ID < kept[j].ID
+	})
+	load := in.Load(kept)
+	for {
+		over := -1
+		for e, l := range load {
+			if l > in.Capacity[e] {
+				over = e
+				break
+			}
+		}
+		if over < 0 {
+			break
+		}
+		victim := -1
+		for i, t := range kept {
+			if t.Uses(over) {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			break
+		}
+		t := kept[victim]
+		for e := t.Start; e < t.End; e++ {
+			load[e] -= t.Demand
+		}
+		kept = append(kept[:victim], kept[victim+1:]...)
+	}
+	return kept
+}
+
+func floorLog2(v int64) int {
+	l := -1
+	for v > 0 {
+		v >>= 1
+		l++
+	}
+	return l
+}

@@ -1,0 +1,117 @@
+// Package viz renders SAP instances and solutions as ASCII art: edges on
+// the horizontal axis, storage height on the vertical axis, the capacity
+// profile as a shaded boundary and each scheduled task as a lettered
+// rectangle. It is used by the examples and by cmd/sapviz to show the
+// constructions behind the paper's figures.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"sapalloc/internal/model"
+)
+
+// Options controls rendering.
+type Options struct {
+	// MaxRows bounds the number of text rows used for the height axis
+	// (default 20); heights are scaled down uniformly to fit.
+	MaxRows int
+	// CellWidth is the number of characters per edge column (default 2).
+	CellWidth int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRows <= 0 {
+		o.MaxRows = 20
+	}
+	if o.CellWidth <= 0 {
+		o.CellWidth = 2
+	}
+	return o
+}
+
+// taskGlyph assigns a stable letter/digit to a task ID.
+func taskGlyph(id int) byte {
+	const glyphs = "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789abcdefghijklmnopqrstuvwxyz"
+	return glyphs[id%len(glyphs)]
+}
+
+// RenderSolution draws the solution over the instance's capacity profile.
+// Each cell shows the task occupying that (edge, height band); '░' marks
+// space above an edge's capacity, '·' free space below it.
+func RenderSolution(in *model.Instance, sol *model.Solution, opts Options) string {
+	opts = opts.withDefaults()
+	m := in.Edges()
+	if m == 0 {
+		return "(empty path)\n"
+	}
+	maxCap := in.MaxCapacity()
+	scale := (maxCap + int64(opts.MaxRows) - 1) / int64(opts.MaxRows)
+	if scale < 1 {
+		scale = 1
+	}
+	rows := int((maxCap + scale - 1) / scale)
+	var b strings.Builder
+	for row := rows - 1; row >= 0; row-- {
+		yLo := int64(row) * scale
+		fmt.Fprintf(&b, "%6d |", yLo)
+		for e := 0; e < m; e++ {
+			cell := byte(' ')
+			if yLo >= in.Capacity[e] {
+				cell = '\xff' // placeholder for shaded, handled below
+			} else {
+				cell = '.'
+				for _, p := range sol.Items {
+					if p.Task.Uses(e) && p.Height <= yLo && yLo < p.Top() {
+						cell = taskGlyph(p.Task.ID)
+						break
+					}
+				}
+			}
+			for c := 0; c < opts.CellWidth; c++ {
+				if cell == '\xff' {
+					b.WriteString("░")
+				} else {
+					b.WriteByte(cell)
+				}
+			}
+		}
+		b.WriteByte('\n')
+	}
+	// Axis.
+	b.WriteString("       +")
+	b.WriteString(strings.Repeat("-", m*opts.CellWidth))
+	b.WriteString("\n        ")
+	for e := 0; e < m; e++ {
+		label := fmt.Sprintf("%d", e%10)
+		b.WriteString(label)
+		b.WriteString(strings.Repeat(" ", opts.CellWidth-len(label)))
+	}
+	b.WriteByte('\n')
+	return b.String()
+}
+
+// RenderInstance draws the bare capacity profile (no tasks scheduled).
+func RenderInstance(in *model.Instance, opts Options) string {
+	return RenderSolution(in, &model.Solution{}, opts)
+}
+
+// Legend lists the scheduled tasks with their glyphs, geometry and weights.
+func Legend(in *model.Instance, sol *model.Solution) string {
+	var b strings.Builder
+	for _, p := range sol.Items {
+		fmt.Fprintf(&b, "  %c: task %d  edges [%d,%d)  demand %d  height %d  weight %d\n",
+			taskGlyph(p.Task.ID), p.Task.ID, p.Task.Start, p.Task.End, p.Task.Demand, p.Height, p.Task.Weight)
+	}
+	if b.Len() == 0 {
+		return "  (no tasks scheduled)\n"
+	}
+	return b.String()
+}
+
+// Summary prints a one-line digest of a solution against its instance.
+func Summary(in *model.Instance, sol *model.Solution) string {
+	return fmt.Sprintf("scheduled %d/%d tasks, weight %d/%d, max makespan %d (min capacity %d)",
+		sol.Len(), len(in.Tasks), sol.Weight(), in.TotalWeight(), sol.MaxMakespan(in.Edges()), in.MinCapacity())
+}

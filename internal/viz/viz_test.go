@@ -1,0 +1,112 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"sapalloc/internal/gen"
+	"sapalloc/internal/model"
+)
+
+func TestRenderSolutionBasics(t *testing.T) {
+	in := &model.Instance{
+		Capacity: []int64{4, 8},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, End: 2, Demand: 2, Weight: 3},
+		},
+	}
+	sol := model.NewSolution(in.Tasks, []int64{0})
+	out := RenderSolution(in, sol, Options{MaxRows: 8, CellWidth: 2})
+	if !strings.Contains(out, "AA") {
+		t.Errorf("task glyph missing:\n%s", out)
+	}
+	if !strings.Contains(out, "░") {
+		t.Errorf("capacity shading missing:\n%s", out)
+	}
+	if !strings.Contains(out, "+--") {
+		t.Errorf("axis missing:\n%s", out)
+	}
+}
+
+func TestRenderEmptyPath(t *testing.T) {
+	out := RenderSolution(&model.Instance{}, &model.Solution{}, Options{})
+	if !strings.Contains(out, "empty path") {
+		t.Errorf("empty path output: %q", out)
+	}
+}
+
+func TestRenderInstanceShowsFreeSpace(t *testing.T) {
+	in := gen.Fig1a()
+	out := RenderInstance(in, Options{MaxRows: 4})
+	if !strings.Contains(out, ".") {
+		t.Errorf("free space missing:\n%s", out)
+	}
+}
+
+func TestRenderScalesLargeCapacities(t *testing.T) {
+	in := gen.Fig8()
+	sol := model.NewSolution(nil, nil)
+	out := RenderSolution(in, sol, Options{MaxRows: 12})
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// 12 height rows + axis + labels.
+	if len(lines) > 15 {
+		t.Errorf("render used %d lines for MaxRows=12", len(lines))
+	}
+}
+
+func TestLegendAndSummary(t *testing.T) {
+	in := gen.Fig1a()
+	sol := model.NewSolution([]model.Task{in.Tasks[0]}, []int64{0})
+	leg := Legend(in, sol)
+	if !strings.Contains(leg, "task 0") || !strings.Contains(leg, "weight 1") {
+		t.Errorf("legend missing fields: %q", leg)
+	}
+	if Legend(in, &model.Solution{}) == "" {
+		t.Errorf("empty legend should still say something")
+	}
+	sum := Summary(in, sol)
+	if !strings.Contains(sum, "1/2 tasks") {
+		t.Errorf("summary: %q", sum)
+	}
+}
+
+func TestTaskGlyphStable(t *testing.T) {
+	if taskGlyph(0) != 'A' || taskGlyph(25) != 'Z' || taskGlyph(26) != '0' {
+		t.Errorf("glyph mapping changed: %c %c %c", taskGlyph(0), taskGlyph(25), taskGlyph(26))
+	}
+	if taskGlyph(62) != taskGlyph(0) {
+		t.Errorf("glyphs should wrap at 62")
+	}
+}
+
+func TestRenderWideCells(t *testing.T) {
+	in := gen.Fig1a()
+	out := RenderSolution(in, &model.Solution{}, Options{MaxRows: 4, CellWidth: 4})
+	lines := strings.Split(out, "\n")
+	// Each height row: 8-char prefix + 3 edges × 4 chars.
+	foundWide := false
+	for _, l := range lines {
+		if strings.Contains(l, "░░░░") {
+			foundWide = true
+		}
+	}
+	if !foundWide {
+		t.Errorf("4-wide cells not rendered:\n%s", out)
+	}
+}
+
+func TestRenderSolutionAllTasksVisible(t *testing.T) {
+	in := gen.Fig8()
+	sol := &model.Solution{}
+	for _, tk := range in.Tasks {
+		b := in.Bottleneck(tk)
+		sol.Items = append(sol.Items, model.Placement{Task: tk, Height: b - tk.Demand})
+	}
+	out := RenderSolution(in, sol, Options{MaxRows: 30})
+	for _, tk := range in.Tasks {
+		glyph := string(taskGlyph(tk.ID))
+		if !strings.Contains(out, glyph) {
+			t.Errorf("task %d (glyph %s) not visible", tk.ID, glyph)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package window_test
+
+import (
+	"fmt"
+
+	"sapalloc/internal/window"
+)
+
+// ExampleSolveExact shows window slack resolving a conflict: two
+// full-height bookings cannot share dates, but a one-day window lets the
+// solver slide the second one clear.
+func ExampleSolveExact() {
+	in := &window.Instance{
+		Capacity: []int64{4, 4, 4},
+		Tasks: []window.Task{
+			{ID: 0, Release: 0, Deadline: 2, Length: 2, Demand: 4, Weight: 5},
+			{ID: 1, Release: 0, Deadline: 3, Length: 1, Demand: 4, Weight: 4},
+		},
+	}
+	sol, err := window.SolveExact(in, window.Options{})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("weight:", sol.Weight())
+	// Output:
+	// weight: 9
+}

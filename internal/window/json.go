@@ -1,0 +1,59 @@
+package window
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// windowJSON is the interchange format for windowed instances.
+type windowJSON struct {
+	Kind     string      `json:"kind"` // "window"
+	Capacity []int64     `json:"capacity"`
+	Tasks    []wtaskJSON `json:"tasks"`
+}
+
+type wtaskJSON struct {
+	ID       int   `json:"id"`
+	Release  int   `json:"release"`
+	Deadline int   `json:"deadline"`
+	Length   int   `json:"length"`
+	Demand   int64 `json:"demand"`
+	Weight   int64 `json:"weight"`
+}
+
+// WriteJSON serialises the windowed instance.
+func (in *Instance) WriteJSON(w io.Writer) error {
+	doc := windowJSON{Kind: "window", Capacity: in.Capacity}
+	for _, t := range in.Tasks {
+		doc.Tasks = append(doc.Tasks, wtaskJSON{
+			ID: t.ID, Release: t.Release, Deadline: t.Deadline,
+			Length: t.Length, Demand: t.Demand, Weight: t.Weight,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadJSON parses a windowed instance written by WriteJSON and validates it.
+func ReadJSON(r io.Reader) (*Instance, error) {
+	var doc windowJSON
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("decode window instance: %w", err)
+	}
+	if doc.Kind != "window" {
+		return nil, fmt.Errorf("decode window instance: kind %q is not a window instance", doc.Kind)
+	}
+	in := &Instance{Capacity: doc.Capacity}
+	for _, t := range doc.Tasks {
+		in.Tasks = append(in.Tasks, Task{
+			ID: t.ID, Release: t.Release, Deadline: t.Deadline,
+			Length: t.Length, Demand: t.Demand, Weight: t.Weight,
+		})
+	}
+	if err := in.Validate(); err != nil {
+		return nil, fmt.Errorf("decode window instance: %w", err)
+	}
+	return in, nil
+}

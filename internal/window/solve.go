@@ -1,0 +1,251 @@
+package window
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Options bounds the exact search.
+type Options struct {
+	// MaxNodes caps the branch-and-bound node count (0 = 20 million).
+	MaxNodes int64
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 20_000_000
+	}
+	return o
+}
+
+// ErrBudget is returned (with the incumbent) when the node cap is hit.
+var ErrBudget = errors.New("window: search budget exhausted")
+
+// ErrTooLarge rejects instances beyond the bitmask width.
+var ErrTooLarge = errors.New("window: instance too large for exact solver")
+
+// MaxTasks caps the exact solver's task count.
+const MaxTasks = 30
+
+// SolveExact computes an optimal windowed-SAP solution by branch and bound.
+// It generalises the grounded-solution search of internal/exact: the
+// branching enumerates, for each remaining task, every window offset, and
+// places the task at the lowest feasible height for that offset; the
+// nondecreasing-height exchange argument of Observation 11 applies to each
+// fixed offset assignment, so the search is complete.
+func SolveExact(in *Instance, opts Options) (*Solution, error) {
+	opts = opts.withDefaults()
+	n := len(in.Tasks)
+	if n > MaxTasks {
+		return nil, fmt.Errorf("%w: %d tasks (max %d)", ErrTooLarge, n, MaxTasks)
+	}
+	s := &winSearcher{in: in, maxNodes: opts.MaxNodes}
+	s.run()
+	sol := &Solution{}
+	for i, pl := range s.bestPlaced {
+		if pl.used {
+			sol.Items = append(sol.Items, Placement{Task: in.Tasks[i], Start: pl.start, Height: pl.height})
+		}
+	}
+	if s.exhausted {
+		return sol, ErrBudget
+	}
+	return sol, nil
+}
+
+type winRect struct {
+	start, end  int
+	bottom, top int64
+}
+
+type winPlace struct {
+	used   bool
+	start  int
+	height int64
+}
+
+type winSearcher struct {
+	in         *Instance
+	maxNodes   int64
+	nodes      int64
+	exhausted  bool
+	bestWeight int64
+	bestPlaced []winPlace
+	placed     []winPlace
+	rects      []winRect
+}
+
+func (s *winSearcher) run() {
+	n := len(s.in.Tasks)
+	s.placed = make([]winPlace, n)
+	s.bestPlaced = make([]winPlace, n)
+	s.greedySeed()
+	full := uint64(0)
+	for i := 0; i < n; i++ {
+		full |= 1 << uint(i)
+	}
+	s.rec(full, 0)
+}
+
+// lowestSlot returns the lowest feasible height for task ti at offset
+// start, or -1.
+func (s *winSearcher) lowestSlot(ti, start int) int64 {
+	t := s.in.Tasks[ti]
+	end := start + t.Length
+	// Capacity ceiling over the chosen interval.
+	ceiling := s.in.Capacity[start]
+	for e := start + 1; e < end; e++ {
+		if s.in.Capacity[e] < ceiling {
+			ceiling = s.in.Capacity[e]
+		}
+	}
+	candidates := []int64{0}
+	for _, r := range s.rects {
+		if r.start < end && start < r.end {
+			candidates = append(candidates, r.top)
+		}
+	}
+	sort.Slice(candidates, func(a, b int) bool { return candidates[a] < candidates[b] })
+	for _, h := range candidates {
+		if h+t.Demand > ceiling {
+			continue
+		}
+		ok := true
+		for _, r := range s.rects {
+			if r.start < end && start < r.end && h < r.top && r.bottom < h+t.Demand {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return h
+		}
+	}
+	return -1
+}
+
+func (s *winSearcher) greedySeed() {
+	n := len(s.in.Tasks)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return s.in.Tasks[order[a]].Weight > s.in.Tasks[order[b]].Weight })
+	var w int64
+	for _, ti := range order {
+		t := s.in.Tasks[ti]
+		bestH := int64(-1)
+		bestStart := -1
+		for start := t.Release; start+t.Length <= t.Deadline; start++ {
+			if h := s.lowestSlot(ti, start); h >= 0 && (bestH < 0 || h < bestH) {
+				bestH, bestStart = h, start
+			}
+		}
+		if bestH >= 0 {
+			s.rects = append(s.rects, winRect{start: bestStart, end: bestStart + t.Length, bottom: bestH, top: bestH + t.Demand})
+			s.placed[ti] = winPlace{used: true, start: bestStart, height: bestH}
+			w += t.Weight
+		}
+	}
+	s.bestWeight = w
+	copy(s.bestPlaced, s.placed)
+	// Reset working state.
+	s.rects = s.rects[:0]
+	for i := range s.placed {
+		s.placed[i] = winPlace{}
+	}
+}
+
+func (s *winSearcher) rec(remaining uint64, cur int64) {
+	s.nodes++
+	if s.nodes > s.maxNodes {
+		s.exhausted = true
+		return
+	}
+	if cur > s.bestWeight {
+		s.bestWeight = cur
+		copy(s.bestPlaced, s.placed)
+	}
+	var rem int64
+	for m := remaining; m != 0; m &= m - 1 {
+		rem += s.in.Tasks[tz(m)].Weight
+	}
+	if cur+rem <= s.bestWeight {
+		return
+	}
+	for m := remaining; m != 0; m &= m - 1 {
+		ti := tz(m)
+		if s.exhausted {
+			return
+		}
+		t := s.in.Tasks[ti]
+		anyOffset := false
+		for start := t.Release; start+t.Length <= t.Deadline; start++ {
+			h := s.lowestSlot(ti, start)
+			if h < 0 {
+				continue
+			}
+			anyOffset = true
+			s.placed[ti] = winPlace{used: true, start: start, height: h}
+			s.rects = append(s.rects, winRect{start: start, end: start + t.Length, bottom: h, top: h + t.Demand})
+			s.rec(remaining&^(1<<uint(ti)), cur+t.Weight)
+			s.rects = s.rects[:len(s.rects)-1]
+			s.placed[ti] = winPlace{}
+		}
+		if !anyOffset {
+			// No offset can ever work deeper in this branch: drop the task.
+			remaining &^= 1 << uint(ti)
+			rem -= t.Weight
+			if cur+rem <= s.bestWeight {
+				return
+			}
+		}
+	}
+}
+
+func tz(m uint64) int {
+	n := 0
+	for m&1 == 0 {
+		m >>= 1
+		n++
+	}
+	return n
+}
+
+// Greedy schedules tasks in decreasing weight/demand·length density,
+// choosing for each the offset with the lowest feasible height. It is the
+// heuristic arm for large windowed instances.
+func Greedy(in *Instance) *Solution {
+	order := make([]int, len(in.Tasks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ta, tb := in.Tasks[order[a]], in.Tasks[order[b]]
+		la := ta.Weight * tb.Demand * int64(tb.Length)
+		lb := tb.Weight * ta.Demand * int64(ta.Length)
+		if la != lb {
+			return la > lb
+		}
+		return ta.ID < tb.ID
+	})
+	s := &winSearcher{in: in}
+	sol := &Solution{}
+	for _, ti := range order {
+		t := in.Tasks[ti]
+		bestH := int64(-1)
+		bestStart := -1
+		for start := t.Release; start+t.Length <= t.Deadline; start++ {
+			if h := s.lowestSlot(ti, start); h >= 0 && (bestH < 0 || h < bestH) {
+				bestH, bestStart = h, start
+			}
+		}
+		if bestH < 0 {
+			continue
+		}
+		s.rects = append(s.rects, winRect{start: bestStart, end: bestStart + t.Length, bottom: bestH, top: bestH + t.Demand})
+		sol.Items = append(sol.Items, Placement{Task: t, Start: bestStart, Height: bestH})
+	}
+	return sol
+}
