@@ -22,6 +22,7 @@ import (
 	"sapalloc/internal/lp"
 	"sapalloc/internal/mediumsap"
 	"sapalloc/internal/model"
+	"sapalloc/internal/oracle"
 	"sapalloc/internal/ringsap"
 	"sapalloc/internal/smallsap"
 	"sapalloc/internal/stretch"
@@ -70,7 +71,7 @@ func BenchmarkE4StripPack(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if err := model.ValidSAP(in, res.Solution); err != nil {
+		if err := oracle.CheckSAP(in, res.Solution); err != nil {
 			b.Fatal(err)
 		}
 	}

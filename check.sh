@@ -8,8 +8,10 @@ echo "== go vet =="
 go vet ./...
 echo "== go test =="
 go test ./...
-echo "== race (concurrent packages) =="
-go test -race ./internal/par/ ./internal/smallsap/ ./internal/mediumsap/ ./internal/ufpp/ ./internal/exact/ ./internal/lp/
+echo "== race =="
+# Race-check everything: a hard-coded package list silently rots as
+# concurrency spreads (it had already missed core's parallel arms).
+go test -race ./...
 echo "== soak (10s) =="
 go run ./cmd/sapstress -duration 10s -seed 1
 echo "== benches (1x) =="

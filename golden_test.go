@@ -13,6 +13,7 @@ import (
 	"sapalloc/internal/exact"
 	"sapalloc/internal/gen"
 	"sapalloc/internal/model"
+	"sapalloc/internal/oracle"
 	"sapalloc/internal/ringsap"
 	"sapalloc/internal/smallsap"
 )
@@ -74,5 +75,47 @@ func TestGoldenPipelineOutputs(t *testing.T) {
 	}
 	if rr.Solution.Weight() != 412 {
 		t.Errorf("ring(seed 2003) = %d, want 412", rr.Solution.Weight())
+	}
+}
+
+// TestGoldenRingOptima pins exact ring optima and the deterministic
+// (10+ε)-pipeline outputs on fixed ring seeds, mirroring the path golden
+// cases above. The exact values are invariant truths of the instances; the
+// ringsap values are deterministic by design.
+func TestGoldenRingOptima(t *testing.T) {
+	cases := []struct {
+		name          string
+		seed          int64
+		edges, tasks  int
+		exact, approx int64
+	}{
+		{"ring901", 901, 4, 6, 337, 326},
+		{"ring902", 902, 5, 7, 371, 346},
+		{"ring903", 903, 6, 8, 313, 247},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ring := gen.Ring(c.seed, c.edges, c.tasks, 8, 33)
+			opt, err := exact.SolveRingSAP(ring, exact.Options{MaxNodes: 30_000_000})
+			if err != nil {
+				t.Fatalf("%v", err)
+			}
+			if opt.Weight() != c.exact {
+				t.Errorf("ring OPT = %d, want %d", opt.Weight(), c.exact)
+			}
+			if err := oracle.CheckRing(ring, opt); err != nil {
+				t.Errorf("exact solution: %v", err)
+			}
+			res, err := ringsap.Solve(ring, ringsap.Params{})
+			if err != nil {
+				t.Fatalf("%v", err)
+			}
+			if res.Solution.Weight() != c.approx {
+				t.Errorf("ringsap = %d, want %d", res.Solution.Weight(), c.approx)
+			}
+			if err := oracle.CheckRing(ring, res.Solution); err != nil {
+				t.Errorf("ringsap solution: %v", err)
+			}
+		})
 	}
 }

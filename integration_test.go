@@ -17,6 +17,7 @@ import (
 	"sapalloc/internal/lp"
 	"sapalloc/internal/mediumsap"
 	"sapalloc/internal/model"
+	"sapalloc/internal/oracle"
 	"sapalloc/internal/ringsap"
 	"sapalloc/internal/smallsap"
 )
@@ -39,7 +40,7 @@ func TestCombinedAlwaysFeasible(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		if model.ValidSAP(in, res.Solution) != nil {
+		if oracle.CheckSAP(in, res.Solution) != nil {
 			return false
 		}
 		_, bound, err := lp.UFPPFractional(in)
@@ -61,7 +62,7 @@ func TestRingAlwaysFeasible(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return model.ValidRingSAP(ring, res.Solution) == nil
+		return oracle.CheckRing(ring, res.Solution) == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
@@ -88,6 +89,9 @@ func TestValidatorFailureInjection(t *testing.T) {
 		if model.ValidSAP(in, bad) == nil {
 			t.Fatalf("trial %d: capacity violation not caught", trial)
 		}
+		if v, ok := oracle.As(oracle.CheckSAP(in, bad)); !ok || v.Kind != oracle.KindCapacity {
+			t.Fatalf("trial %d: oracle misclassified capacity violation: %v", trial, v)
+		}
 		// Corruption 2: drop two overlapping tasks onto each other.
 		bad2 := sol.Clone()
 		collided := false
@@ -100,14 +104,24 @@ func TestValidatorFailureInjection(t *testing.T) {
 				}
 			}
 		}
-		if collided && model.ValidSAP(in, bad2) == nil {
-			t.Fatalf("trial %d: vertical overlap not caught", trial)
+		if collided {
+			if model.ValidSAP(in, bad2) == nil {
+				t.Fatalf("trial %d: vertical overlap not caught", trial)
+			}
+			// Moving a task onto another can also lift it above capacity;
+			// either classification is correct.
+			if v, ok := oracle.As(oracle.CheckSAP(in, bad2)); !ok || (v.Kind != oracle.KindOverlap && v.Kind != oracle.KindCapacity) {
+				t.Fatalf("trial %d: oracle misclassified overlap: %v", trial, v)
+			}
 		}
 		// Corruption 3: negative height.
 		bad3 := sol.Clone()
 		bad3.Items[0].Height = -1
 		if model.ValidSAP(in, bad3) == nil {
 			t.Fatalf("trial %d: negative height not caught", trial)
+		}
+		if v, ok := oracle.As(oracle.CheckSAP(in, bad3)); !ok || v.Kind != oracle.KindNegativeHeight {
+			t.Fatalf("trial %d: oracle misclassified negative height: %v", trial, v)
 		}
 		// Corruption 4: smuggle in a task not in the instance.
 		bad4 := sol.Clone()
@@ -116,6 +130,9 @@ func TestValidatorFailureInjection(t *testing.T) {
 		})
 		if model.ValidSAP(in, bad4) == nil {
 			t.Fatalf("trial %d: foreign task not caught", trial)
+		}
+		if v, ok := oracle.As(oracle.CheckSAP(in, bad4)); !ok || v.Kind != oracle.KindUnknownTask {
+			t.Fatalf("trial %d: oracle misclassified foreign task: %v", trial, v)
 		}
 	}
 }
@@ -131,7 +148,7 @@ func TestGravityOnPipelineOutput(t *testing.T) {
 			t.Fatalf("%v", err)
 		}
 		g := dsa.Gravity(res.Solution)
-		if err := model.ValidSAP(in, g); err != nil {
+		if err := oracle.CheckSAP(in, g); err != nil {
 			t.Fatalf("trial %d: gravity broke pipeline output: %v", trial, err)
 		}
 		if g.Weight() != res.Solution.Weight() {
@@ -216,7 +233,7 @@ func TestDomainWorkloadsEndToEnd(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
-		if err := model.ValidSAP(in, res.Solution); err != nil {
+		if err := oracle.CheckSAP(in, res.Solution); err != nil {
 			t.Fatalf("%s: infeasible: %v", name, err)
 		}
 		if res.Solution.Weight() <= 0 {
@@ -247,7 +264,7 @@ func TestSolveSAPAutoDispatch(t *testing.T) {
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
-	if err := model.ValidSAP(thin, got); err != nil {
+	if err := oracle.CheckSAP(thin, got); err != nil {
 		t.Fatalf("auto(thin) infeasible: %v", err)
 	}
 	direct, err := chendp.Solve(thin, chendp.Options{})

@@ -6,6 +6,7 @@ import (
 
 	"sapalloc/internal/exact"
 	"sapalloc/internal/model"
+	"sapalloc/internal/oracle"
 )
 
 // mixedInstance produces tasks across all three size classes.
@@ -75,7 +76,7 @@ func TestSolveFeasible(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		if err := model.ValidSAP(in, res.Solution); err != nil {
+		if err := oracle.CheckSAP(in, res.Solution); err != nil {
 			t.Fatalf("trial %d: infeasible: %v", trial, err)
 		}
 		if res.NumSmall+res.NumMedium+res.NumLarge != len(in.Tasks) {
@@ -186,7 +187,7 @@ func TestImproveNeverHurts(t *testing.T) {
 			t.Fatalf("%v", err)
 		}
 		improved := Improve(in, res.Solution)
-		if err := model.ValidSAP(in, improved); err != nil {
+		if err := oracle.CheckSAP(in, improved); err != nil {
 			t.Fatalf("trial %d: improved solution infeasible: %v", trial, err)
 		}
 		if improved.Weight() < res.Solution.Weight() {

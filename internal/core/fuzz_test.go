@@ -1,0 +1,40 @@
+package core_test
+
+import (
+	"testing"
+
+	"sapalloc/internal/core"
+	"sapalloc/internal/gen"
+	"sapalloc/internal/oracle"
+)
+
+// FuzzCoreSolve drives the combined (9+ε)-approximation over fuzzer-chosen
+// generator coordinates spanning all demand regimes and feeds every
+// solution through the oracle: no panic, full SAP feasibility, and weight
+// never above the trivial total-weight bound.
+func FuzzCoreSolve(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(9), uint8(0))
+	f.Add(uint64(2), uint8(1), uint8(1), uint8(1))
+	f.Add(uint64(31337), uint8(9), uint8(40), uint8(2))
+	f.Add(uint64(987654321), uint8(12), uint8(24), uint8(3))
+	f.Fuzz(func(t *testing.T, seed uint64, edgesRaw, tasksRaw, classRaw uint8) {
+		cfg := gen.Config{
+			Seed:  int64(seed % (1 << 62)),
+			Edges: int(edgesRaw%12) + 1,
+			Tasks: int(tasksRaw%40) + 1,
+			CapLo: 8, CapHi: 129,
+			Class: gen.Class(classRaw % 4),
+		}
+		in := gen.Random(cfg)
+		res, err := core.Solve(in, core.Params{})
+		if err != nil {
+			t.Fatalf("[replay: %s] solve: %v", cfg.Replay(), err)
+		}
+		if err := oracle.CheckSAP(in, res.Solution); err != nil {
+			t.Fatalf("[replay: %s] %v", cfg.Replay(), err)
+		}
+		if err := oracle.CheckUpper(res.Solution.Weight(), oracle.TotalWeightBound(in)); err != nil {
+			t.Fatalf("[replay: %s] %v", cfg.Replay(), err)
+		}
+	})
+}

@@ -1,0 +1,113 @@
+package difftest_test
+
+import (
+	"testing"
+
+	"sapalloc/internal/difftest"
+	"sapalloc/internal/gen"
+	"sapalloc/internal/model"
+	"sapalloc/internal/oracle"
+)
+
+// TestSAPMatrix is the heart of the differential suite: every SAP solver
+// on every generator cell, oracle-checked and ratio-checked.
+func TestSAPMatrix(t *testing.T) {
+	difftest.RunSAPMatrix(t, difftest.PathCases(), difftest.SAPSolvers())
+}
+
+func TestUFPPMatrix(t *testing.T) {
+	difftest.RunUFPPMatrix(t, difftest.PathCases(), difftest.UFPPSolvers())
+}
+
+func TestRingMatrix(t *testing.T) {
+	difftest.RunRingMatrix(t, difftest.RingCases())
+}
+
+// TestMatrixShape pins the acceptance floor: at least 5 solvers and at
+// least 4 distinct generator classes, so the matrix cannot silently shrink.
+func TestMatrixShape(t *testing.T) {
+	if n := len(difftest.SAPSolvers()); n < 5 {
+		t.Errorf("SAP solver registry has %d rows, want >= 5", n)
+	}
+	classes := map[string]bool{}
+	for _, c := range difftest.PathCases() {
+		classes[c.Name[:4]] = true
+	}
+	if len(classes) < 4 {
+		t.Errorf("case matrix spans %d generator classes (%v), want >= 4", len(classes), classes)
+	}
+	for _, c := range difftest.PathCases() {
+		if c.Replay == "" {
+			t.Errorf("case %s has no replay line", c.Name)
+		}
+	}
+}
+
+// TestComputeBounds checks the bound resolver itself: exact on small
+// instances, LP dominating, and the replay line present in any report.
+func TestComputeBounds(t *testing.T) {
+	cfg := gen.Config{Seed: 7, Edges: 4, Tasks: 8, CapLo: 16, CapHi: 65, Class: gen.Mixed}
+	in := gen.Random(cfg)
+	b, err := difftest.ComputeBounds(in)
+	if err != nil {
+		t.Fatalf("%s: %v", cfg.Replay(), err)
+	}
+	if !b.ExactSAP || !b.ExactUFPP {
+		t.Fatalf("%s: want exact bounds on an 8-task instance, got %+v", cfg.Replay(), b)
+	}
+	lp, err := oracle.LPBound(in)
+	if err != nil {
+		t.Fatalf("%s: lp: %v", cfg.Replay(), err)
+	}
+	if b.UFPP.Value > lp.Value+1e-6*(1+lp.Value) {
+		t.Errorf("%s: UFPP optimum %v above LP bound %v", cfg.Replay(), b.UFPP, lp)
+	}
+
+	big := gen.Random(gen.Config{Seed: 8, Edges: 10, Tasks: 48, CapLo: 64, CapHi: 257})
+	bb, err := difftest.ComputeBounds(big)
+	if err != nil {
+		t.Fatalf("big: %v", err)
+	}
+	if bb.ExactSAP || bb.ExactUFPP {
+		t.Errorf("48-task instance resolved exact bounds %+v, want LP fallback", bb)
+	}
+	if bb.SAP.Source != "lp" || bb.UFPP.Source != "lp" {
+		t.Errorf("big bounds sourced %q/%q, want lp", bb.SAP.Source, bb.UFPP.Source)
+	}
+}
+
+// TestHarnessDetectsBadSolver is the self-test of the harness itself: a
+// deliberately broken solver (overlapping placements, then an inflated
+// weight claim) must be flagged by the matrix runner.
+func TestHarnessDetectsBadSolver(t *testing.T) {
+	overlapper := difftest.SAPSolver{
+		Name: "broken/overlap",
+		Solve: func(in *model.Instance) (*model.Solution, error) {
+			// Stack every task at height 0: any two tasks sharing an edge overlap.
+			sol := &model.Solution{}
+			for _, task := range in.Tasks {
+				sol.Items = append(sol.Items, model.Placement{Task: task, Height: 0})
+			}
+			return sol, nil
+		},
+		Factor: func(*model.Instance) float64 { return 0 },
+	}
+	cases := []difftest.Case{{
+		Name:   "self",
+		Replay: "gen.KnapsackDegenerate(601, 10, 40)",
+		In:     gen.KnapsackDegenerate(601, 10, 40),
+	}}
+	rec := &recordingTB{TB: t}
+	difftest.RunSAPMatrix(rec, cases, []difftest.SAPSolver{overlapper})
+	if rec.failures == 0 {
+		t.Fatal("matrix accepted a solver that stacks all tasks at height 0")
+	}
+}
+
+// recordingTB counts Errorf calls instead of failing the enclosing test.
+type recordingTB struct {
+	testing.TB
+	failures int
+}
+
+func (r *recordingTB) Errorf(string, ...interface{}) { r.failures++ }

@@ -1,0 +1,218 @@
+package difftest
+
+import (
+	"math/rand"
+	"testing"
+
+	"sapalloc/internal/core"
+	"sapalloc/internal/exact"
+	"sapalloc/internal/model"
+	"sapalloc/internal/oracle"
+)
+
+// The metamorphic transforms below encode invariances the paper's
+// reductions rely on. Each returns a rewritten instance plus (where a
+// solution-level mapping exists) a function transporting any feasible
+// solution of the original to a feasible solution of the image. The
+// harness asserts both directions: transported solutions stay
+// oracle-feasible, and the exact optimum moves exactly as predicted.
+
+// Mirror reverses the path: edge e becomes edge m−1−e, a task [s, e)
+// becomes [m−e, m−s). SAP has no left/right asymmetry, so the optimum is
+// invariant and feasibility transports placement-by-placement at unchanged
+// heights.
+func Mirror(in *model.Instance) *model.Instance {
+	m := in.Edges()
+	out := &model.Instance{Capacity: make([]int64, m)}
+	for e, c := range in.Capacity {
+		out.Capacity[m-1-e] = c
+	}
+	for _, t := range in.Tasks {
+		t.Start, t.End = m-t.End, m-t.Start
+		out.Tasks = append(out.Tasks, t)
+	}
+	return out
+}
+
+// ScaleDemands multiplies every demand and capacity by k. By the grounded-
+// solution argument (heights in an optimal solution are sums of demands),
+// heights scale by k too and the optimum weight is invariant.
+func ScaleDemands(in *model.Instance, k int64) *model.Instance {
+	out := &model.Instance{Capacity: make([]int64, in.Edges())}
+	for e, c := range in.Capacity {
+		out.Capacity[e] = c * k
+	}
+	for _, t := range in.Tasks {
+		t.Demand *= k
+		out.Tasks = append(out.Tasks, t)
+	}
+	return out
+}
+
+// ScaleWeights multiplies every weight by k; the optimum scales by exactly
+// k and feasibility is untouched.
+func ScaleWeights(in *model.Instance, k int64) *model.Instance {
+	out := &model.Instance{Capacity: append([]int64(nil), in.Capacity...)}
+	for _, t := range in.Tasks {
+		t.Weight *= k
+		out.Tasks = append(out.Tasks, t)
+	}
+	return out
+}
+
+// PermuteIDs relabels task IDs by a seeded permutation (and shuffles task
+// order). Solvers must not depend on ID values or input order, so the
+// optimum is invariant.
+func PermuteIDs(in *model.Instance, seed int64) (*model.Instance, map[int]int) {
+	r := rand.New(rand.NewSource(seed))
+	perm := r.Perm(len(in.Tasks))
+	idMap := make(map[int]int, len(in.Tasks)) // old ID -> new ID
+	out := &model.Instance{Capacity: append([]int64(nil), in.Capacity...)}
+	for i, t := range in.Tasks {
+		idMap[t.ID] = perm[i]
+		t.ID = perm[i]
+		out.Tasks = append(out.Tasks, t)
+	}
+	r.Shuffle(len(out.Tasks), func(i, j int) {
+		out.Tasks[i], out.Tasks[j] = out.Tasks[j], out.Tasks[i]
+	})
+	return out, idMap
+}
+
+// Clip lowers every edge capacity to the maximum task bottleneck, the
+// lossless normalisation of Observation 2 (model.ClipCapacities, re-checked
+// by experiment E3): every bottleneck is still reachable, so the optimum is
+// invariant — and any solution feasible on the clipped instance is feasible
+// on the original since capacities only shrank.
+//
+// (A strictly tighter per-edge clip — capacity down to the total demand
+// crossing the edge — is sound for UFPP but NOT for SAP: a spanning task
+// can be forced above the crossing load of a lightly-used edge by stacking
+// elsewhere on its path. This harness found that counterexample; see
+// TestClipToCrossingLoadIsUnsound.)
+func Clip(in *model.Instance) *model.Instance {
+	var maxB int64
+	for _, t := range in.Tasks {
+		if b := in.Bottleneck(t); b > maxB {
+			maxB = b
+		}
+	}
+	return in.ClipCapacities(maxB)
+}
+
+// transport rebinds a solution's placements to the transformed instance's
+// tasks (matched through idMap; nil means identity) and rescales heights by
+// hScale. It is the generic solution mapping for Mirror / ScaleDemands /
+// ScaleWeights / PermuteIDs.
+func transport(to *model.Instance, sol *model.Solution, idMap map[int]int, hScale int64) (*model.Solution, bool) {
+	out := &model.Solution{}
+	for _, p := range sol.Items {
+		id := p.Task.ID
+		if idMap != nil {
+			id = idMap[id]
+		}
+		t, ok := to.TaskByID(id)
+		if !ok {
+			return nil, false
+		}
+		out.Items = append(out.Items, model.Placement{Task: t, Height: p.Height * hScale})
+	}
+	return out, true
+}
+
+// exactOpt computes the reference optimum used by the metamorphic
+// assertions (branch-and-bound with the occupancy-DP dispatch).
+func exactOpt(in *model.Instance) (int64, error) {
+	sol, err := exact.SolveSAPAuto(in, exact.Options{MaxNodes: exactNodeBudget}, dpHook)
+	if err != nil {
+		return 0, err
+	}
+	return sol.Weight(), nil
+}
+
+// RunMetamorphic applies every transform to every case: the exact optimum
+// must move exactly as the transform predicts, and a feasible solution of
+// the original (from the combined core solver) must transport to a
+// feasible solution of the image. Cases too large for the exact engine
+// still get the feasibility-transport assertions.
+func RunMetamorphic(t testing.TB, cases []Case) {
+	const k = 3
+	for _, c := range cases {
+		base, err := core.Solve(c.In, core.Params{})
+		if err != nil {
+			t.Errorf("%s [replay: %s]: core: %v", c.Name, c.Replay, err)
+			continue
+		}
+		opt := int64(-1)
+		if len(c.In.Tasks) <= 20 {
+			if opt, err = exactOpt(c.In); err != nil {
+				t.Errorf("%s [replay: %s]: exact: %v", c.Name, c.Replay, err)
+				continue
+			}
+		}
+
+		type variant struct {
+			name    string
+			in      *model.Instance
+			idMap   map[int]int
+			hScale  int64
+			wantOpt int64 // -1: skip the optimum assertion
+		}
+		permuted, idMap := PermuteIDs(c.In, 1000+int64(len(c.In.Tasks)))
+		variants := []variant{
+			{"mirror", Mirror(c.In), nil, 1, opt},
+			{"scale-demands", ScaleDemands(c.In, k), nil, k, opt},
+			{"scale-weights", ScaleWeights(c.In, k), nil, 1, mulOrSkip(opt, k)},
+			{"permute-ids", permuted, idMap, 1, opt},
+		}
+		for _, v := range variants {
+			mapped, ok := transport(v.in, base.Solution, v.idMap, v.hScale)
+			if !ok {
+				t.Errorf("%s/%s [replay: %s]: solution transport lost a task", c.Name, v.name, c.Replay)
+				continue
+			}
+			if err := oracle.CheckSAP(v.in, mapped); err != nil {
+				t.Errorf("%s/%s [replay: %s]: transported solution infeasible: %v", c.Name, v.name, c.Replay, err)
+			}
+			if v.wantOpt >= 0 {
+				got, err := exactOpt(v.in)
+				if err != nil {
+					t.Errorf("%s/%s [replay: %s]: exact: %v", c.Name, v.name, c.Replay, err)
+				} else if got != v.wantOpt {
+					t.Errorf("%s/%s [replay: %s]: optimum %d after transform, want %d",
+						c.Name, v.name, c.Replay, got, v.wantOpt)
+				}
+			}
+		}
+
+		// Clip has a one-way solution mapping (clipped ⇒ original), so it
+		// gets its own pair of assertions.
+		clipped := Clip(c.In)
+		cres, err := core.Solve(clipped, core.Params{})
+		if err != nil {
+			t.Errorf("%s/clip [replay: %s]: core: %v", c.Name, c.Replay, err)
+		} else {
+			mapped, ok := transport(c.In, cres.Solution, nil, 1)
+			if !ok {
+				t.Errorf("%s/clip [replay: %s]: solution transport lost a task", c.Name, c.Replay)
+			} else if err := oracle.CheckSAP(c.In, mapped); err != nil {
+				t.Errorf("%s/clip [replay: %s]: clipped solution infeasible on original: %v", c.Name, c.Replay, err)
+			}
+		}
+		if opt >= 0 {
+			got, err := exactOpt(clipped)
+			if err != nil {
+				t.Errorf("%s/clip [replay: %s]: exact: %v", c.Name, c.Replay, err)
+			} else if got != opt {
+				t.Errorf("%s/clip [replay: %s]: optimum %d after clipping, want %d", c.Name, c.Replay, got, opt)
+			}
+		}
+	}
+}
+
+func mulOrSkip(opt, k int64) int64 {
+	if opt < 0 {
+		return -1
+	}
+	return opt * k
+}

@@ -1,0 +1,126 @@
+package difftest_test
+
+import (
+	"testing"
+
+	"sapalloc/internal/difftest"
+	"sapalloc/internal/exact"
+	"sapalloc/internal/gen"
+	"sapalloc/internal/model"
+)
+
+func TestMetamorphic(t *testing.T) {
+	difftest.RunMetamorphic(t, difftest.PathCases())
+}
+
+// TestTransformsPreserveShape sanity-checks the transforms structurally,
+// independent of any solver.
+func TestTransformsPreserveShape(t *testing.T) {
+	cfg := gen.Config{Seed: 11, Edges: 6, Tasks: 12, CapLo: 16, CapHi: 65, Class: gen.Mixed}
+	in := gen.Random(cfg)
+
+	mir := difftest.Mirror(in)
+	if mir.Edges() != in.Edges() || len(mir.Tasks) != len(in.Tasks) {
+		t.Fatalf("%s: mirror changed shape", cfg.Replay())
+	}
+	if difftest.Mirror(mir).TotalWeight() != in.TotalWeight() {
+		t.Errorf("%s: double mirror changed total weight", cfg.Replay())
+	}
+	for i, tk := range difftest.Mirror(mir).Tasks {
+		if tk != in.Tasks[i] {
+			t.Fatalf("%s: mirror is not an involution: task %v vs %v", cfg.Replay(), tk, in.Tasks[i])
+		}
+	}
+
+	sc := difftest.ScaleDemands(in, 5)
+	for i, tk := range sc.Tasks {
+		if tk.Demand != 5*in.Tasks[i].Demand {
+			t.Fatalf("%s: demand not scaled: %v", cfg.Replay(), tk)
+		}
+	}
+	for e, c := range sc.Capacity {
+		if c != 5*in.Capacity[e] {
+			t.Fatalf("%s: capacity not scaled on edge %d", cfg.Replay(), e)
+		}
+	}
+
+	sw := difftest.ScaleWeights(in, 7)
+	if sw.TotalWeight() != 7*in.TotalWeight() {
+		t.Errorf("%s: total weight not scaled by 7", cfg.Replay())
+	}
+
+	perm, idMap := difftest.PermuteIDs(in, 99)
+	if len(perm.Tasks) != len(in.Tasks) {
+		t.Fatalf("%s: permute dropped tasks", cfg.Replay())
+	}
+	seen := map[int]bool{}
+	for _, tk := range in.Tasks {
+		nid, ok := idMap[tk.ID]
+		if !ok {
+			t.Fatalf("%s: no mapping for task %d", cfg.Replay(), tk.ID)
+		}
+		if seen[nid] {
+			t.Fatalf("%s: ID %d assigned twice", cfg.Replay(), nid)
+		}
+		seen[nid] = true
+		nt, ok := perm.TaskByID(nid)
+		if !ok {
+			t.Fatalf("%s: permuted instance lacks task %d", cfg.Replay(), nid)
+		}
+		if nt.Start != tk.Start || nt.End != tk.End || nt.Demand != tk.Demand || nt.Weight != tk.Weight {
+			t.Fatalf("%s: permutation altered task payload: %v vs %v", cfg.Replay(), nt, tk)
+		}
+	}
+
+	cl := difftest.Clip(in)
+	for e, c := range cl.Capacity {
+		if c > in.Capacity[e] {
+			t.Fatalf("%s: clip raised capacity on edge %d", cfg.Replay(), e)
+		}
+	}
+	if difftest.Clip(cl).Capacity[0] != cl.Capacity[0] {
+		t.Errorf("%s: clip is not idempotent", cfg.Replay())
+	}
+}
+
+// TestClipToCrossingLoadIsUnsound pins a counterexample the differential
+// matrix discovered: clipping an edge capacity down to the total demand
+// crossing it — sound for UFPP, where load is all that matters — changes
+// the SAP optimum, because a spanning task can be forced above a lightly
+// used edge's crossing load by stacking elsewhere on its path. difftest.Clip
+// therefore clips to the max bottleneck (Observation 2) instead.
+func TestClipToCrossingLoadIsUnsound(t *testing.T) {
+	cfg := gen.Config{Seed: 102, Edges: 4, Tasks: 9, CapLo: 16, CapHi: 65, Class: gen.Medium}
+	in := gen.Random(cfg)
+	opt := mustOpt(t, in)
+
+	crossClipped := in.Clone()
+	load := make([]int64, in.Edges())
+	for _, tk := range in.Tasks {
+		for e := tk.Start; e < tk.End; e++ {
+			load[e] += tk.Demand
+		}
+	}
+	for e, c := range crossClipped.Capacity {
+		if load[e] < c {
+			crossClipped.Capacity[e] = load[e]
+		}
+	}
+	if got := mustOpt(t, crossClipped); got >= opt {
+		t.Errorf("%s: crossing-load clip kept optimum %d >= %d — counterexample no longer reproduces",
+			cfg.Replay(), got, opt)
+	}
+
+	if got := mustOpt(t, difftest.Clip(in)); got != opt {
+		t.Errorf("%s: bottleneck clip changed optimum %d -> %d", cfg.Replay(), opt, got)
+	}
+}
+
+func mustOpt(t *testing.T, in *model.Instance) int64 {
+	t.Helper()
+	sol, err := exact.SolveSAP(in, exact.Options{MaxNodes: 4_000_000})
+	if err != nil {
+		t.Fatalf("exact: %v", err)
+	}
+	return sol.Weight()
+}

@@ -7,6 +7,7 @@
 package gen
 
 import (
+	"fmt"
 	"math/rand"
 
 	"sapalloc/internal/model"
@@ -37,6 +38,20 @@ func (c Class) String() string {
 		return "large"
 	default:
 		return "mixed"
+	}
+}
+
+// GoName returns the exported Go identifier of the class, for replay lines.
+func (c Class) GoName() string {
+	switch c {
+	case Small:
+		return "Small"
+	case Medium:
+		return "Medium"
+	case Large:
+		return "Large"
+	default:
+		return "Mixed"
 	}
 }
 
@@ -76,6 +91,16 @@ func (c Config) withDefaults() Config {
 		c.MaxSpan = c.Edges
 	}
 	return c
+}
+
+// Replay renders the Go one-liner that regenerates exactly this instance.
+// Test harnesses print it in every failure report so any generated
+// counterexample can be pasted back into a test verbatim.
+func (c Config) Replay() string {
+	c = c.withDefaults()
+	return fmt.Sprintf(
+		"gen.Random(gen.Config{Seed: %d, Edges: %d, Tasks: %d, CapLo: %d, CapHi: %d, Class: gen.%s, MaxWeight: %d, MaxSpan: %d})",
+		c.Seed, c.Edges, c.Tasks, c.CapLo, c.CapHi, c.Class.GoName(), c.MaxWeight, c.MaxSpan)
 }
 
 // Random generates a deterministic random instance per the configuration.

@@ -329,3 +329,33 @@ func TestGapChain(t *testing.T) {
 		t.Errorf("GapChain(99) tasks = %d", len(got.Tasks))
 	}
 }
+
+func TestConfigReplay(t *testing.T) {
+	cfg := Config{Seed: 42, Edges: 7, Tasks: 13, CapLo: 16, CapHi: 65, Class: Medium}
+	line := cfg.Replay()
+	want := "gen.Random(gen.Config{Seed: 42, Edges: 7, Tasks: 13, CapLo: 16, CapHi: 65, Class: gen.Medium, MaxWeight: 100, MaxSpan: 7})"
+	if line != want {
+		t.Errorf("Replay = %q, want %q", line, want)
+	}
+	// The replay line spells out every defaulted field, so regenerating
+	// from the rendered values reproduces the instance bit for bit.
+	full := Config{Seed: 42, Edges: 7, Tasks: 13, CapLo: 16, CapHi: 65, Class: Medium, MaxWeight: 100, MaxSpan: 7}
+	a, b := Random(cfg), Random(full)
+	if len(a.Tasks) != len(b.Tasks) {
+		t.Fatalf("replayed instance differs in size")
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("task %d differs: %v vs %v", i, a.Tasks[i], b.Tasks[i])
+		}
+	}
+}
+
+func TestClassGoName(t *testing.T) {
+	names := map[Class]string{Mixed: "Mixed", Small: "Small", Medium: "Medium", Large: "Large"}
+	for c, want := range names {
+		if got := c.GoName(); got != want {
+			t.Errorf("GoName(%v) = %q, want %q", c, got, want)
+		}
+	}
+}

@@ -227,12 +227,76 @@ func TestSegTreeMatchesNaive(t *testing.T) {
 	}
 }
 
+func TestSegTreeAssign(t *testing.T) {
+	s := NewSegTree(8)
+	s.Add(0, 8, 5)
+	s.Assign(2, 6, -3)
+	want := []int64{5, 5, -3, -3, -3, -3, 5, 5}
+	for i, w := range want {
+		if got := s.Get(i); got != w {
+			t.Fatalf("after assign: Get(%d) = %d, want %d", i, got, w)
+		}
+	}
+	// Add on top of a pending assign must shift the assigned range.
+	s.Add(0, 8, 2)
+	if got := s.Max(2, 6); got != -1 {
+		t.Errorf("Max assigned+added = %d, want -1", got)
+	}
+	if got := s.Max(0, 2); got != 7 {
+		t.Errorf("Max untouched+added = %d, want 7", got)
+	}
+}
+
+// Assign interleaved with Add and Max must track a naive array exactly.
+func TestSegTreeAssignMatchesNaive(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	const n = 29
+	s := NewSegTree(n)
+	naive := make([]int64, n)
+	for op := 0; op < 3000; op++ {
+		lo := r.Intn(n)
+		hi := lo + r.Intn(n-lo)
+		switch r.Intn(3) {
+		case 0:
+			v := int64(r.Intn(21) - 10)
+			s.Add(lo, hi, v)
+			for i := lo; i < hi; i++ {
+				naive[i] += v
+			}
+		case 1:
+			v := int64(r.Intn(41) - 20)
+			s.Assign(lo, hi, v)
+			for i := lo; i < hi; i++ {
+				naive[i] = v
+			}
+		default:
+			var want int64
+			for i := lo; i < hi; i++ {
+				if i == lo || naive[i] > want {
+					want = naive[i]
+				}
+			}
+			if got := s.Max(lo, hi); got != want {
+				t.Fatalf("op %d: Max(%d,%d) = %d, want %d", op, lo, hi, got, want)
+			}
+		}
+	}
+	snap := s.Snapshot()
+	for i := range naive {
+		if snap[i] != naive[i] {
+			t.Fatalf("snapshot[%d] = %d, want %d", i, snap[i], naive[i])
+		}
+	}
+}
+
 func TestSegTreePanics(t *testing.T) {
 	s := NewSegTree(5)
 	for _, fn := range []func(){
 		func() { s.Add(-1, 3, 1) },
 		func() { s.Add(0, 6, 1) },
 		func() { s.Add(3, 2, 1) },
+		func() { s.Assign(-1, 3, 1) },
+		func() { s.Assign(0, 6, 1) },
 		func() { s.Max(-1, 2) },
 		func() { NewSegTree(-1) },
 	} {

@@ -1,13 +1,18 @@
 package intervals
 
-// SegTree is a lazy segment tree over positions 0..n-1 supporting range add
-// and range max of int64 values. It backs the first-fit contiguous
-// allocator (skyline queries over edges) and fast load/makespan profiles.
-// The zero tree has size 0; use NewSegTree.
+// SegTree is a lazy segment tree over positions 0..n-1 supporting range
+// add, range assign and range max of int64 values. It backs the first-fit
+// contiguous allocator (skyline queries over edges), fast load/makespan
+// profiles, and the oracle's feasibility sweeps. The zero tree has size 0;
+// use NewSegTree.
 type SegTree struct {
-	n    int
-	mx   []int64
-	lazy []int64
+	n  int
+	mx []int64
+	// Lazy state per node: a pending "assign setv, then add addv". A
+	// pending assign subsumes any earlier pending add on the node.
+	addv []int64
+	setv []int64
+	has  []bool
 }
 
 // NewSegTree returns a tree over n positions, all values zero.
@@ -22,22 +27,50 @@ func NewSegTree(n int) *SegTree {
 	if n == 0 {
 		size = 1
 	}
-	return &SegTree{n: n, mx: make([]int64, 2*size), lazy: make([]int64, 2*size)}
+	return &SegTree{
+		n:    n,
+		mx:   make([]int64, 2*size),
+		addv: make([]int64, 2*size),
+		setv: make([]int64, 2*size),
+		has:  make([]bool, 2*size),
+	}
 }
 
 // Len returns the number of positions.
 func (s *SegTree) Len() int { return s.n }
 
-func (s *SegTree) push(node int) {
-	if l := s.lazy[node]; l != 0 {
-		for _, c := range [2]int{2*node + 1, 2*node + 2} {
-			if c < len(s.mx) {
-				s.mx[c] += l
-				s.lazy[c] += l
-			}
-		}
-		s.lazy[node] = 0
+// applySet replaces the node's whole range with v, discarding pending adds.
+func (s *SegTree) applySet(node int, v int64) {
+	s.mx[node] = v
+	s.setv[node] = v
+	s.has[node] = true
+	s.addv[node] = 0
+}
+
+// applyAdd shifts the node's whole range by v, folding into a pending
+// assign when one is queued (assign-then-add composes to a shifted assign).
+func (s *SegTree) applyAdd(node int, v int64) {
+	s.mx[node] += v
+	if s.has[node] {
+		s.setv[node] += v
+	} else {
+		s.addv[node] += v
 	}
+}
+
+func (s *SegTree) push(node int) {
+	for _, c := range [2]int{2*node + 1, 2*node + 2} {
+		if c >= len(s.mx) {
+			continue
+		}
+		if s.has[node] {
+			s.applySet(c, s.setv[node])
+		} else if s.addv[node] != 0 {
+			s.applyAdd(c, s.addv[node])
+		}
+	}
+	s.has[node] = false
+	s.addv[node] = 0
 }
 
 // Add adds v to every position in [lo, hi).
@@ -48,26 +81,40 @@ func (s *SegTree) Add(lo, hi int, v int64) {
 	if lo == hi || v == 0 {
 		return
 	}
-	s.add(0, 0, s.leafSpan(), lo, hi, v)
+	s.update(0, 0, s.leafSpan(), lo, hi, v, false)
+}
+
+// Assign sets every position in [lo, hi) to v.
+func (s *SegTree) Assign(lo, hi int, v int64) {
+	if lo < 0 || hi > s.n || lo > hi {
+		panic("intervals: Assign range out of bounds")
+	}
+	if lo == hi {
+		return
+	}
+	s.update(0, 0, s.leafSpan(), lo, hi, v, true)
 }
 
 func (s *SegTree) leafSpan() int {
 	return (len(s.mx) + 1) / 2
 }
 
-func (s *SegTree) add(node, nodeLo, nodeHi, lo, hi int, v int64) {
+func (s *SegTree) update(node, nodeLo, nodeHi, lo, hi int, v int64, assign bool) {
 	if hi <= nodeLo || nodeHi <= lo {
 		return
 	}
 	if lo <= nodeLo && nodeHi <= hi {
-		s.mx[node] += v
-		s.lazy[node] += v
+		if assign {
+			s.applySet(node, v)
+		} else {
+			s.applyAdd(node, v)
+		}
 		return
 	}
 	s.push(node)
 	mid := (nodeLo + nodeHi) / 2
-	s.add(2*node+1, nodeLo, mid, lo, hi, v)
-	s.add(2*node+2, mid, nodeHi, lo, hi, v)
+	s.update(2*node+1, nodeLo, mid, lo, hi, v, assign)
+	s.update(2*node+2, mid, nodeHi, lo, hi, v, assign)
 	s.mx[node] = max64(s.mx[2*node+1], s.mx[2*node+2])
 }
 

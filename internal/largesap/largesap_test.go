@@ -6,6 +6,7 @@ import (
 
 	"sapalloc/internal/exact"
 	"sapalloc/internal/model"
+	"sapalloc/internal/oracle"
 )
 
 // kLargeInstance generates a random 1/k-large instance: every demand is in
@@ -160,7 +161,7 @@ func TestSolveFeasibleAndWithinBound(t *testing.T) {
 			if err != nil {
 				t.Fatalf("k=%d trial %d: %v", k, trial, err)
 			}
-			if err := model.ValidSAP(in, sol); err != nil {
+			if err := oracle.CheckSAP(in, sol); err != nil {
 				t.Fatalf("k=%d trial %d: infeasible: %v", k, trial, err)
 			}
 			opt, err := exact.SolveSAP(in, exact.Options{})
@@ -168,9 +169,8 @@ func TestSolveFeasibleAndWithinBound(t *testing.T) {
 				t.Fatalf("k=%d trial %d: exact: %v", k, trial, err)
 			}
 			// Theorem 3: (2k−1)-approximation.
-			if int64(2*k-1)*sol.Weight() < opt.Weight() {
-				t.Fatalf("k=%d trial %d: weight %d below OPT/%d (OPT=%d)",
-					k, trial, sol.Weight(), 2*k-1, opt.Weight())
+			if err := oracle.CheckRatio(sol.Weight(), float64(2*k-1), oracle.ExactBound(opt.Weight())); err != nil {
+				t.Fatalf("k=%d trial %d: %v", k, trial, err)
 			}
 		}
 	}

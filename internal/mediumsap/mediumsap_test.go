@@ -6,6 +6,7 @@ import (
 
 	"sapalloc/internal/exact"
 	"sapalloc/internal/model"
+	"sapalloc/internal/oracle"
 )
 
 // mediumInstance generates tasks that are δ-large and (1−2β)-small for
@@ -74,7 +75,7 @@ func TestSolveFeasibleAndWithinBound(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		if err := model.ValidSAP(in, res.Solution); err != nil {
+		if err := oracle.CheckSAP(in, res.Solution); err != nil {
 			t.Fatalf("trial %d: infeasible: %v", trial, err)
 		}
 		opt, err := exact.SolveSAP(in, exact.Options{})
@@ -82,8 +83,8 @@ func TestSolveFeasibleAndWithinBound(t *testing.T) {
 			t.Fatalf("trial %d: exact: %v", trial, err)
 		}
 		// Theorem 2: (2+ε)-approximation with ε=0.5 → factor 2.5.
-		if 5*res.Solution.Weight() < 2*opt.Weight() { // w ≥ OPT/2.5 ⟺ 5w ≥ 2·OPT
-			t.Fatalf("trial %d: weight %d below OPT/2.5 (OPT=%d)", trial, res.Solution.Weight(), opt.Weight())
+		if err := oracle.CheckRatio(res.Solution.Weight(), 2.5, oracle.ExactBound(opt.Weight())); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
 		}
 	}
 }
@@ -156,10 +157,10 @@ func TestElevatePartitionProperty(t *testing.T) {
 		if !IsElevated(lifted, k, 1, 4) || !IsElevated(kept, k, 1, 4) {
 			t.Fatalf("partition not elevated")
 		}
-		if err := model.ValidSAP(in, lifted); err != nil {
+		if err := oracle.CheckSAP(in, lifted); err != nil {
 			t.Fatalf("trial %d: lifted infeasible: %v", trial, err)
 		}
-		if err := model.ValidSAP(in, kept); err != nil {
+		if err := oracle.CheckSAP(in, kept); err != nil {
 			t.Fatalf("trial %d: kept infeasible: %v", trial, err)
 		}
 		if lifted.Weight()+kept.Weight() != opt.Weight() {
@@ -196,7 +197,7 @@ func TestElevatorProducesElevated2Approx(t *testing.T) {
 		if !IsElevated(sol, k, 1, 4) {
 			t.Fatalf("trial %d: Elevator output not elevated", trial)
 		}
-		if err := model.ValidSAP(in, sol); err != nil {
+		if err := oracle.CheckSAP(in, sol); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
 		classIn := in.Restrict(class)
@@ -235,7 +236,7 @@ func TestSolveStacksDistantClasses(t *testing.T) {
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
-	if err := model.ValidSAP(in, res.Solution); err != nil {
+	if err := oracle.CheckSAP(in, res.Solution); err != nil {
 		t.Fatalf("infeasible: %v", err)
 	}
 	if res.Solution.Weight() == 0 {
@@ -261,7 +262,7 @@ func TestParamsOtherBetas(t *testing.T) {
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
-	if err := model.ValidSAP(in, res.Solution); err != nil {
+	if err := oracle.CheckSAP(in, res.Solution); err != nil {
 		t.Fatalf("infeasible with β=1/8: %v", err)
 	}
 }

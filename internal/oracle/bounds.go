@@ -1,0 +1,79 @@
+package oracle
+
+import (
+	"fmt"
+
+	"sapalloc/internal/lp"
+	"sapalloc/internal/model"
+)
+
+// Bound is an upper bound on the SAP (or UFPP) optimum with provenance, the
+// reference point of ratio assertions. Soundness of CheckRatio only needs
+// Value ≥ OPT; tightness determines how sharp the assertion is.
+type Bound struct {
+	Value  float64
+	Source string
+}
+
+func (b Bound) String() string { return fmt.Sprintf("%g (%s)", b.Value, b.Source) }
+
+// ExactBound wraps an exact optimum (e.g. from internal/exact); with it,
+// CheckRatio asserts the theorem's guarantee verbatim.
+func ExactBound(opt int64) Bound {
+	return Bound{Value: float64(opt), Source: "exact"}
+}
+
+// LPBound solves the UFPP LP relaxation (1) of the instance. The
+// fractional optimum upper-bounds OPT_UFPP and hence OPT_SAP (every SAP
+// solution is a UFPP solution), so it is a sound Bound for both problems
+// on instances too large for the exact solvers.
+func LPBound(in *model.Instance) (Bound, error) {
+	_, opt, err := lp.UFPPFractional(in)
+	if err != nil {
+		return Bound{}, fmt.Errorf("oracle: LP bound: %w", err)
+	}
+	return Bound{Value: opt, Source: "lp"}, nil
+}
+
+// TotalWeightBound is the trivial bound w(J); it is always sound and makes
+// CheckRatio assert only that the solver recovers a 1/factor fraction of
+// the whole request set — useful as a vacuity guard on dense instances.
+func TotalWeightBound(in *model.Instance) Bound {
+	return Bound{Value: float64(in.TotalWeight()), Source: "total-weight"}
+}
+
+// ratioTol absorbs float rounding in LP-sourced bounds; exact bounds are
+// integral and unaffected in practice.
+const ratioTol = 1e-6
+
+// CheckRatio asserts the approximation guarantee "weight ≥ bound/factor":
+// a factor-approximation algorithm must achieve at least a 1/factor
+// fraction of any upper bound on the optimum. It returns nil when the
+// guarantee holds and a KindRatio *Violation otherwise.
+func CheckRatio(got int64, factor float64, b Bound) error {
+	if factor <= 0 {
+		return fmt.Errorf("oracle: non-positive approximation factor %g", factor)
+	}
+	if float64(got)*factor+ratioTol*(1+b.Value) < b.Value {
+		return &Violation{
+			Kind: KindRatio, Edge: -1,
+			Detail: fmt.Sprintf("weight %d below bound %v / factor %g = %g",
+				got, b, factor, b.Value/factor),
+		}
+	}
+	return nil
+}
+
+// CheckUpper asserts the dual sanity condition "weight ≤ bound": no
+// feasible solution may exceed an upper bound on the optimum. A breach
+// means the bound, the solver, or the oracle itself is wrong — the
+// differential harness applies it to every solver on every instance.
+func CheckUpper(got int64, b Bound) error {
+	if float64(got) > b.Value+ratioTol*(1+b.Value) {
+		return &Violation{
+			Kind: KindRatio, Edge: -1,
+			Detail: fmt.Sprintf("weight %d exceeds upper bound %v", got, b),
+		}
+	}
+	return nil
+}

@@ -1,0 +1,317 @@
+// Package oracle is the solver-independent correctness authority of the
+// library: it checks any solution — SAP on paths, SAP on rings, UFPP task
+// sets — against its instance and reports structured violations naming the
+// offending task IDs and edge, and it asserts per-theorem approximation
+// ratios against an upper bound on the optimum (exact, LP, or total
+// weight).
+//
+// Every solver package's tests and the differential harness
+// (internal/difftest) funnel through this package, so a solver refactor
+// that silently breaks feasibility or a theorem bound fails in one place
+// with a replayable report rather than in N divergent ad-hoc checks.
+//
+// The SAP feasibility definition checked here is the paper's Section 2:
+// a triple (S, h) is feasible iff
+//
+//  1. every scheduled task belongs to the instance, exactly once;
+//  2. heights are non-negative and h(j) + d_j ≤ c_e on every edge e of
+//     the task's sub-path (capacity);
+//  3. tasks whose sub-paths share an edge occupy vertically disjoint
+//     ranges [h(j), h(j)+d_j) (disjointness).
+//
+// Disjointness runs in O(n log n + m log m) via a bottom-up sweep over a
+// range-assign segment tree (internal/intervals): processing placements by
+// increasing height, a conflict with an earlier placement exists iff the
+// maximum top recorded on the task's edge range exceeds the task's bottom.
+package oracle
+
+import (
+	"fmt"
+	"sort"
+
+	"sapalloc/internal/intervals"
+	"sapalloc/internal/model"
+)
+
+// Kind classifies a violation.
+type Kind int
+
+const (
+	// KindUnknownTask flags a scheduled task that is not in the instance
+	// (or whose fields disagree with the instance's task of the same ID).
+	KindUnknownTask Kind = iota
+	// KindDuplicateID flags a task scheduled more than once.
+	KindDuplicateID
+	// KindNegativeHeight flags h(j) < 0.
+	KindNegativeHeight
+	// KindCapacity flags h(j) + d_j > c_e on an edge of the task's path.
+	KindCapacity
+	// KindOverlap flags two tasks sharing an edge with intersecting
+	// vertical ranges.
+	KindOverlap
+	// KindLoad flags a UFPP edge load above its capacity.
+	KindLoad
+	// KindWeight flags a reported objective that disagrees with the
+	// recomputed solution weight.
+	KindWeight
+	// KindRatio flags a solution weight below bound/factor, i.e. an
+	// approximation-guarantee breach.
+	KindRatio
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindUnknownTask:
+		return "unknown-task"
+	case KindDuplicateID:
+		return "duplicate-id"
+	case KindNegativeHeight:
+		return "negative-height"
+	case KindCapacity:
+		return "capacity"
+	case KindOverlap:
+		return "overlap"
+	case KindLoad:
+		return "load"
+	case KindWeight:
+		return "weight"
+	default:
+		return "ratio"
+	}
+}
+
+// Violation is one structured infeasibility report. It wraps
+// model.ErrInfeasible, so errors.Is(err, model.ErrInfeasible) holds for
+// every oracle rejection.
+type Violation struct {
+	Kind Kind
+	// TaskIDs names the offending tasks (one for capacity/duplicate/...,
+	// two for overlaps, all tasks on the edge for loads).
+	TaskIDs []int
+	// Edge is the offending edge index, or -1 when not edge-specific.
+	Edge int
+	// Detail is a human-readable account of the violation.
+	Detail string
+}
+
+func (v *Violation) Error() string {
+	return fmt.Sprintf("oracle: %s violation (tasks %v, edge %d): %s", v.Kind, v.TaskIDs, v.Edge, v.Detail)
+}
+
+// Unwrap ties oracle rejections into the model's error taxonomy.
+func (v *Violation) Unwrap() error { return model.ErrInfeasible }
+
+// As extracts the structured violation from an oracle error, if any.
+func As(err error) (*Violation, bool) {
+	v, ok := err.(*Violation)
+	return v, ok
+}
+
+// CheckSAP verifies full SAP feasibility of the solution for the instance.
+// It returns nil when feasible and a *Violation describing the first
+// breach otherwise.
+func CheckSAP(in *model.Instance, sol *model.Solution) error {
+	m := in.Edges()
+	byID := make(map[int]model.Task, len(in.Tasks))
+	for _, t := range in.Tasks {
+		byID[t.ID] = t
+	}
+	// Negated capacities make the range-max tree answer range-min queries:
+	// the bottleneck of [s, e) is -Max(s, e).
+	capTree := intervals.NewSegTree(m)
+	for e, c := range in.Capacity {
+		capTree.Assign(e, e+1, -c)
+	}
+	seen := make(map[int]bool, len(sol.Items))
+	for _, p := range sol.Items {
+		t, ok := byID[p.Task.ID]
+		if !ok || t != p.Task {
+			return &Violation{
+				Kind: KindUnknownTask, TaskIDs: []int{p.Task.ID}, Edge: -1,
+				Detail: fmt.Sprintf("%v is not a task of the instance", p.Task),
+			}
+		}
+		if seen[p.Task.ID] {
+			return &Violation{
+				Kind: KindDuplicateID, TaskIDs: []int{p.Task.ID}, Edge: -1,
+				Detail: "task scheduled twice",
+			}
+		}
+		seen[p.Task.ID] = true
+		if p.Height < 0 {
+			return &Violation{
+				Kind: KindNegativeHeight, TaskIDs: []int{p.Task.ID}, Edge: -1,
+				Detail: fmt.Sprintf("height %d is negative", p.Height),
+			}
+		}
+		if b := -capTree.Max(p.Task.Start, p.Task.End); p.Top() > b {
+			// Slow path only on failure: name the exact offending edge.
+			for e := p.Task.Start; e < p.Task.End; e++ {
+				if p.Top() > in.Capacity[e] {
+					return &Violation{
+						Kind: KindCapacity, TaskIDs: []int{p.Task.ID}, Edge: e,
+						Detail: fmt.Sprintf("top %d exceeds capacity %d", p.Top(), in.Capacity[e]),
+					}
+				}
+			}
+		}
+	}
+	return checkDisjoint(m, sol.Items)
+}
+
+// checkDisjoint runs the bottom-up sweep: placements in increasing height
+// order; a placement conflicts with an earlier one iff the maximum top
+// recorded on its edge range exceeds its bottom (earlier bottoms are ≤ the
+// current bottom, so intersection reduces to earlier-top > current-bottom).
+// Absent a conflict the placement's top strictly dominates every recorded
+// value on its range, so a plain range assign maintains the running maxima.
+func checkDisjoint(m int, items []model.Placement) error {
+	order := append([]model.Placement(nil), items...)
+	sort.Slice(order, func(i, j int) bool { return order[i].Height < order[j].Height })
+	tops := intervals.NewSegTree(m)
+	for i, p := range order {
+		if tops.Max(p.Task.Start, p.Task.End) > p.Height {
+			// Failure path: find a witness pair and a shared edge.
+			for j := 0; j < i; j++ {
+				q := order[j]
+				if q.Task.Overlaps(p.Task) && q.Top() > p.Height {
+					e := q.Task.Start
+					if p.Task.Start > e {
+						e = p.Task.Start
+					}
+					return &Violation{
+						Kind: KindOverlap, TaskIDs: []int{q.Task.ID, p.Task.ID}, Edge: e,
+						Detail: fmt.Sprintf("ranges [%d,%d) and [%d,%d) intersect on shared edges",
+							q.Height, q.Top(), p.Height, p.Top()),
+					}
+				}
+			}
+		}
+		tops.Assign(p.Task.Start, p.Task.End, p.Top())
+	}
+	return nil
+}
+
+// CheckUFPP verifies that the task set is a feasible UFPP solution:
+// membership, no duplicates, and per-edge load within capacity.
+func CheckUFPP(in *model.Instance, tasks []model.Task) error {
+	byID := make(map[int]model.Task, len(in.Tasks))
+	for _, t := range in.Tasks {
+		byID[t.ID] = t
+	}
+	seen := make(map[int]bool, len(tasks))
+	m := in.Edges()
+	load := intervals.NewSegTree(m)
+	for _, t := range tasks {
+		it, ok := byID[t.ID]
+		if !ok || it != t {
+			return &Violation{
+				Kind: KindUnknownTask, TaskIDs: []int{t.ID}, Edge: -1,
+				Detail: fmt.Sprintf("%v is not a task of the instance", t),
+			}
+		}
+		if seen[t.ID] {
+			return &Violation{
+				Kind: KindDuplicateID, TaskIDs: []int{t.ID}, Edge: -1,
+				Detail: "task selected twice",
+			}
+		}
+		seen[t.ID] = true
+		load.Add(t.Start, t.End, t.Demand)
+	}
+	for e := 0; e < m; e++ {
+		if l := load.Get(e); l > in.Capacity[e] {
+			var ids []int
+			for _, t := range tasks {
+				if t.Uses(e) {
+					ids = append(ids, t.ID)
+				}
+			}
+			return &Violation{
+				Kind: KindLoad, TaskIDs: ids, Edge: e,
+				Detail: fmt.Sprintf("load %d exceeds capacity %d", l, in.Capacity[e]),
+			}
+		}
+	}
+	return nil
+}
+
+// CheckRing verifies feasibility of a ring SAP solution: membership, no
+// duplicates, non-negative heights, capacity on every edge of each chosen
+// arc, and vertical disjointness on every shared ring edge.
+func CheckRing(r *model.RingInstance, sol *model.RingSolution) error {
+	byID := make(map[int]model.RingTask, len(r.Tasks))
+	for _, t := range r.Tasks {
+		byID[t.ID] = t
+	}
+	used := make(map[int]bool, len(sol.Items))
+	type occ struct {
+		bottom, top int64
+		id          int
+	}
+	perEdge := make([][]occ, r.Edges())
+	for _, p := range sol.Items {
+		t, ok := byID[p.Task.ID]
+		if !ok || t != p.Task {
+			return &Violation{
+				Kind: KindUnknownTask, TaskIDs: []int{p.Task.ID}, Edge: -1,
+				Detail: "ring task is not in the instance",
+			}
+		}
+		if used[p.Task.ID] {
+			return &Violation{
+				Kind: KindDuplicateID, TaskIDs: []int{p.Task.ID}, Edge: -1,
+				Detail: "ring task scheduled twice",
+			}
+		}
+		used[p.Task.ID] = true
+		if p.Height < 0 {
+			return &Violation{
+				Kind: KindNegativeHeight, TaskIDs: []int{p.Task.ID}, Edge: -1,
+				Detail: fmt.Sprintf("height %d is negative", p.Height),
+			}
+		}
+		for _, e := range r.ArcEdges(p.Task, p.Orientation) {
+			if p.Top() > r.Capacity[e] {
+				return &Violation{
+					Kind: KindCapacity, TaskIDs: []int{p.Task.ID}, Edge: e,
+					Detail: fmt.Sprintf("top %d exceeds capacity %d on %s arc", p.Top(), r.Capacity[e], p.Orientation),
+				}
+			}
+			perEdge[e] = append(perEdge[e], occ{bottom: p.Height, top: p.Top(), id: p.Task.ID})
+		}
+	}
+	for e, occs := range perEdge {
+		sort.Slice(occs, func(i, j int) bool { return occs[i].bottom < occs[j].bottom })
+		for i := 1; i < len(occs); i++ {
+			if occs[i].bottom < occs[i-1].top {
+				return &Violation{
+					Kind: KindOverlap, TaskIDs: []int{occs[i-1].id, occs[i].id}, Edge: e,
+					Detail: fmt.Sprintf("ranges [%d,%d) and [%d,%d) intersect",
+						occs[i-1].bottom, occs[i-1].top, occs[i].bottom, occs[i].top),
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckWeight verifies a solver's weight accounting: the reported
+// objective must equal the recomputed weight of the solution.
+func CheckWeight(sol *model.Solution, reported int64) error {
+	if got := sol.Weight(); got != reported {
+		return &Violation{
+			Kind: KindWeight, TaskIDs: taskIDs(sol), Edge: -1,
+			Detail: fmt.Sprintf("reported weight %d, recomputed %d", reported, got),
+		}
+	}
+	return nil
+}
+
+func taskIDs(sol *model.Solution) []int {
+	ids := make([]int, len(sol.Items))
+	for i, p := range sol.Items {
+		ids[i] = p.Task.ID
+	}
+	return ids
+}

@@ -1,0 +1,320 @@
+package oracle_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"sapalloc/internal/core"
+	"sapalloc/internal/exact"
+	"sapalloc/internal/gen"
+	"sapalloc/internal/model"
+	"sapalloc/internal/oracle"
+	"sapalloc/internal/ringsap"
+)
+
+// feasibleFixture returns a generated instance together with a
+// known-feasible solution produced by the combined solver.
+func feasibleFixture(t *testing.T, seed int64) (*model.Instance, *model.Solution) {
+	t.Helper()
+	cfg := gen.Config{Seed: seed, Edges: 5, Tasks: 18, CapLo: 32, CapHi: 129, Class: gen.Mixed}
+	in := gen.Random(cfg)
+	res, err := core.Solve(in, core.Params{})
+	if err != nil {
+		t.Fatalf("replay %s: %v", cfg.Replay(), err)
+	}
+	if res.Solution.Len() < 2 {
+		t.Fatalf("replay %s: fixture too small (%d placements)", cfg.Replay(), res.Solution.Len())
+	}
+	return in, res.Solution
+}
+
+func TestCheckSAPAcceptsFeasible(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		in, sol := feasibleFixture(t, seed)
+		if err := oracle.CheckSAP(in, sol); err != nil {
+			t.Fatalf("seed %d: feasible solution rejected: %v", seed, err)
+		}
+		if err := oracle.CheckWeight(sol, sol.Weight()); err != nil {
+			t.Fatalf("seed %d: correct weight rejected: %v", seed, err)
+		}
+	}
+}
+
+// TestMutationSelfTest is the oracle's own falsifiability proof: every
+// injected violation class must be detected, with the offending task IDs
+// and edge in the structured report.
+func TestMutationSelfTest(t *testing.T) {
+	in, sol := feasibleFixture(t, 3)
+
+	t.Run("overlap", func(t *testing.T) {
+		bad := sol.Clone()
+		var a, b int = -1, -1
+		for i := 0; i < bad.Len() && a < 0; i++ {
+			for j := i + 1; j < bad.Len(); j++ {
+				if bad.Items[i].Task.Overlaps(bad.Items[j].Task) {
+					a, b = i, j
+					break
+				}
+			}
+		}
+		if a < 0 {
+			t.Skip("fixture has no overlapping pair")
+		}
+		bad.Items[b].Height = bad.Items[a].Height // drop b onto a
+		err := oracle.CheckSAP(in, bad)
+		v, ok := oracle.As(err)
+		if !ok || v.Kind != oracle.KindOverlap {
+			t.Fatalf("overlap not detected: %v", err)
+		}
+		ids := map[int]bool{bad.Items[a].Task.ID: true, bad.Items[b].Task.ID: true}
+		for _, id := range v.TaskIDs {
+			if !ids[id] {
+				t.Errorf("reported task %d is not one of the colliding pair %v", id, v.TaskIDs)
+			}
+		}
+		if v.Edge < 0 || !bad.Items[a].Task.Uses(v.Edge) || !bad.Items[b].Task.Uses(v.Edge) {
+			t.Errorf("reported edge %d is not shared by the colliding pair", v.Edge)
+		}
+	})
+
+	t.Run("capacity", func(t *testing.T) {
+		bad := sol.Clone()
+		bad.Items[0].Height = in.Bottleneck(bad.Items[0].Task) // top = b + d > b
+		err := oracle.CheckSAP(in, bad)
+		v, ok := oracle.As(err)
+		if !ok || v.Kind != oracle.KindCapacity {
+			t.Fatalf("capacity breach not detected: %v", err)
+		}
+		if len(v.TaskIDs) != 1 || v.TaskIDs[0] != bad.Items[0].Task.ID {
+			t.Errorf("reported tasks %v, want [%d]", v.TaskIDs, bad.Items[0].Task.ID)
+		}
+		if !bad.Items[0].Task.Uses(v.Edge) || bad.Items[0].Top() <= in.Capacity[v.Edge] {
+			t.Errorf("reported edge %d does not witness the breach", v.Edge)
+		}
+	})
+
+	t.Run("duplicate-id", func(t *testing.T) {
+		bad := sol.Clone()
+		bad.Items = append(bad.Items, bad.Items[0])
+		err := oracle.CheckSAP(in, bad)
+		v, ok := oracle.As(err)
+		if !ok || v.Kind != oracle.KindDuplicateID {
+			t.Fatalf("duplicate not detected: %v", err)
+		}
+		if len(v.TaskIDs) != 1 || v.TaskIDs[0] != bad.Items[0].Task.ID {
+			t.Errorf("reported tasks %v, want [%d]", v.TaskIDs, bad.Items[0].Task.ID)
+		}
+	})
+
+	t.Run("unknown-task", func(t *testing.T) {
+		bad := sol.Clone()
+		bad.Items = append(bad.Items, model.Placement{
+			Task: model.Task{ID: 424242, Start: 0, End: 1, Demand: 1, Weight: 1},
+		})
+		v, ok := oracle.As(oracle.CheckSAP(in, bad))
+		if !ok || v.Kind != oracle.KindUnknownTask || v.TaskIDs[0] != 424242 {
+			t.Fatalf("foreign task not detected: %+v", v)
+		}
+	})
+
+	t.Run("negative-height", func(t *testing.T) {
+		bad := sol.Clone()
+		bad.Items[1].Height = -1
+		v, ok := oracle.As(oracle.CheckSAP(in, bad))
+		if !ok || v.Kind != oracle.KindNegativeHeight {
+			t.Fatalf("negative height not detected: %+v", v)
+		}
+	})
+
+	t.Run("wrong-weight", func(t *testing.T) {
+		err := oracle.CheckWeight(sol, sol.Weight()+1)
+		v, ok := oracle.As(err)
+		if !ok || v.Kind != oracle.KindWeight {
+			t.Fatalf("weight mismatch not detected: %v", err)
+		}
+		if len(v.TaskIDs) != sol.Len() {
+			t.Errorf("weight violation lists %d tasks, want %d", len(v.TaskIDs), sol.Len())
+		}
+	})
+}
+
+// TestCheckSAPAgreesWithModel fuzzes random (often infeasible) placements
+// and asserts the oracle accepts exactly the solutions model.ValidSAP
+// accepts — a differential check between the two independent validators.
+func TestCheckSAPAgreesWithModel(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 400; trial++ {
+		m := 1 + r.Intn(6)
+		in := &model.Instance{Capacity: make([]int64, m)}
+		for e := range in.Capacity {
+			in.Capacity[e] = 1 + r.Int63n(24)
+		}
+		sol := &model.Solution{}
+		for i := 0; i < 1+r.Intn(10); i++ {
+			s := r.Intn(m)
+			e := s + 1 + r.Intn(m-s)
+			tk := model.Task{ID: i, Start: s, End: e, Demand: 1 + r.Int63n(12), Weight: r.Int63n(9)}
+			in.Tasks = append(in.Tasks, tk)
+			if r.Intn(3) > 0 {
+				sol.Items = append(sol.Items, model.Placement{Task: tk, Height: r.Int63n(20) - 2})
+			}
+		}
+		// Occasionally corrupt membership too.
+		if r.Intn(8) == 0 && len(sol.Items) > 0 {
+			sol.Items[0].Task.Demand++
+		}
+		gotOracle := oracle.CheckSAP(in, sol)
+		gotModel := model.ValidSAP(in, sol)
+		if (gotOracle == nil) != (gotModel == nil) {
+			t.Fatalf("trial %d: oracle=%v model=%v disagree\ninstance %+v\nsolution %+v",
+				trial, gotOracle, gotModel, in, sol)
+		}
+		if gotOracle != nil && !errors.Is(gotOracle, model.ErrInfeasible) {
+			t.Fatalf("trial %d: oracle error does not wrap ErrInfeasible: %v", trial, gotOracle)
+		}
+	}
+}
+
+func TestCheckUFPP(t *testing.T) {
+	in := gen.NBA(7, 6, 14)
+	sel, err := exact.SolveUFPP(in, exact.Options{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if err := oracle.CheckUFPP(in, sel); err != nil {
+		t.Fatalf("optimal UFPP selection rejected: %v", err)
+	}
+	// Load breach: select every task (NBA demands are large relative to
+	// min capacity, so the full set overloads some edge).
+	if err := oracle.CheckUFPP(in, in.Tasks); err == nil {
+		t.Fatalf("full task set accepted despite overload")
+	} else if v, ok := oracle.As(err); !ok || v.Kind != oracle.KindLoad {
+		t.Fatalf("want load violation, got %v", err)
+	} else {
+		if v.Edge < 0 || v.Edge >= in.Edges() {
+			t.Errorf("load violation edge %d out of range", v.Edge)
+		}
+		for _, id := range v.TaskIDs {
+			tk, ok := in.TaskByID(id)
+			if !ok || !tk.Uses(v.Edge) {
+				t.Errorf("reported task %d does not use edge %d", id, v.Edge)
+			}
+		}
+	}
+	// Duplicate selection.
+	if len(sel) > 0 {
+		dup := append(append([]model.Task(nil), sel...), sel[0])
+		if v, ok := oracle.As(oracle.CheckUFPP(in, dup)); !ok || v.Kind != oracle.KindDuplicateID {
+			t.Errorf("duplicate selection not detected")
+		}
+	}
+	// Foreign task.
+	foreign := []model.Task{{ID: 999, Start: 0, End: 1, Demand: 1, Weight: 1}}
+	if v, ok := oracle.As(oracle.CheckUFPP(in, foreign)); !ok || v.Kind != oracle.KindUnknownTask {
+		t.Errorf("foreign selection not detected")
+	}
+}
+
+func TestCheckRing(t *testing.T) {
+	ring := gen.Ring(11, 6, 8, 16, 64)
+	res, err := ringsap.Solve(ring, ringsap.Params{})
+	if err != nil {
+		t.Fatalf("%v", err)
+	}
+	if err := oracle.CheckRing(ring, res.Solution); err != nil {
+		t.Fatalf("feasible ring solution rejected: %v", err)
+	}
+	if res.Solution.Len() == 0 {
+		t.Fatalf("empty fixture")
+	}
+	// Capacity breach on the chosen arc.
+	bad := &model.RingSolution{Items: append([]model.RingPlacement(nil), res.Solution.Items...)}
+	p := bad.Items[0]
+	bad.Items[0].Height = ring.ArcBottleneck(p.Task, p.Orientation)
+	if v, ok := oracle.As(oracle.CheckRing(ring, bad)); !ok || v.Kind != oracle.KindCapacity {
+		t.Errorf("ring capacity breach not detected")
+	} else if v.TaskIDs[0] != p.Task.ID {
+		t.Errorf("ring capacity breach blames %v, want %d", v.TaskIDs, p.Task.ID)
+	}
+	// Duplicate.
+	dup := &model.RingSolution{Items: append(append([]model.RingPlacement(nil), res.Solution.Items...), res.Solution.Items[0])}
+	if v, ok := oracle.As(oracle.CheckRing(ring, dup)); !ok || v.Kind != oracle.KindDuplicateID {
+		t.Errorf("ring duplicate not detected")
+	}
+	// Overlap: two tasks forced onto the same edge at the same height.
+	two := &model.RingSolution{}
+	for _, q := range res.Solution.Items {
+		q.Height = 0
+		two.Items = append(two.Items, q)
+	}
+	if len(two.Items) >= 2 {
+		if err := oracle.CheckRing(ring, two); err != nil {
+			if v, _ := oracle.As(err); v.Kind != oracle.KindOverlap && v.Kind != oracle.KindCapacity {
+				t.Errorf("flattened ring solution: unexpected kind %v", v.Kind)
+			}
+		}
+	}
+}
+
+func TestCheckRatioAndUpper(t *testing.T) {
+	b := oracle.ExactBound(100)
+	if err := oracle.CheckRatio(25, 4, b); err != nil {
+		t.Errorf("25 ≥ 100/4 rejected: %v", err)
+	}
+	if err := oracle.CheckRatio(24, 4, b); err == nil {
+		t.Errorf("24 < 100/4 accepted")
+	} else if v, ok := oracle.As(err); !ok || v.Kind != oracle.KindRatio {
+		t.Errorf("want ratio violation, got %v", err)
+	}
+	if err := oracle.CheckRatio(10, 0, b); err == nil {
+		t.Errorf("factor 0 accepted")
+	}
+	if err := oracle.CheckUpper(100, b); err != nil {
+		t.Errorf("weight = bound rejected: %v", err)
+	}
+	if err := oracle.CheckUpper(101, b); err == nil {
+		t.Errorf("weight above bound accepted")
+	}
+	if b.String() == "" {
+		t.Errorf("empty bound string")
+	}
+}
+
+func TestLPBoundDominatesExact(t *testing.T) {
+	for seed := int64(1); seed <= 5; seed++ {
+		cfg := gen.Config{Seed: seed, Edges: 4, Tasks: 9, CapLo: 16, CapHi: 65, Class: gen.Mixed}
+		in := gen.Random(cfg)
+		opt, err := exact.SolveSAP(in, exact.Options{})
+		if err != nil {
+			t.Fatalf("replay %s: %v", cfg.Replay(), err)
+		}
+		lb, err := oracle.LPBound(in)
+		if err != nil {
+			t.Fatalf("replay %s: %v", cfg.Replay(), err)
+		}
+		if err := oracle.CheckUpper(opt.Weight(), lb); err != nil {
+			t.Errorf("replay %s: exact optimum exceeds LP bound: %v", cfg.Replay(), err)
+		}
+		tw := oracle.TotalWeightBound(in)
+		if err := oracle.CheckUpper(opt.Weight(), tw); err != nil {
+			t.Errorf("replay %s: exact optimum exceeds total weight: %v", cfg.Replay(), err)
+		}
+	}
+}
+
+func TestViolationKindStrings(t *testing.T) {
+	kinds := []oracle.Kind{
+		oracle.KindUnknownTask, oracle.KindDuplicateID, oracle.KindNegativeHeight,
+		oracle.KindCapacity, oracle.KindOverlap, oracle.KindLoad,
+		oracle.KindWeight, oracle.KindRatio,
+	}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || seen[s] {
+			t.Errorf("kind %d: empty or duplicate string %q", k, s)
+		}
+		seen[s] = true
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"sapalloc/internal/exact"
 	"sapalloc/internal/model"
+	"sapalloc/internal/oracle"
 )
 
 func randomRing(r *rand.Rand, m, n int) *model.RingInstance {
@@ -36,7 +37,7 @@ func TestSolveFeasible(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		if err := model.ValidRingSAP(ring, res.Solution); err != nil {
+		if err := oracle.CheckRing(ring, res.Solution); err != nil {
 			t.Fatalf("trial %d: infeasible: %v", trial, err)
 		}
 		want := res.PathWeight
@@ -94,7 +95,7 @@ func TestKnapsackArmWins(t *testing.T) {
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
-	if err := model.ValidRingSAP(ring, res.Solution); err != nil {
+	if err := oracle.CheckRing(ring, res.Solution); err != nil {
 		t.Fatalf("infeasible: %v", err)
 	}
 	if res.CutEdge != 1 {
@@ -141,7 +142,7 @@ func TestStackHeightsArePrefixSums(t *testing.T) {
 	if err != nil {
 		t.Fatalf("%v", err)
 	}
-	if err := model.ValidRingSAP(ring, res.Solution); err != nil {
+	if err := oracle.CheckRing(ring, res.Solution); err != nil {
 		t.Fatalf("infeasible: %v", err)
 	}
 	if res.Solution.Weight() != 15 {

@@ -1,0 +1,46 @@
+package smallsap_test
+
+import (
+	"testing"
+
+	"sapalloc/internal/gen"
+	"sapalloc/internal/oracle"
+	"sapalloc/internal/smallsap"
+)
+
+// FuzzSolveSmallSAP drives Strip-Pack (both roundings) over fuzzer-chosen
+// generator coordinates and feeds every solution through the oracle: no
+// panic, and any returned solution must be fully SAP-feasible.
+func FuzzSolveSmallSAP(f *testing.F) {
+	f.Add(uint64(1), uint8(4), uint8(9), false)
+	f.Add(uint64(42), uint8(1), uint8(1), true)
+	f.Add(uint64(7777), uint8(9), uint8(30), false)
+	f.Add(uint64(123456789), uint8(6), uint8(16), true)
+	f.Fuzz(func(t *testing.T, seed uint64, edgesRaw, tasksRaw uint8, localRatio bool) {
+		cfg := gen.Config{
+			Seed:  int64(seed % (1 << 62)),
+			Edges: int(edgesRaw%10) + 1,
+			Tasks: int(tasksRaw%32) + 1,
+			CapLo: 16, CapHi: 257,
+			Class: gen.Small,
+		}
+		in := gen.Random(cfg)
+		params := smallsap.Params{}
+		if localRatio {
+			params.Rounding = smallsap.LocalRatio
+		}
+		res, err := smallsap.Solve(in, params)
+		if err != nil {
+			t.Fatalf("[replay: %s] solve: %v", cfg.Replay(), err)
+		}
+		if err := oracle.CheckSAP(in, res.Solution); err != nil {
+			t.Fatalf("[replay: %s] %v", cfg.Replay(), err)
+		}
+		if err := oracle.CheckWeight(res.Solution, res.Solution.Weight()); err != nil {
+			t.Fatalf("[replay: %s] %v", cfg.Replay(), err)
+		}
+		if err := oracle.CheckUpper(res.Solution.Weight(), oracle.TotalWeightBound(in)); err != nil {
+			t.Fatalf("[replay: %s] %v", cfg.Replay(), err)
+		}
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"sapalloc/internal/exact"
 	"sapalloc/internal/lp"
 	"sapalloc/internal/model"
+	"sapalloc/internal/oracle"
 )
 
 // smallInstance generates a δ-small instance (δ = 1/deltaDen) with
@@ -44,7 +45,7 @@ func TestSolveFeasible(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%v trial %d: %v", rounding, trial, err)
 			}
-			if err := model.ValidSAP(in, res.Solution); err != nil {
+			if err := oracle.CheckSAP(in, res.Solution); err != nil {
 				t.Fatalf("%v trial %d: infeasible: %v", rounding, trial, err)
 			}
 		}

@@ -8,6 +8,7 @@ import (
 	"sapalloc/internal/exact"
 	"sapalloc/internal/gen"
 	"sapalloc/internal/model"
+	"sapalloc/internal/oracle"
 )
 
 func TestSolveFeasible(t *testing.T) {
@@ -21,7 +22,7 @@ func TestSolveFeasible(t *testing.T) {
 		if err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
-		if err := model.ValidUFPP(in, res.Tasks); err != nil {
+		if err := oracle.CheckUFPP(in, res.Tasks); err != nil {
 			t.Fatalf("trial %d: infeasible: %v", trial, err)
 		}
 		maxArm := res.SmallWeight
