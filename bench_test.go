@@ -161,6 +161,24 @@ func BenchmarkE11Combined(b *testing.B) {
 	}
 }
 
+// BenchmarkE11CombinedWorkers measures the whole-pipeline speedup of the
+// parallel arm fan-out (core.Params.Workers). The Result is identical for
+// both worker counts; only wall clock differs. The machine-readable twin
+// lives in the internal/benchjson pinned subset (BENCH.json).
+func BenchmarkE11CombinedWorkers(b *testing.B) {
+	in := gen.Random(gen.Config{Seed: 9, Edges: 10, Tasks: 60, CapLo: 128, CapHi: 513, Class: gen.Mixed})
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "workers1", 4: "workers4"}[workers], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(in, core.Params{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkE11CombinedMemTrace(b *testing.B) {
 	in := gen.MemTrace(gen.MemTraceConfig{Seed: 10, Slots: 48, Objects: 100})
 	b.ReportAllocs()

@@ -1,7 +1,17 @@
 #!/bin/sh
 # check.sh — the full local gate: formatting, vet, tests (with race on the
 # concurrent packages), a short soak, and one pass over every benchmark.
+#
+#   ./check.sh         full gate
+#   ./check.sh bench   pinned benchmark subset vs committed BENCH.json
 set -e
+
+if [ "$1" = "bench" ]; then
+    echo "== bench regression gate (BENCH.json) =="
+    go run ./cmd/sapbench -json -out BENCH.fresh.json -baseline BENCH.json -maxregress 0.30
+    echo "BENCH GATE PASSED (fresh report in BENCH.fresh.json)"
+    exit 0
+fi
 echo "== gofmt =="
 test -z "$(gofmt -l .)" || { gofmt -l .; echo "gofmt: files need formatting"; exit 1; }
 echo "== go vet =="
@@ -10,8 +20,10 @@ echo "== go test =="
 go test ./...
 echo "== race =="
 # Race-check everything: a hard-coded package list silently rots as
-# concurrency spreads (it had already missed core's parallel arms).
-go test -race ./...
+# concurrency spreads (it had already missed core's parallel arms). The
+# explicit timeout covers the parallel-determinism matrix, which solves
+# every difftest case three times under the race detector.
+go test -race -timeout 30m ./...
 echo "== soak (10s) =="
 go run ./cmd/sapstress -duration 10s -seed 1
 echo "== benches (1x) =="

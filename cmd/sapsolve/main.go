@@ -45,6 +45,7 @@ func main() {
 		outJSON = flag.Bool("json", false, "emit the solution as JSON instead of text")
 		improve = flag.Bool("improve", false, "post-optimise the schedule (gravity + greedy insertion)")
 		trace   = flag.Bool("trace", false, "print per-arm and per-class diagnostics (combined algorithm only)")
+		workers = flag.Int("workers", 0, "goroutine bound for the parallel solvers (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
 	)
 	flag.Parse()
 
@@ -55,7 +56,7 @@ func main() {
 	defer r.Close()
 
 	if *algo == "ring" {
-		solveRing(r, *eps, *outJSON)
+		solveRing(r, *eps, *workers, *outJSON)
 		return
 	}
 
@@ -93,7 +94,7 @@ func main() {
 	}
 
 	if *algo == "ufpp" {
-		res, err := ufppfull.Solve(in, ufppfull.Params{Eps: *eps})
+		res, err := ufppfull.Solve(in, ufppfull.Params{Eps: *eps, Workers: *workers})
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -127,7 +128,7 @@ func main() {
 	var label string
 	switch *algo {
 	case "combined":
-		res, err := core.Solve(in, core.Params{Eps: *eps})
+		res, err := core.Solve(in, core.Params{Eps: *eps, Workers: *workers})
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -153,14 +154,14 @@ func main() {
 				res.MediumDetail.Residue, res.MediumDetail.Ell, res.MediumDetail.Q)
 		}
 	case "small":
-		res, err := smallsap.Solve(in, smallsap.Params{})
+		res, err := smallsap.Solve(in, smallsap.Params{Workers: *workers})
 		if err != nil {
 			fatalf("%v", err)
 		}
 		sol = res.Solution
 		label = fmt.Sprintf("strip-pack (4+ε), LP bound total %.1f", res.LPBoundTotal)
 	case "medium":
-		res, err := mediumsap.Solve(in, mediumsap.Params{Eps: *eps})
+		res, err := mediumsap.Solve(in, mediumsap.Params{Eps: *eps, Workers: *workers})
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -209,12 +210,12 @@ func main() {
 	}
 }
 
-func solveRing(r io.Reader, eps float64, outJSON bool) {
+func solveRing(r io.Reader, eps float64, workers int, outJSON bool) {
 	ring, err := model.ReadRingJSON(r)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	res, err := ringsap.Solve(ring, ringsap.Params{Eps: eps})
+	res, err := ringsap.Solve(ring, ringsap.Params{Eps: eps, Workers: workers})
 	if err != nil {
 		fatalf("%v", err)
 	}

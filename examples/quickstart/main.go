@@ -32,8 +32,10 @@ func main() {
 	}
 
 	// Solve with the combined algorithm of Theorem 4. The result records
-	// which of the three arms (small / medium / large) won.
-	res, err := core.Solve(in, core.Params{Eps: 0.5})
+	// which of the three arms (small / medium / large) won. Workers: 0 lets
+	// the three arms run on all cores; the result is identical to a
+	// sequential solve (Workers: 1) — parallelism only changes wall clock.
+	res, err := core.Solve(in, core.Params{Eps: 0.5, Workers: 0})
 	if err != nil {
 		log.Fatalf("solve: %v", err)
 	}

@@ -1,0 +1,137 @@
+// Package benchjson is the machine-readable side of the benchmark story:
+// a pinned quick subset of the solver pipeline's benchmarks, a JSON report
+// schema (BENCH.json at the repo root), and the regression comparison the
+// CI gate runs against the committed baseline.
+//
+// Raw ns/op is not portable between machines, so every report carries a
+// calibration entry — a fixed pure-CPU spin measured in the same run. When
+// both reports have it, Compare scores each benchmark by its ratio to the
+// calibration time ("spins per op"), which cancels most of the clock-speed
+// difference between the committing machine and the CI runner; absent a
+// calibration entry it falls back to raw ns/op.
+package benchjson
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// CalibrationName is the reserved entry name of the calibration spin.
+const CalibrationName = "calibrate/spin"
+
+// Entry is one benchmark's measurement.
+type Entry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// Report is the BENCH.json document.
+type Report struct {
+	// Schema versions the document layout.
+	Schema int `json:"schema"`
+	// GoVersion and GoMaxProcs record the environment the numbers were
+	// measured in. Speedup figures are only meaningful for GoMaxProcs > 1.
+	GoVersion  string `json:"go_version"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// Entries holds the measurements, in suite order.
+	Entries []Entry `json:"entries"`
+	// Speedups maps a pipeline name to the measured workers=N vs workers=1
+	// wall-clock ratio (>1 means the parallel run was faster).
+	Speedups map[string]float64 `json:"speedups,omitempty"`
+}
+
+// NewReport returns an empty report stamped with the current environment.
+func NewReport() *Report {
+	return &Report{
+		Schema:     1,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Speedups:   map[string]float64{},
+	}
+}
+
+// Entry returns the named measurement.
+func (r *Report) Entry(name string) (Entry, bool) {
+	for _, e := range r.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Write renders the report as indented JSON.
+func Write(w io.Writer, r *Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Read parses a report.
+func Read(rd io.Reader) (*Report, error) {
+	var r Report
+	if err := json.NewDecoder(rd).Decode(&r); err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	return &r, nil
+}
+
+// ReadFile parses the report at path.
+func ReadFile(path string) (*Report, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchjson: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Regression is one benchmark that got slower than the gate allows.
+type Regression struct {
+	Name string
+	// BaselineNs and FreshNs are raw ns/op.
+	BaselineNs, FreshNs float64
+	// Ratio is the calibrated fresh/baseline cost ratio that tripped the
+	// gate (1.0 = unchanged).
+	Ratio float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %.0f ns/op -> %.0f ns/op (calibrated ratio %.2fx)",
+		r.Name, r.BaselineNs, r.FreshNs, r.Ratio)
+}
+
+// Compare reports every benchmark present in both reports whose calibrated
+// cost grew by more than maxRegress (0.30 = +30%). Benchmarks only present
+// on one side are ignored — adding or retiring a benchmark is not a
+// regression.
+func Compare(baseline, fresh *Report, maxRegress float64) []Regression {
+	baseCal, freshCal := 1.0, 1.0
+	if b, ok := baseline.Entry(CalibrationName); ok {
+		if f, ok2 := fresh.Entry(CalibrationName); ok2 && b.NsPerOp > 0 && f.NsPerOp > 0 {
+			baseCal, freshCal = b.NsPerOp, f.NsPerOp
+		}
+	}
+	var out []Regression
+	for _, b := range baseline.Entries {
+		if b.Name == CalibrationName || b.NsPerOp <= 0 {
+			continue
+		}
+		f, ok := fresh.Entry(b.Name)
+		if !ok {
+			continue
+		}
+		ratio := (f.NsPerOp / freshCal) / (b.NsPerOp / baseCal)
+		if ratio > 1+maxRegress {
+			out = append(out, Regression{Name: b.Name, BaselineNs: b.NsPerOp, FreshNs: f.NsPerOp, Ratio: ratio})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Ratio > out[j].Ratio })
+	return out
+}

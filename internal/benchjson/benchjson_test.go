@@ -1,0 +1,82 @@
+package benchjson
+
+import (
+	"bytes"
+	"testing"
+)
+
+func report(cal float64, entries ...Entry) *Report {
+	r := NewReport()
+	if cal > 0 {
+		r.Entries = append(r.Entries, Entry{Name: CalibrationName, NsPerOp: cal})
+	}
+	r.Entries = append(r.Entries, entries...)
+	return r
+}
+
+func TestRoundTrip(t *testing.T) {
+	r := report(100, Entry{Name: "x", NsPerOp: 1234, AllocsPerOp: 7, BytesPerOp: 512})
+	r.Speedups["E11Combined/workers=4"] = 1.8
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != 1 || got.GoMaxProcs != r.GoMaxProcs {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	e, ok := got.Entry("x")
+	if !ok || e.NsPerOp != 1234 || e.AllocsPerOp != 7 || e.BytesPerOp != 512 {
+		t.Fatalf("entry mismatch: %+v ok=%v", e, ok)
+	}
+	if got.Speedups["E11Combined/workers=4"] != 1.8 {
+		t.Fatalf("speedups lost: %+v", got.Speedups)
+	}
+}
+
+func TestCompareFlagsRegression(t *testing.T) {
+	base := report(0, Entry{Name: "a", NsPerOp: 100}, Entry{Name: "b", NsPerOp: 100})
+	fresh := report(0, Entry{Name: "a", NsPerOp: 125}, Entry{Name: "b", NsPerOp: 150})
+	regs := Compare(base, fresh, 0.30)
+	if len(regs) != 1 || regs[0].Name != "b" {
+		t.Fatalf("want exactly b flagged, got %v", regs)
+	}
+	if regs[0].Ratio < 1.49 || regs[0].Ratio > 1.51 {
+		t.Fatalf("ratio = %v, want 1.5", regs[0].Ratio)
+	}
+}
+
+func TestCompareCalibrates(t *testing.T) {
+	// The fresh machine is uniformly 2x slower (calibration doubled too);
+	// after normalisation nothing regressed.
+	base := report(100, Entry{Name: "a", NsPerOp: 1000})
+	fresh := report(200, Entry{Name: "a", NsPerOp: 2000})
+	if regs := Compare(base, fresh, 0.30); len(regs) != 0 {
+		t.Fatalf("calibrated compare flagged uniform slowdown: %v", regs)
+	}
+	// Same clocks, genuine 2x regression still caught.
+	fresh2 := report(100, Entry{Name: "a", NsPerOp: 2000})
+	if regs := Compare(base, fresh2, 0.30); len(regs) != 1 {
+		t.Fatalf("genuine regression missed: %v", regs)
+	}
+}
+
+func TestCompareIgnoresMissingEntries(t *testing.T) {
+	base := report(0, Entry{Name: "retired", NsPerOp: 100})
+	fresh := report(0, Entry{Name: "new", NsPerOp: 100})
+	if regs := Compare(base, fresh, 0.30); len(regs) != 0 {
+		t.Fatalf("disjoint entry sets should not regress: %v", regs)
+	}
+}
+
+func TestCompareSortsWorstFirst(t *testing.T) {
+	base := report(0, Entry{Name: "a", NsPerOp: 100}, Entry{Name: "b", NsPerOp: 100})
+	fresh := report(0, Entry{Name: "a", NsPerOp: 150}, Entry{Name: "b", NsPerOp: 300})
+	regs := Compare(base, fresh, 0.30)
+	if len(regs) != 2 || regs[0].Name != "b" {
+		t.Fatalf("want b (3x) first, got %v", regs)
+	}
+}

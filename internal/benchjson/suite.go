@@ -1,0 +1,164 @@
+package benchjson
+
+import (
+	"fmt"
+	"testing"
+
+	"sapalloc/internal/core"
+	"sapalloc/internal/gen"
+	"sapalloc/internal/largesap"
+	"sapalloc/internal/model"
+	"sapalloc/internal/par"
+	"sapalloc/internal/ringsap"
+	"sapalloc/internal/smallsap"
+)
+
+// The pinned quick subset. Workloads are fixed-seed so every run measures
+// the same instances; names are stable identifiers the regression gate keys
+// on (renaming one silently drops it from the comparison).
+//
+// The subset deliberately mirrors the heavyweight experiment benchmarks of
+// bench_test.go (E4, E9, E11, E12) and adds the two micro-benchmarks the
+// perf work targets: bottleneck queries (linear scan vs RMQ index) and
+// par.ForEach dispatch overhead.
+
+// sink defeats dead-code elimination in the calibration spin.
+var sink uint64
+
+// spin is the calibration workload: a fixed xorshift loop with no memory
+// traffic, so its ns/op tracks single-core clock speed and little else.
+func spin() uint64 {
+	x := uint64(88172645463325252)
+	for i := 0; i < 1<<14; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+	}
+	return x
+}
+
+// Run executes the pinned quick subset in-process and returns the report.
+// verbose, if non-nil, receives a progress line per benchmark.
+func Run(verbose func(string)) (*Report, error) {
+	rep := NewReport()
+	run := func(name string, fn func(b *testing.B)) Entry {
+		res := testing.Benchmark(fn)
+		e := Entry{
+			Name:        name,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		}
+		rep.Entries = append(rep.Entries, e)
+		if verbose != nil {
+			verbose(fmt.Sprintf("%-28s %12.0f ns/op %8d allocs/op %10d B/op", name, e.NsPerOp, e.AllocsPerOp, e.BytesPerOp))
+		}
+		return e
+	}
+
+	run(CalibrationName, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sink += spin()
+		}
+	})
+
+	var fail error
+	check := func(err error) {
+		if err != nil && fail == nil {
+			fail = err
+		}
+	}
+
+	e4 := gen.Random(gen.Config{Seed: 3, Edges: 12, Tasks: 120, CapLo: 256, CapHi: 1025, Class: gen.Small})
+	run("E4StripPack", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, err := smallsap.Solve(e4, smallsap.Params{})
+			check(err)
+		}
+	})
+
+	e9 := gen.Random(gen.Config{Seed: 7, Edges: 10, Tasks: 40, CapLo: 64, CapHi: 257, Class: gen.Large})
+	run("E9Large", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, err := largesap.Solve(e9, largesap.Options{})
+			check(err)
+		}
+	})
+
+	// The speedup probe: the full pipeline on a mixed instance with enough
+	// medium classes that both the arm-level and class-level parallelism
+	// have work to spread. Identical instance for both worker counts; the
+	// Result is byte-identical by construction (see core.Solve), only the
+	// wall clock differs.
+	e11 := gen.Random(gen.Config{Seed: 9, Edges: 10, Tasks: 42, CapLo: 128, CapHi: 513, Class: gen.Mixed})
+	var w1, w4 Entry
+	for _, workers := range []int{1, 4} {
+		e := run(fmt.Sprintf("E11Combined/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := core.Solve(e11, core.Params{Workers: workers})
+				check(err)
+			}
+		})
+		if workers == 1 {
+			w1 = e
+		} else {
+			w4 = e
+		}
+	}
+	if w4.NsPerOp > 0 {
+		rep.Speedups["E11Combined/workers=4"] = w1.NsPerOp / w4.NsPerOp
+	}
+
+	ring := gen.Ring(11, 8, 10, 64, 257)
+	run("E12Ring", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, err := ringsap.Solve(ring, ringsap.Params{})
+			check(err)
+		}
+	})
+
+	// Bottleneck micro: 256 edges × 512 tasks, well past the RMQ gate. The
+	// rmq entry includes the O(m log m) index build every op, so the pair is
+	// an honest end-to-end comparison of the two query strategies.
+	bq := gen.Random(gen.Config{Seed: 41, Edges: 256, Tasks: 512, CapLo: 64, CapHi: 4097, Class: gen.Mixed})
+	run("BottleneckQueries/linear", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var acc int64
+			for _, t := range bq.Tasks {
+				acc += bq.Bottleneck(t)
+			}
+			sink += uint64(acc)
+		}
+	})
+	run("BottleneckQueries/rmq", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ix := model.NewBottleneckIndex(bq.Capacity)
+			var acc int64
+			for _, t := range bq.Tasks {
+				acc += ix.Bottleneck(t)
+			}
+			sink += uint64(acc)
+		}
+	})
+
+	run("ParDispatch/n=65536", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			check(par.ForEach(65536, 0, func(j int) error {
+				if j < 0 {
+					return fmt.Errorf("bad index %d", j)
+				}
+				return nil
+			}))
+		}
+	})
+
+	return rep, fail
+}

@@ -20,6 +20,7 @@ import (
 	"sapalloc/internal/largesap"
 	"sapalloc/internal/mediumsap"
 	"sapalloc/internal/model"
+	"sapalloc/internal/par"
 	"sapalloc/internal/smallsap"
 )
 
@@ -41,6 +42,13 @@ type Params struct {
 	Large largesap.Options
 	// Exact configures the per-class exact searches of the medium arm.
 	Exact exact.Options
+	// Workers bounds the goroutines of the whole solve: the three arms run
+	// concurrently (they are independent by Theorem 4), and the knob is
+	// forwarded to the arms' own class-level Workers knobs when those are
+	// unset. 0 ⇒ GOMAXPROCS; 1 recovers the fully sequential pipeline.
+	// Output is deterministic for every value: arm results land in fixed
+	// slots and the best-of tie-break stays small < medium < large.
+	Workers int
 }
 
 func (p Params) withDefaults() Params {
@@ -49,6 +57,9 @@ func (p Params) withDefaults() Params {
 	}
 	if p.DeltaDen <= 1 {
 		p.DeltaDen = 16
+	}
+	if p.Small.Workers == 0 {
+		p.Small.Workers = p.Workers
 	}
 	return p
 }
@@ -90,8 +101,9 @@ type Result struct {
 // medium tasks (δ-large and ½-small), and ½-large tasks, with δ =
 // 1/deltaDen.
 func Partition(in *model.Instance, deltaDen int64) (small, medium, large []model.Task) {
+	bot := in.BottleneckFunc()
 	for _, t := range in.Tasks {
-		b := in.Bottleneck(t)
+		b := bot(t)
 		switch {
 		case t.Demand*deltaDen <= b: // d ≤ δ·b
 			small = append(small, t)
@@ -107,31 +119,54 @@ func Partition(in *model.Instance, deltaDen int64) (small, medium, large []model
 // Solve runs the combined (9+ε)-approximation of Theorem 4 and returns the
 // best arm's solution with diagnostics. The returned solution is always
 // feasible for the instance.
+//
+// The three arms are independent (they solve disjoint task families on the
+// shared, read-only capacity profile) and run concurrently under the
+// Workers knob. Each arm writes into its own slot and the best-of
+// comparison runs after the join in fixed arm order, so the Result —
+// winner, weights, task sets, heights — is identical for every Workers
+// value, including the sequential Workers = 1.
 func Solve(in *model.Instance, p Params) (*Result, error) {
 	p = p.withDefaults()
 	small, medium, large := Partition(in, p.DeltaDen)
 	res := &Result{NumSmall: len(small), NumMedium: len(medium), NumLarge: len(large)}
 
-	smallRes, err := smallsap.Solve(in.Restrict(small), p.Small)
-	if err != nil {
-		return nil, fmt.Errorf("core: small arm: %w", err)
+	var smallRes *smallsap.Result
+	var medRes *mediumsap.Result
+	var largeSol *model.Solution
+	arms := []func() error{
+		func() (err error) {
+			smallRes, err = smallsap.Solve(in.Restrict(small), p.Small)
+			if err != nil {
+				err = fmt.Errorf("core: small arm: %w", err)
+			}
+			return err
+		},
+		func() (err error) {
+			medRes, err = mediumsap.Solve(in.Restrict(medium), mediumsap.Params{
+				Eps: p.Eps, BetaNum: 1, BetaDen: 4, Exact: p.Exact, Workers: p.Workers,
+			})
+			if err != nil {
+				err = fmt.Errorf("core: medium arm: %w", err)
+			}
+			return err
+		},
+		func() (err error) {
+			largeSol, err = largesap.Solve(in.Restrict(large), p.Large)
+			if err != nil {
+				err = fmt.Errorf("core: large arm: %w", err)
+			}
+			return err
+		},
 	}
+	if err := par.ForEach(len(arms), p.Workers, func(i int) error { return arms[i]() }); err != nil {
+		return nil, err
+	}
+
 	res.SmallDetail = smallRes
 	res.SmallWeight = smallRes.Solution.Weight()
-
-	medRes, err := mediumsap.Solve(in.Restrict(medium), mediumsap.Params{
-		Eps: p.Eps, BetaNum: 1, BetaDen: 4, Exact: p.Exact,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: medium arm: %w", err)
-	}
 	res.MediumDetail = medRes
 	res.MediumWeight = medRes.Solution.Weight()
-
-	largeSol, err := largesap.Solve(in.Restrict(large), p.Large)
-	if err != nil {
-		return nil, fmt.Errorf("core: large arm: %w", err)
-	}
 	res.LargeWeight = largeSol.Weight()
 
 	res.Solution, res.Winner = smallRes.Solution, ArmSmall

@@ -1,0 +1,62 @@
+package difftest
+
+import (
+	"reflect"
+	"testing"
+
+	"sapalloc/internal/core"
+	"sapalloc/internal/ringsap"
+)
+
+// TestParallelDeterminism pins the determinism contract of the parallel
+// pipeline: core.Solve must return a byte-identical Result — winner, arm
+// weights, task sets, heights, diagnostics — for every Workers value. The
+// test runs the full generator matrix under workers ∈ {1, 2, 8}; with
+// `go test -race` it doubles as the data-race probe for the arm fan-out.
+func TestParallelDeterminism(t *testing.T) {
+	for _, c := range PathCases() {
+		t.Run(c.Name, func(t *testing.T) {
+			base, err := core.Solve(c.In, core.Params{Workers: 1})
+			if err != nil {
+				t.Fatalf("workers=1: %v (replay: %s)", err, c.Replay)
+			}
+			for _, w := range []int{2, 8} {
+				got, err := core.Solve(c.In, core.Params{Workers: w})
+				if err != nil {
+					t.Fatalf("workers=%d: %v (replay: %s)", w, err, c.Replay)
+				}
+				if got.Winner != base.Winner {
+					t.Errorf("workers=%d: winner %v, want %v (replay: %s)", w, got.Winner, base.Winner, c.Replay)
+				}
+				if !reflect.DeepEqual(got, base) {
+					t.Errorf("workers=%d: Result differs from workers=1 (replay: %s)\n got: %+v\nwant: %+v",
+						w, c.Replay, got, base)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelDeterminismRing is the ring-side twin: the cut-path and
+// knapsack arms of ringsap.Solve run concurrently, and the Result must not
+// depend on the Workers value.
+func TestParallelDeterminismRing(t *testing.T) {
+	for _, c := range RingCases() {
+		t.Run(c.Name, func(t *testing.T) {
+			base, err := ringsap.Solve(c.Ring, ringsap.Params{Workers: 1})
+			if err != nil {
+				t.Fatalf("workers=1: %v (replay: %s)", err, c.Replay)
+			}
+			for _, w := range []int{2, 8} {
+				got, err := ringsap.Solve(c.Ring, ringsap.Params{Workers: w})
+				if err != nil {
+					t.Fatalf("workers=%d: %v (replay: %s)", w, err, c.Replay)
+				}
+				if !reflect.DeepEqual(got, base) {
+					t.Errorf("workers=%d: Result differs from workers=1 (replay: %s)\n got: %+v\nwant: %+v",
+						w, c.Replay, got, base)
+				}
+			}
+		})
+	}
+}

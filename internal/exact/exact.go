@@ -368,6 +368,9 @@ func SolveRingSAP(r *model.RingInstance, opts Options) (*model.RingSolution, err
 		weight    int64
 		exhausted bool
 	}
+	// One sparse-table build answers every (task, orientation) arc
+	// bottleneck across all 2^n assignments in O(1).
+	capIx := r.Index()
 	// Orientation assignments are independent; search them concurrently
 	// and merge in mask order for determinism.
 	outs, err := par.Map(1<<uint(n), 0, func(mask int) (maskOut, error) {
@@ -380,10 +383,12 @@ func SolveRingSAP(r *model.RingInstance, opts Options) (*model.RingSolution, err
 			}
 			orients[i] = o
 			bits := make([]uint64, words)
-			for _, e := range r.ArcEdges(t, o) {
+			r.ForEachArcEdge(t, o, func(e int) bool {
 				bits[e/64] |= 1 << (uint(e) % 64)
-			}
-			items[i] = item{edges: bits, demand: t.Demand, weight: t.Weight, cap: r.ArcBottleneck(t, o)}
+				return true
+			})
+			from, to := t.ArcEndpoints(o)
+			items[i] = item{edges: bits, demand: t.Demand, weight: t.Weight, cap: capIx.ArcMin(from, to)}
 		}
 		s := newSearcher(items, opts.MaxNodes/int64(1<<uint(n))+1)
 		s.run()

@@ -50,14 +50,16 @@ func RectangleOf(in *model.Instance, t model.Task) Rect {
 
 // RectanglesOf computes R(j) for every task of the instance. Tasks whose
 // demand exceeds their bottleneck can never be scheduled and are skipped.
+// Bottlenecks come from the instance's RMQ index on large instances.
 func RectanglesOf(in *model.Instance) []Rect {
+	bot := in.BottleneckFunc()
 	out := make([]Rect, 0, len(in.Tasks))
 	for _, t := range in.Tasks {
-		r := RectangleOf(in, t)
-		if r.Bottom < 0 {
+		b := bot(t)
+		if b < t.Demand {
 			continue
 		}
-		out = append(out, r)
+		out = append(out, Rect{Task: t, Bottom: b - t.Demand, Top: b})
 	}
 	return out
 }
@@ -182,7 +184,13 @@ func mwisPathDP(rects []Rect, edges int, maxStates int) ([]int, bool) {
 				if idx == len(starters) {
 					newMask := kept | added
 					w := ent.weight + addW
-					if old, exists := next[newMask]; !exists || w > old.weight {
+					// Equal-weight ties keep the lexicographically smallest
+					// (prevMask, added): the map is iterated in arbitrary
+					// order, and without a total tie order the reconstructed
+					// solution would vary run to run.
+					old, exists := next[newMask]
+					if !exists || w > old.weight ||
+						(w == old.weight && (mask < old.prevMask || (mask == old.prevMask && added < old.added))) {
 						next[newMask] = entry{weight: w, prevMask: mask, added: added}
 					}
 					return
@@ -206,11 +214,11 @@ func mwisPathDP(rects []Rect, edges int, maxStates int) ([]int, bool) {
 		trace[e] = next
 		cur = next
 	}
-	// Best final state.
+	// Best final state; ties go to the smallest mask for determinism.
 	var bestMask uint64
 	var bestW int64 = -1
 	for mask, ent := range cur {
-		if ent.weight > bestW {
+		if ent.weight > bestW || (ent.weight == bestW && mask < bestMask) {
 			bestW = ent.weight
 			bestMask = mask
 		}

@@ -109,8 +109,9 @@ func Solve(in *model.Instance, p Params) (*Result, error) {
 	// Assign every task to its ℓ classes: k with 2^k ≤ b(j) < 2^{k+ℓ}, i.e.
 	// k ∈ { floor(log2 b) − ℓ + 1, …, floor(log2 b) }, clamped at 0 (b ≥ 1).
 	classTasks := map[int][]model.Task{}
+	bot := in.BottleneckFunc()
 	for _, t := range in.Tasks {
-		b := in.Bottleneck(t)
+		b := bot(t)
 		top := floorLog2(b)
 		for k := top - ell + 1; k <= top; k++ {
 			classTasks[k] = append(classTasks[k], t)

@@ -123,11 +123,14 @@ func (in *Instance) Bottleneck(t Task) int64 {
 	return b
 }
 
-// Bottlenecks returns b(j) for every task, indexed like Tasks.
+// Bottlenecks returns b(j) for every task, indexed like Tasks. On large
+// instances the scans are answered by a sparse-table index (see
+// BottleneckIndex) instead of per-task linear walks.
 func (in *Instance) Bottlenecks() []int64 {
+	bot := in.BottleneckFunc()
 	out := make([]int64, len(in.Tasks))
 	for i, t := range in.Tasks {
-		out[i] = in.Bottleneck(t)
+		out[i] = bot(t)
 	}
 	return out
 }
@@ -230,8 +233,15 @@ func (in *Instance) Uniform() bool {
 
 // Restrict returns a new instance containing only the given tasks (same
 // path). The tasks must belong to the instance's path.
+//
+// The capacity slice is shared with the receiver, not copied: the combined
+// pipeline restricts the same instance once per arm and once per class, and
+// re-copying the profile each time dominated the partition cost. Capacity
+// slices are read-only throughout the library — code that needs to modify
+// capacities must go through ClipCapacities or Clone, which allocate fresh
+// slices.
 func (in *Instance) Restrict(tasks []Task) *Instance {
-	return &Instance{Capacity: append([]int64(nil), in.Capacity...), Tasks: append([]Task(nil), tasks...)}
+	return &Instance{Capacity: in.Capacity, Tasks: append([]Task(nil), tasks...)}
 }
 
 // ClipCapacities returns a copy of the instance whose edge capacities are

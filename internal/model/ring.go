@@ -74,34 +74,70 @@ func (r *RingInstance) Validate() error {
 	return nil
 }
 
-// ArcEdges returns the edges (ring edge indices) used by task t under the
-// given orientation.
-func (r *RingInstance) ArcEdges(t RingTask, o Orientation) []int {
-	m := r.Edges()
-	var from, to int
+// ArcEndpoints returns (from, to) for the task's arc under orientation o:
+// the arc uses edges from, from+1, …, to-1, indices mod m.
+func (t RingTask) ArcEndpoints(o Orientation) (from, to int) {
 	if o == Clockwise {
-		from, to = t.Start, t.End
-	} else {
-		from, to = t.End, t.Start
+		return t.Start, t.End
 	}
+	return t.End, t.Start
+}
+
+// ArcUses reports whether the task's arc under orientation o uses ring edge
+// e, on a ring with m edges. Pure index arithmetic — no arc materialization.
+func (t RingTask) ArcUses(o Orientation, e, m int) bool {
+	from, to := t.ArcEndpoints(o)
+	span := ((to-from)%m + m) % m
+	off := ((e-from)%m + m) % m
+	return off < span
+}
+
+// ArcEdges returns the edges (ring edge indices) used by task t under the
+// given orientation. Hot paths should prefer ForEachArcEdge or
+// BottleneckIndex.ArcMin, which avoid the allocation.
+func (r *RingInstance) ArcEdges(t RingTask, o Orientation) []int {
 	var edges []int
-	for v := from; v != to; v = (v + 1) % m {
-		edges = append(edges, v)
-	}
+	r.ForEachArcEdge(t, o, func(e int) bool {
+		edges = append(edges, e)
+		return true
+	})
 	return edges
 }
 
+// ForEachArcEdge calls fn for every edge of the task's arc under the given
+// orientation, in arc order, without materializing the edge slice. fn
+// returning false stops the walk.
+func (r *RingInstance) ForEachArcEdge(t RingTask, o Orientation, fn func(e int) bool) {
+	m := r.Edges()
+	from, to := t.ArcEndpoints(o)
+	for v := from; v != to; v = (v + 1) % m {
+		if !fn(v) {
+			return
+		}
+	}
+}
+
 // ArcBottleneck returns the minimum capacity along the task's arc under the
-// given orientation.
+// given orientation. The arc is walked in place; callers issuing many
+// queries against the same ring should build Index once and use
+// BottleneckIndex.ArcMin, which answers in O(1) (one RangeMin for a
+// non-wrapping arc, two for a wrapping one).
 func (r *RingInstance) ArcBottleneck(t RingTask, o Orientation) int64 {
-	edges := r.ArcEdges(t, o)
-	b := r.Capacity[edges[0]]
-	for _, e := range edges[1:] {
-		if r.Capacity[e] < b {
-			b = r.Capacity[e]
+	m := r.Edges()
+	from, to := t.ArcEndpoints(o)
+	b := r.Capacity[from]
+	for v := (from + 1) % m; v != to; v = (v + 1) % m {
+		if r.Capacity[v] < b {
+			b = r.Capacity[v]
 		}
 	}
 	return b
+}
+
+// Index builds the ring's sparse-table bottleneck index; arc queries go
+// through BottleneckIndex.ArcMin.
+func (r *RingInstance) Index() *BottleneckIndex {
+	return NewBottleneckIndex(r.Capacity)
 }
 
 // RingPlacement is one scheduled ring task: orientation plus height.
@@ -157,12 +193,18 @@ func ValidRingSAP(r *RingInstance, s *RingSolution) error {
 		if p.Height < 0 {
 			return fmt.Errorf("%w: ring task id %d has negative height", ErrInfeasible, p.Task.ID)
 		}
-		for _, e := range r.ArcEdges(p.Task, p.Orientation) {
+		var capErr error
+		r.ForEachArcEdge(p.Task, p.Orientation, func(e int) bool {
 			if p.Top() > r.Capacity[e] {
-				return fmt.Errorf("%w: ring task id %d tops at %d above capacity %d of edge %d",
+				capErr = fmt.Errorf("%w: ring task id %d tops at %d above capacity %d of edge %d",
 					ErrInfeasible, p.Task.ID, p.Top(), r.Capacity[e], e)
+				return false
 			}
 			perEdge[e] = append(perEdge[e], occ{bottom: p.Height, top: p.Top(), id: p.Task.ID})
+			return true
+		})
+		if capErr != nil {
+			return capErr
 		}
 	}
 	for e, occs := range perEdge {

@@ -1,0 +1,127 @@
+package model_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"sapalloc/internal/gen"
+	"sapalloc/internal/model"
+)
+
+// TestBottleneckIndexMatchesLinearScan is the property test for the sparse
+// table: on random instances of many shapes, every task's indexed
+// bottleneck equals the linear scan, and ArcMin agrees with a scan of the
+// (possibly wrapping) arc.
+func TestBottleneckIndexMatchesLinearScan(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		edges := 1 + rng.Intn(130)
+		in := gen.Random(gen.Config{
+			Seed:  int64(1000 + trial),
+			Edges: edges,
+			Tasks: 1 + rng.Intn(60),
+			CapLo: 1,
+			CapHi: 1 + int64(rng.Intn(1<<12)),
+			Class: gen.Mixed,
+		})
+		ix := model.NewBottleneckIndex(in.Capacity)
+		if ix.Edges() != edges {
+			t.Fatalf("trial %d: Edges() = %d, want %d", trial, ix.Edges(), edges)
+		}
+		for _, task := range in.Tasks {
+			want := in.Bottleneck(task)
+			if got := ix.Bottleneck(task); got != want {
+				t.Fatalf("trial %d: Bottleneck(%+v) = %d, linear scan says %d (caps %v)",
+					trial, task, got, want, in.Capacity)
+			}
+		}
+		// Arbitrary ranges, not just task spans.
+		for q := 0; q < 30; q++ {
+			start := rng.Intn(edges)
+			end := start + 1 + rng.Intn(edges-start)
+			want := in.Capacity[start]
+			for _, c := range in.Capacity[start+1 : end] {
+				if c < want {
+					want = c
+				}
+			}
+			if got := ix.RangeMin(start, end); got != want {
+				t.Fatalf("trial %d: RangeMin(%d, %d) = %d, want %d (caps %v)",
+					trial, start, end, got, want, in.Capacity)
+			}
+		}
+		// Wrapping arcs: min over [from, m) ∪ [0, to).
+		for q := 0; q < 30; q++ {
+			from := rng.Intn(edges)
+			to := rng.Intn(edges)
+			if from == to {
+				continue
+			}
+			want := int64(1<<62 - 1)
+			for e := from; e != to; e = (e + 1) % edges {
+				if in.Capacity[e] < want {
+					want = in.Capacity[e]
+				}
+			}
+			if got := ix.ArcMin(from, to); got != want {
+				t.Fatalf("trial %d: ArcMin(%d, %d) = %d, want %d (caps %v)",
+					trial, from, to, got, want, in.Capacity)
+			}
+		}
+	}
+}
+
+func TestBottleneckIndexSingleEdge(t *testing.T) {
+	ix := model.NewBottleneckIndex([]int64{42})
+	if got := ix.RangeMin(0, 1); got != 42 {
+		t.Fatalf("RangeMin(0,1) = %d, want 42", got)
+	}
+}
+
+func TestBottlenecksUsesSameValues(t *testing.T) {
+	in := gen.Random(gen.Config{Seed: 5, Edges: 128, Tasks: 64, CapLo: 1, CapHi: 1 << 20, Class: gen.Mixed})
+	got := in.Bottlenecks()
+	for i, task := range in.Tasks {
+		if want := in.Bottleneck(task); got[i] != want {
+			t.Fatalf("Bottlenecks()[%d] = %d, want %d", i, got[i], want)
+		}
+	}
+}
+
+// The acceptance micro-benchmark: with ≥64 edges the index (including its
+// per-instance build) must beat the per-task linear scan.
+//
+//	go test ./internal/model -bench BenchmarkBottleneck -benchmem
+func benchmarkInstance(edges, tasks int) *model.Instance {
+	return gen.Random(gen.Config{Seed: 41, Edges: edges, Tasks: tasks, CapLo: 64, CapHi: 4097, Class: gen.Mixed})
+}
+
+func BenchmarkBottleneckLinear64(b *testing.B)  { benchLinear(b, benchmarkInstance(64, 256)) }
+func BenchmarkBottleneckRMQ64(b *testing.B)     { benchRMQ(b, benchmarkInstance(64, 256)) }
+func BenchmarkBottleneckLinear512(b *testing.B) { benchLinear(b, benchmarkInstance(512, 1024)) }
+func BenchmarkBottleneckRMQ512(b *testing.B)    { benchRMQ(b, benchmarkInstance(512, 1024)) }
+
+var benchSink int64
+
+func benchLinear(b *testing.B, in *model.Instance) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var acc int64
+		for _, t := range in.Tasks {
+			acc += in.Bottleneck(t)
+		}
+		benchSink += acc
+	}
+}
+
+func benchRMQ(b *testing.B, in *model.Instance) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ix := model.NewBottleneckIndex(in.Capacity)
+		var acc int64
+		for _, t := range in.Tasks {
+			acc += ix.Bottleneck(t)
+		}
+		benchSink += acc
+	}
+}

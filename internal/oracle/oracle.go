@@ -116,12 +116,9 @@ func CheckSAP(in *model.Instance, sol *model.Solution) error {
 	for _, t := range in.Tasks {
 		byID[t.ID] = t
 	}
-	// Negated capacities make the range-max tree answer range-min queries:
-	// the bottleneck of [s, e) is -Max(s, e).
-	capTree := intervals.NewSegTree(m)
-	for e, c := range in.Capacity {
-		capTree.Assign(e, e+1, -c)
-	}
+	// O(1) bottleneck queries over the capacity profile: one sparse-table
+	// build answers every placement's range-min in two lookups.
+	capIx := model.NewBottleneckIndex(in.Capacity)
 	seen := make(map[int]bool, len(sol.Items))
 	for _, p := range sol.Items {
 		t, ok := byID[p.Task.ID]
@@ -144,7 +141,7 @@ func CheckSAP(in *model.Instance, sol *model.Solution) error {
 				Detail: fmt.Sprintf("height %d is negative", p.Height),
 			}
 		}
-		if b := -capTree.Max(p.Task.Start, p.Task.End); p.Top() > b {
+		if b := capIx.Bottleneck(p.Task); p.Top() > b {
 			// Slow path only on failure: name the exact offending edge.
 			for e := p.Task.Start; e < p.Task.End; e++ {
 				if p.Top() > in.Capacity[e] {
@@ -271,14 +268,20 @@ func CheckRing(r *model.RingInstance, sol *model.RingSolution) error {
 				Detail: fmt.Sprintf("height %d is negative", p.Height),
 			}
 		}
-		for _, e := range r.ArcEdges(p.Task, p.Orientation) {
+		var capVio *Violation
+		r.ForEachArcEdge(p.Task, p.Orientation, func(e int) bool {
 			if p.Top() > r.Capacity[e] {
-				return &Violation{
+				capVio = &Violation{
 					Kind: KindCapacity, TaskIDs: []int{p.Task.ID}, Edge: e,
 					Detail: fmt.Sprintf("top %d exceeds capacity %d on %s arc", p.Top(), r.Capacity[e], p.Orientation),
 				}
+				return false
 			}
 			perEdge[e] = append(perEdge[e], occ{bottom: p.Height, top: p.Top(), id: p.Task.ID})
+			return true
+		})
+		if capVio != nil {
+			return capVio
 		}
 	}
 	for e, occs := range perEdge {

@@ -136,3 +136,29 @@ func TestWorkers(t *testing.T) {
 		t.Errorf("Workers(-1,0) = %d", Workers(-1, 0))
 	}
 }
+
+// BenchmarkForEachDispatch isolates the dispatch overhead of the fork-join
+// substrate: items are nearly free (one atomic add of caller work), so
+// ns/op ≈ per-item scheduling cost. small-n measures the goroutine spin-up
+// amortization, large-n the steady-state claim cost.
+func BenchmarkForEachDispatch(b *testing.B) {
+	for _, bc := range []struct {
+		name       string
+		n, workers int
+	}{
+		{"small-n16/workers4", 16, 4},
+		{"large-n65536/workers4", 65536, 4},
+		{"large-n65536/workers0", 65536, 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var sink int64
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = ForEach(bc.n, bc.workers, func(j int) error {
+					atomic.AddInt64(&sink, int64(j))
+					return nil
+				})
+			}
+		})
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sapalloc/internal/core"
 	"sapalloc/internal/knapsack"
 	"sapalloc/internal/model"
+	"sapalloc/internal/par"
 )
 
 // Params configures the ring solver.
@@ -25,11 +26,21 @@ type Params struct {
 	Eps float64
 	// Path configures the path-SAP arm.
 	Path core.Params
+	// Workers bounds the solver's goroutines: the cut-path and knapsack
+	// sub-solves run concurrently (Lemma 18's two arms are independent) and
+	// the knob is forwarded to the path arm's own Workers when unset.
+	// 0 ⇒ GOMAXPROCS; 1 recovers the sequential pipeline. The Result is
+	// identical for every value: arms land in fixed slots and the tie-break
+	// stays path-before-knapsack.
+	Workers int
 }
 
 func (p Params) withDefaults() Params {
 	if p.Eps <= 0 {
 		p.Eps = 0.5
+	}
+	if p.Path.Workers == 0 {
+		p.Path.Workers = p.Workers
 	}
 	return p
 }
@@ -72,47 +83,62 @@ func Solve(r *model.RingInstance, p Params) (*Result, error) {
 	cut := r.MinCapacityEdge()
 	res := &Result{CutEdge: cut}
 
-	// Arm 1: path solution on the cut ring; tasks are routed on the arc
-	// avoiding the cut edge.
-	pathIn := r.CutAt(cut)
-	pathRes, err := core.Solve(pathIn, p.Path)
-	if err != nil {
-		return nil, fmt.Errorf("ringsap: path arm: %w", err)
+	// The two reduction arms of Lemma 18 are independent: the path arm
+	// solves the cut instance, the knapsack arm stacks tasks routed through
+	// the cut edge. Run them concurrently; each writes its own slot.
+	var pathRes *core.Result
+	pathSol := &model.RingSolution{}
+	knapSol := &model.RingSolution{}
+	arms := []func() error{
+		func() error {
+			// Arm 1: path solution on the cut ring; tasks are routed on the
+			// arc avoiding the cut edge.
+			pathIn := r.CutAt(cut)
+			var err error
+			pathRes, err = core.Solve(pathIn, p.Path)
+			if err != nil {
+				return fmt.Errorf("ringsap: path arm: %w", err)
+			}
+			for _, pl := range pathRes.Solution.Items {
+				rt, ok := ringTaskByID(r, pl.Task.ID)
+				if !ok {
+					return fmt.Errorf("ringsap: path solution refers to unknown task %d", pl.Task.ID)
+				}
+				pathSol.Items = append(pathSol.Items, model.RingPlacement{
+					Task:        rt,
+					Orientation: orientationAvoiding(r, rt, cut),
+					Height:      pl.Height,
+				})
+			}
+			return nil
+		},
+		func() error {
+			// Arm 2: knapsack over all tasks routed through the cut edge,
+			// stacked bottom-up (h_2(j) = Σ_{ℓ<j, ℓ∈S₂} d_ℓ as in the paper).
+			items := make([]knapsack.Item, len(r.Tasks))
+			for i, t := range r.Tasks {
+				items[i] = knapsack.Item{Size: t.Demand, Profit: t.Weight}
+			}
+			chosen, _ := knapsack.SolveFPTAS(items, r.Capacity[cut], p.Eps)
+			sort.Ints(chosen)
+			var h int64
+			for _, i := range chosen {
+				t := r.Tasks[i]
+				knapSol.Items = append(knapSol.Items, model.RingPlacement{
+					Task:        t,
+					Orientation: orientationThrough(r, t, cut),
+					Height:      h,
+				})
+				h += t.Demand
+			}
+			return nil
+		},
+	}
+	if err := par.ForEach(len(arms), p.Workers, func(i int) error { return arms[i]() }); err != nil {
+		return nil, err
 	}
 	res.PathDetail = pathRes
 	res.PathWeight = pathRes.Solution.Weight()
-	pathSol := &model.RingSolution{}
-	for _, pl := range pathRes.Solution.Items {
-		rt, ok := ringTaskByID(r, pl.Task.ID)
-		if !ok {
-			return nil, fmt.Errorf("ringsap: path solution refers to unknown task %d", pl.Task.ID)
-		}
-		pathSol.Items = append(pathSol.Items, model.RingPlacement{
-			Task:        rt,
-			Orientation: orientationAvoiding(r, rt, cut),
-			Height:      pl.Height,
-		})
-	}
-
-	// Arm 2: knapsack over all tasks routed through the cut edge, stacked
-	// bottom-up (h_2(j) = Σ_{ℓ<j, ℓ∈S₂} d_ℓ as in the paper).
-	items := make([]knapsack.Item, len(r.Tasks))
-	for i, t := range r.Tasks {
-		items[i] = knapsack.Item{Size: t.Demand, Profit: t.Weight}
-	}
-	chosen, _ := knapsack.SolveFPTAS(items, r.Capacity[cut], p.Eps)
-	sort.Ints(chosen)
-	knapSol := &model.RingSolution{}
-	var h int64
-	for _, i := range chosen {
-		t := r.Tasks[i]
-		knapSol.Items = append(knapSol.Items, model.RingPlacement{
-			Task:        t,
-			Orientation: orientationThrough(r, t, cut),
-			Height:      h,
-		})
-		h += t.Demand
-	}
 	res.KnapsackWeight = knapSol.Weight()
 
 	if res.KnapsackWeight > res.PathWeight {
@@ -135,10 +161,8 @@ func ringTaskByID(r *model.RingInstance, id int) (model.RingTask, bool) {
 // orientationAvoiding returns the orientation whose arc does not use edge
 // cut. Exactly one of the two arcs contains any given edge.
 func orientationAvoiding(r *model.RingInstance, t model.RingTask, cut int) model.Orientation {
-	for _, e := range r.ArcEdges(t, model.Clockwise) {
-		if e == cut {
-			return model.CounterClockwise
-		}
+	if t.ArcUses(model.Clockwise, cut, r.Edges()) {
+		return model.CounterClockwise
 	}
 	return model.Clockwise
 }

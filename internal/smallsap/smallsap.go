@@ -77,8 +77,9 @@ type Result struct {
 func Solve(in *model.Instance, p Params) (*Result, error) {
 	res := &Result{Solution: &model.Solution{}}
 	classes := map[int][]model.Task{}
+	bot := in.BottleneckFunc()
 	for _, t := range in.Tasks {
-		b := in.Bottleneck(t)
+		b := bot(t)
 		cls := floorLog2(b)
 		classes[cls] = append(classes[cls], t)
 	}

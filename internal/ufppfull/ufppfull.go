@@ -132,8 +132,9 @@ func Solve(in *model.Instance, p Params) (*Result, error) {
 
 // partition mirrors core.Partition (k = 2, β = ¼).
 func partition(in *model.Instance, deltaDen int64) (small, medium, large []model.Task) {
+	bot := in.BottleneckFunc()
 	for _, t := range in.Tasks {
-		b := in.Bottleneck(t)
+		b := bot(t)
 		switch {
 		case t.Demand*deltaDen <= b:
 			small = append(small, t)
@@ -153,8 +154,10 @@ func partition(in *model.Instance, deltaDen int64) (small, medium, large []model
 // < 2^{t-1}, and every edge used by class t has capacity ≥ 2^t.
 func solveSmall(in *model.Instance, p Params) ([]model.Task, error) {
 	classes := map[int][]model.Task{}
+	bot := in.BottleneckFunc()
 	for _, t := range in.Tasks {
-		classes[floorLog2(in.Bottleneck(t))] = append(classes[floorLog2(in.Bottleneck(t))], t)
+		cls := floorLog2(bot(t))
+		classes[cls] = append(classes[cls], t)
 	}
 	ts := make([]int, 0, len(classes))
 	for t := range classes {
@@ -201,8 +204,9 @@ func solveMedium(in *model.Instance, p Params) ([]model.Task, error) {
 		ell = 1
 	}
 	classTasks := map[int][]model.Task{}
+	bot := in.BottleneckFunc()
 	for _, t := range in.Tasks {
-		top := floorLog2(in.Bottleneck(t))
+		top := floorLog2(bot(t))
 		for k := top - ell + 1; k <= top; k++ {
 			classTasks[k] = append(classTasks[k], t)
 		}
@@ -215,15 +219,22 @@ func solveMedium(in *model.Instance, p Params) ([]model.Task, error) {
 	sels, err := par.Map(len(ks), p.Workers, func(i int) ([]model.Task, error) {
 		k := ks[i]
 		classIn := in.Restrict(classTasks[k])
-		if k+ell >= 0 && k+ell < 62 {
-			classIn = classIn.ClipCapacities(int64(1) << uint(k+ell))
-		}
-		for e := range classIn.Capacity {
-			classIn.Capacity[e] /= 2
-			if classIn.Capacity[e] < 1 {
-				classIn.Capacity[e] = 1
+		// Halve into a fresh slice: Restrict shares its capacity slice with
+		// the parent instance, so in-place edits would corrupt sibling
+		// classes running concurrently.
+		caps := append([]int64(nil), classIn.Capacity...)
+		for e := range caps {
+			if k+ell >= 0 && k+ell < 62 {
+				if hi := int64(1) << uint(k+ell); caps[e] > hi {
+					caps[e] = hi
+				}
+			}
+			caps[e] /= 2
+			if caps[e] < 1 {
+				caps[e] = 1
 			}
 		}
+		classIn = &model.Instance{Capacity: caps, Tasks: classIn.Tasks}
 		sel, err := exact.SolveUFPP(classIn, p.Exact)
 		if errors.Is(err, exact.ErrBudget) {
 			err = nil // incumbent is feasible; guarantee degrades gracefully
