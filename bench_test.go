@@ -277,7 +277,9 @@ func BenchmarkValidSAP(b *testing.B) {
 func BenchmarkSuiteQuick(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_ = experiments.Suite{Quick: true}.RunAll()
+		if _, err := (experiments.Suite{Quick: true}).RunAll(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -4,12 +4,27 @@
 #
 #   ./check.sh         full gate
 #   ./check.sh bench   pinned benchmark subset vs committed BENCH.json
+#   ./check.sh robust  fault-injection + cancellation suites under -race
 set -e
 
 if [ "$1" = "bench" ]; then
     echo "== bench regression gate (BENCH.json) =="
     go run ./cmd/sapbench -json -out BENCH.fresh.json -baseline BENCH.json -maxregress 0.30
     echo "BENCH GATE PASSED (fresh report in BENCH.fresh.json)"
+    exit 0
+fi
+
+if [ "$1" = "robust" ]; then
+    # The -timeout doubles as the hang gate: an injected fault that wedges
+    # a solver trips the suite instead of stalling CI forever.
+    echo "== robustness: fault-injection matrix + cancellation (-race) =="
+    go test -race -timeout 10m -count=1 \
+        -run 'TestFaultInjection|TestCancelMidSolve|TestDeadline|TestSolveCtx|TestArmPanic|TestAllArms|TestForEachCtx|TestForEachPanic' \
+        ./internal/difftest/ ./internal/core/ ./internal/par/
+    go test -race -timeout 5m -count=1 ./internal/faultinject/ ./internal/saperr/
+    echo "== robustness: hardened-input fuzz seeds =="
+    go test -timeout 5m -count=1 -run Fuzz ./internal/model/
+    echo "ROBUSTNESS GATE PASSED"
     exit 0
 fi
 echo "== gofmt =="

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,6 +30,7 @@ import (
 	"sapalloc/internal/mediumsap"
 	"sapalloc/internal/model"
 	"sapalloc/internal/ringsap"
+	"sapalloc/internal/saperr"
 	"sapalloc/internal/smallsap"
 	"sapalloc/internal/stretch"
 	"sapalloc/internal/ufppfull"
@@ -46,8 +48,16 @@ func main() {
 		improve = flag.Bool("improve", false, "post-optimise the schedule (gravity + greedy insertion)")
 		trace   = flag.Bool("trace", false, "print per-arm and per-class diagnostics (combined algorithm only)")
 		workers = flag.Int("workers", 0, "goroutine bound for the parallel solvers (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget for the solve (0 = none); on expiry the best solution among completed arms is returned, or a typed error and exit 1 when nothing completed")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	r, err := openInput(*inPath)
 	if err != nil {
@@ -56,7 +66,7 @@ func main() {
 	defer r.Close()
 
 	if *algo == "ring" {
-		solveRing(r, *eps, *workers, *outJSON)
+		solveRing(ctx, r, *eps, *workers, *outJSON)
 		return
 	}
 
@@ -94,7 +104,7 @@ func main() {
 	}
 
 	if *algo == "ufpp" {
-		res, err := ufppfull.Solve(in, ufppfull.Params{Eps: *eps, Workers: *workers})
+		res, err := ufppfull.SolveCtx(ctx, in, ufppfull.Params{Eps: *eps, Workers: *workers})
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -128,61 +138,73 @@ func main() {
 	var label string
 	switch *algo {
 	case "combined":
-		res, err := core.Solve(in, core.Params{Eps: *eps, Workers: *workers})
+		res, err := core.SolveCtx(ctx, in, core.Params{Eps: *eps, Workers: *workers, Deadline: *timeout})
 		if err != nil {
 			fatalf("%v", err)
 		}
 		sol = res.Solution
 		label = fmt.Sprintf("combined (9+ε), winner: %s [small=%d medium=%d large=%d]",
 			res.Winner, res.SmallWeight, res.MediumWeight, res.LargeWeight)
+		if res.Report != nil && res.Report.Degraded {
+			label += " [degraded — see report]"
+		}
 		if *trace {
 			fmt.Printf("partition: %d small / %d medium / %d large tasks\n",
 				res.NumSmall, res.NumMedium, res.NumLarge)
-			for _, c := range res.SmallDetail.Classes {
-				fmt.Printf("  strip class t=%d: %d tasks, UFPP weight %d, LP bound %.1f, retained %d\n",
-					c.T, c.Tasks, c.UFPPWeight, c.LPBound, c.RetainedWeight)
+			if res.Report != nil {
+				fmt.Printf("report: %s\n", res.Report)
 			}
-			ks := make([]int, 0, len(res.MediumDetail.Classes))
-			for k := range res.MediumDetail.Classes {
-				ks = append(ks, k)
+			if res.SmallDetail != nil {
+				for _, c := range res.SmallDetail.Classes {
+					fmt.Printf("  strip class t=%d: %d tasks, UFPP weight %d, LP bound %.1f, retained %d\n",
+						c.T, c.Tasks, c.UFPPWeight, c.LPBound, c.RetainedWeight)
+				}
 			}
-			sort.Ints(ks)
-			for _, k := range ks {
-				fmt.Printf("  medium class k=%d: elevated weight %d\n", k, res.MediumDetail.Classes[k])
+			if res.MediumDetail != nil {
+				ks := make([]int, 0, len(res.MediumDetail.Classes))
+				for k := range res.MediumDetail.Classes {
+					ks = append(ks, k)
+				}
+				sort.Ints(ks)
+				for _, k := range ks {
+					fmt.Printf("  medium class k=%d: elevated weight %d\n", k, res.MediumDetail.Classes[k])
+				}
+				fmt.Printf("  medium residue r*=%d (ℓ=%d, q=%d)\n",
+					res.MediumDetail.Residue, res.MediumDetail.Ell, res.MediumDetail.Q)
 			}
-			fmt.Printf("  medium residue r*=%d (ℓ=%d, q=%d)\n",
-				res.MediumDetail.Residue, res.MediumDetail.Ell, res.MediumDetail.Q)
 		}
 	case "small":
-		res, err := smallsap.Solve(in, smallsap.Params{Workers: *workers})
+		res, err := smallsap.SolveCtx(ctx, in, smallsap.Params{Workers: *workers})
 		if err != nil {
 			fatalf("%v", err)
 		}
 		sol = res.Solution
 		label = fmt.Sprintf("strip-pack (4+ε), LP bound total %.1f", res.LPBoundTotal)
 	case "medium":
-		res, err := mediumsap.Solve(in, mediumsap.Params{Eps: *eps, Workers: *workers})
+		res, err := mediumsap.SolveCtx(ctx, in, mediumsap.Params{Eps: *eps, Workers: *workers})
 		if err != nil {
 			fatalf("%v", err)
 		}
 		sol = res.Solution
 		label = fmt.Sprintf("almost-uniform (2+ε), residue r*=%d, ℓ=%d", res.Residue, res.Ell)
 	case "large":
-		s, err := largesap.Solve(in, largesap.Options{})
+		s, err := largesap.SolveCtx(ctx, in, largesap.Options{})
 		if err != nil {
 			fatalf("%v", err)
 		}
 		sol = s
 		label = "rectangle packing (2k−1)"
 	case "exact":
-		s, err := exact.SolveSAP(in, exact.Options{})
-		if err != nil && !errors.Is(err, exact.ErrBudget) {
+		s, err := exact.SolveSAPCtx(ctx, in, exact.Options{})
+		if err != nil && !errors.Is(err, exact.ErrBudget) && !(saperr.IsCancelled(err) && s != nil) {
 			fatalf("%v", err)
 		}
 		sol = s
 		label = "exact branch & bound"
 		if errors.Is(err, exact.ErrBudget) {
 			label += " (budget exhausted — incumbent shown)"
+		} else if saperr.IsCancelled(err) {
+			label += " (timeout — incumbent shown)"
 		}
 	default:
 		fatalf("unknown algorithm %q", *algo)
@@ -210,14 +232,17 @@ func main() {
 	}
 }
 
-func solveRing(r io.Reader, eps float64, workers int, outJSON bool) {
+func solveRing(ctx context.Context, r io.Reader, eps float64, workers int, outJSON bool) {
 	ring, err := model.ReadRingJSON(r)
 	if err != nil {
 		fatalf("%v", err)
 	}
-	res, err := ringsap.Solve(ring, ringsap.Params{Eps: eps, Workers: workers})
+	res, err := ringsap.SolveCtx(ctx, ring, ringsap.Params{Eps: eps, Workers: workers})
 	if err != nil {
 		fatalf("%v", err)
+	}
+	if res.Degraded {
+		fmt.Fprintf(os.Stderr, "sapsolve: warning: an arm was cancelled or failed; the (10+ε) bound does not cover this run\n")
 	}
 	if err := model.ValidRingSAP(ring, res.Solution); err != nil {
 		fatalf("internal error: infeasible ring solution: %v", err)

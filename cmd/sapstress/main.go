@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -35,6 +36,7 @@ func main() {
 		duration = flag.Duration("duration", 15*time.Second, "wall-clock soak budget")
 		workers  = flag.Int("workers", 0, "parallel checkers (0 = GOMAXPROCS)")
 		seed     = flag.Int64("seed", time.Now().UnixNano(), "base seed (printed for reproduction)")
+		timeout  = flag.Duration("timeout", 0, "per-case solve deadline (0 = none); degraded-but-feasible results pass, degradation-to-nothing is a failure")
 	)
 	flag.Parse()
 	fmt.Printf("sapstress: base seed %d, budget %s\n", *seed, *duration)
@@ -52,7 +54,7 @@ func main() {
 			defer wg.Done()
 			for i := int64(0); time.Now().Before(deadline); i++ {
 				caseSeed := *seed + int64(worker)*1_000_003 + i
-				if msg := checkOne(caseSeed); msg != "" {
+				if msg := checkOne(caseSeed, *timeout); msg != "" {
 					atomic.AddInt64(&failures, 1)
 					mu.Lock()
 					if firstFailure == "" {
@@ -74,8 +76,11 @@ func main() {
 }
 
 // checkOne runs every invariant on one randomized case; returns "" on
-// success or a description of the first violation.
-func checkOne(seed int64) string {
+// success or a description of the first violation. A non-zero timeout
+// bounds the combined solve: degraded-but-feasible results still pass every
+// downstream invariant, and degradation-to-nothing (a typed error with no
+// solution) counts as a failure so the soak flags hangs and dead arms.
+func checkOne(seed int64, timeout time.Duration) string {
 	r := rand.New(rand.NewSource(seed))
 	in := gen.Random(gen.Config{
 		Seed:  seed,
@@ -87,9 +92,10 @@ func checkOne(seed int64) string {
 	})
 
 	// 1. Combined pipeline feasibility + LP dominance.
-	res, err := core.Solve(in, core.Params{Exact: exact.Options{MaxNodes: 200_000}})
+	res, err := core.SolveCtx(context.Background(), in,
+		core.Params{Exact: exact.Options{MaxNodes: 200_000}, Deadline: timeout})
 	if err != nil {
-		return fmt.Sprintf("core.Solve: %v", err)
+		return fmt.Sprintf("core.SolveCtx (degradation-to-nothing): %v", err)
 	}
 	if err := model.ValidSAP(in, res.Solution); err != nil {
 		return fmt.Sprintf("combined infeasible: %v", err)

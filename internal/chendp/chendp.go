@@ -17,11 +17,13 @@
 package chendp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
 	"sapalloc/internal/model"
+	"sapalloc/internal/saperr"
 )
 
 // MaxCapacity bounds the uniform capacity the DP accepts; beyond this the
@@ -68,6 +70,13 @@ func stateKey(ps []placement) string {
 // Solve computes an optimal SAP solution for a uniform-capacity instance
 // with capacity K ≤ MaxCapacity and integer demands in 1..K.
 func Solve(in *model.Instance, opts Options) (*model.Solution, error) {
+	return SolveCtx(context.Background(), in, opts)
+}
+
+// SolveCtx is Solve under a context, polled once per edge sweep. The DP has
+// no usable partial answer (interior layers never reach the right end), so
+// on cancellation it returns a typed saperr.ErrCancelled.
+func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (*model.Solution, error) {
 	opts = opts.withDefaults()
 	if in.Edges() == 0 || len(in.Tasks) == 0 {
 		return &model.Solution{}, nil
@@ -101,6 +110,9 @@ func Solve(in *model.Instance, opts Options) (*model.Solution, error) {
 	trace := make([]map[string]entry, in.Edges())
 
 	for e := 0; e < in.Edges(); e++ {
+		if err := saperr.FromContext(ctx); err != nil {
+			return nil, err
+		}
 		next := make(map[string]entry, len(cur))
 		for key, ent := range cur {
 			// Drop tasks ending at vertex e.
@@ -191,6 +203,11 @@ func Solve(in *model.Instance, opts Options) (*model.Solution, error) {
 // budget (capacities in [2^k, 2^{k+ℓ}) scale into it for small k+ℓ), and
 // gives a third exact SAP engine for cross-checking.
 func SolveNonUniform(in *model.Instance, opts Options) (*model.Solution, error) {
+	return SolveNonUniformCtx(context.Background(), in, opts)
+}
+
+// SolveNonUniformCtx is SolveNonUniform under a context (see SolveCtx).
+func SolveNonUniformCtx(ctx context.Context, in *model.Instance, opts Options) (*model.Solution, error) {
 	opts = opts.withDefaults()
 	if in.Edges() == 0 || len(in.Tasks) == 0 {
 		return &model.Solution{}, nil
@@ -216,6 +233,9 @@ func SolveNonUniform(in *model.Instance, opts Options) (*model.Solution, error) 
 	cur := map[string]entry{"": {}}
 	trace := make([]map[string]entry, in.Edges())
 	for e := 0; e < in.Edges(); e++ {
+		if err := saperr.FromContext(ctx); err != nil {
+			return nil, err
+		}
 		ce := in.Capacity[e]
 		next := make(map[string]entry, len(cur))
 		for key, ent := range cur {

@@ -14,13 +14,18 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"sapalloc/internal/exact"
+	"sapalloc/internal/faultinject"
 	"sapalloc/internal/largesap"
 	"sapalloc/internal/mediumsap"
 	"sapalloc/internal/model"
 	"sapalloc/internal/par"
+	"sapalloc/internal/saperr"
 	"sapalloc/internal/smallsap"
 )
 
@@ -42,6 +47,13 @@ type Params struct {
 	Large largesap.Options
 	// Exact configures the per-class exact searches of the medium arm.
 	Exact exact.Options
+	// Deadline bounds the wall clock of the whole solve (0 = none). When
+	// it expires the arms are cancelled cooperatively and the best
+	// solution among the arms that completed (or degraded to a feasible
+	// incumbent) is returned; the attached SolveReport says which. When no
+	// arm produced anything, Solve returns a typed error wrapping
+	// saperr.ErrCancelled.
+	Deadline time.Duration
 	// Workers bounds the goroutines of the whole solve: the three arms run
 	// concurrently (they are independent by Theorem 4), and the knob is
 	// forwarded to the arms' own class-level Workers knobs when those are
@@ -60,6 +72,13 @@ func (p Params) withDefaults() Params {
 	}
 	if p.Small.Workers == 0 {
 		p.Small.Workers = p.Workers
+	}
+	if p.Deadline > 0 && p.Exact.Deadline == 0 {
+		// Slice the deadline for the medium arm's per-class exact
+		// searches: each class may burn at most half the budget before
+		// falling back to its incumbent (exact → approximate), leaving
+		// room for elevation and residue stacking.
+		p.Exact.Deadline = p.Deadline / 2
 	}
 	return p
 }
@@ -93,8 +112,12 @@ type Result struct {
 	// Partition sizes.
 	NumSmall, NumMedium, NumLarge int
 	// SmallDetail and MediumDetail expose the sub-results for harness use.
+	// Either may be nil when its arm failed or was skipped (see Report).
 	SmallDetail  *smallsap.Result
 	MediumDetail *mediumsap.Result
+	// Report records per-arm outcomes and timings; consult it whenever a
+	// deadline or cancellation may have degraded the solve.
+	Report *SolveReport
 }
 
 // Partition splits the tasks per Theorem 4 (k = 2, β = ¼): δ-small tasks,
@@ -127,54 +150,150 @@ func Partition(in *model.Instance, deltaDen int64) (small, medium, large []model
 // winner, weights, task sets, heights — is identical for every Workers
 // value, including the sequential Workers = 1.
 func Solve(in *model.Instance, p Params) (*Result, error) {
+	return SolveCtx(context.Background(), in, p)
+}
+
+// SolveCtx is Solve under a context and optional Params.Deadline. The three
+// arms are each wrapped in panic containment and classified independently:
+// an arm that panics or errors degrades to ArmFailed instead of killing the
+// solve, an arm whose exact searches ran out of budget or time contributes
+// its feasible incumbent as ArmDegraded, and the best solution among the
+// arms that produced one is returned together with a SolveReport. A typed
+// error is returned only when no arm produced a solution — all failed, or
+// the context died before any arm ran.
+func SolveCtx(ctx context.Context, in *model.Instance, p Params) (res *Result, err error) {
+	defer saperr.Contain(&err)
 	p = p.withDefaults()
+	start := time.Now()
+	if p.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.Deadline)
+		defer cancel()
+	}
+	if err := saperr.FromContext(ctx); err != nil {
+		return nil, err
+	}
+	faultinject.Fire(ctx, "core/solve")
 	small, medium, large := Partition(in, p.DeltaDen)
-	res := &Result{NumSmall: len(small), NumMedium: len(medium), NumLarge: len(large)}
+	res = &Result{NumSmall: len(small), NumMedium: len(medium), NumLarge: len(large)}
+	report := &SolveReport{Deadline: p.Deadline}
 
 	var smallRes *smallsap.Result
 	var medRes *mediumsap.Result
-	var largeSol *model.Solution
-	arms := []func() error{
-		func() (err error) {
-			smallRes, err = smallsap.Solve(in.Restrict(small), p.Small)
+	// runArm solves one arm under per-arm panic containment, so a solver
+	// bug or corrupt sub-instance degrades that arm instead of the solve.
+	runArm := func(i int) (sol *model.Solution, degraded bool, err error) {
+		defer saperr.Contain(&err)
+		switch Arm(i) {
+		case ArmSmall:
+			faultinject.Fire(ctx, "core/arm/small")
+			r, err := smallsap.SolveCtx(ctx, in.Restrict(small), p.Small)
 			if err != nil {
-				err = fmt.Errorf("core: small arm: %w", err)
+				return nil, false, err
 			}
-			return err
-		},
-		func() (err error) {
-			medRes, err = mediumsap.Solve(in.Restrict(medium), mediumsap.Params{
+			smallRes = r
+			return r.Solution, r.Degraded, nil
+		case ArmMedium:
+			faultinject.Fire(ctx, "core/arm/medium")
+			r, err := mediumsap.SolveCtx(ctx, in.Restrict(medium), mediumsap.Params{
 				Eps: p.Eps, BetaNum: 1, BetaDen: 4, Exact: p.Exact, Workers: p.Workers,
 			})
 			if err != nil {
-				err = fmt.Errorf("core: medium arm: %w", err)
+				return nil, false, err
 			}
-			return err
-		},
-		func() (err error) {
-			largeSol, err = largesap.Solve(in.Restrict(large), p.Large)
+			medRes = r
+			return r.Solution, r.Degraded, nil
+		default:
+			faultinject.Fire(ctx, "core/arm/large")
+			sol, err := largesap.SolveCtx(ctx, in.Restrict(large), p.Large)
 			if err != nil {
-				err = fmt.Errorf("core: large arm: %w", err)
+				if sol != nil && (errors.Is(err, largesap.ErrBudget) || saperr.IsCancelled(err)) {
+					return sol, true, nil // feasible incumbent stands
+				}
+				return nil, false, err
 			}
-			return err
-		},
+			return sol, false, nil
+		}
 	}
-	if err := par.ForEach(len(arms), p.Workers, func(i int) error { return arms[i]() }); err != nil {
-		return nil, err
+	type armOut struct {
+		sol      *model.Solution
+		degraded bool
+		err      error
+		elapsed  time.Duration
+		ran      bool
 	}
+	outs := make([]armOut, 3)
+	// Arm errors are collected in the slots, never returned through
+	// ForEachCtx: one arm failing must not abort its siblings.
+	_ = par.ForEachCtx(ctx, len(outs), p.Workers, func(i int) error {
+		t0 := time.Now()
+		sol, degraded, err := runArm(i)
+		outs[i] = armOut{sol: sol, degraded: degraded, err: err, elapsed: time.Since(t0), ran: true}
+		return nil
+	})
+
+	for i := range outs {
+		out := outs[i]
+		ar := &report.Arms[i]
+		ar.Arm = Arm(i)
+		ar.Elapsed = out.elapsed
+		switch {
+		case !out.ran:
+			ar.State = ArmSkipped
+			ar.Err = saperr.Cancelled(ctx.Err())
+		case out.err != nil:
+			ar.State = ArmFailed
+			ar.Err = fmt.Errorf("core: %s arm: %w", Arm(i), out.err)
+		case out.degraded:
+			ar.State = ArmDegraded
+		default:
+			ar.State = ArmCompleted
+		}
+		if out.sol != nil {
+			ar.Weight = out.sol.Weight()
+		}
+		if ar.State != ArmCompleted {
+			report.Degraded = true
+		}
+	}
+	report.Elapsed = time.Since(start)
+	res.Report = report
 
 	res.SmallDetail = smallRes
-	res.SmallWeight = smallRes.Solution.Weight()
-	res.MediumDetail = medRes
-	res.MediumWeight = medRes.Solution.Weight()
-	res.LargeWeight = largeSol.Weight()
-
-	res.Solution, res.Winner = smallRes.Solution, ArmSmall
-	if res.MediumWeight > res.Solution.Weight() {
-		res.Solution, res.Winner = medRes.Solution, ArmMedium
+	if smallRes != nil {
+		res.SmallWeight = smallRes.Solution.Weight()
 	}
-	if res.LargeWeight > res.Solution.Weight() {
-		res.Solution, res.Winner = largeSol, ArmLarge
+	res.MediumDetail = medRes
+	if medRes != nil {
+		res.MediumWeight = medRes.Solution.Weight()
+	}
+	if outs[ArmLarge].sol != nil {
+		res.LargeWeight = outs[ArmLarge].sol.Weight()
+	}
+
+	// Best-of over the arms that produced a solution, in fixed arm order so
+	// ties keep the deterministic small < medium < large preference.
+	for i, out := range outs {
+		if out.sol == nil {
+			continue
+		}
+		if res.Solution == nil || out.sol.Weight() > res.Solution.Weight() {
+			res.Solution, res.Winner = out.sol, Arm(i)
+		}
+	}
+	if res.Solution == nil {
+		// Degradation-to-nothing: surface the first arm's typed error.
+		var first error
+		for _, ar := range report.Arms {
+			if ar.Err != nil {
+				first = ar.Err
+				break
+			}
+		}
+		if first == nil {
+			first = saperr.Cancelled(ctx.Err())
+		}
+		return nil, fmt.Errorf("core: no arm completed: %w", first)
 	}
 	return res, nil
 }

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ArmState classifies how an arm of the best-of-three ended.
+type ArmState int
+
+const (
+	// ArmCompleted: the arm finished normally with its full guarantee.
+	ArmCompleted ArmState = iota
+	// ArmDegraded: the arm returned a feasible but weakened solution —
+	// an exact search fell back to its incumbent (node budget or deadline
+	// slice) or some classes were skipped under cancellation. The
+	// per-theorem ratio only covers the parts that completed.
+	ArmDegraded
+	// ArmFailed: the arm returned a typed error and contributed no
+	// solution. The overall solve still succeeds if another arm finished.
+	ArmFailed
+	// ArmSkipped: the arm never started — the deadline expired or the
+	// context was cancelled before it was dispatched.
+	ArmSkipped
+)
+
+func (s ArmState) String() string {
+	switch s {
+	case ArmCompleted:
+		return "completed"
+	case ArmDegraded:
+		return "degraded"
+	case ArmFailed:
+		return "failed"
+	case ArmSkipped:
+		return "skipped"
+	default:
+		return fmt.Sprintf("ArmState(%d)", int(s))
+	}
+}
+
+// ArmReport records one arm's outcome for the SolveReport.
+type ArmReport struct {
+	Arm     Arm
+	State   ArmState
+	Weight  int64 // weight of the arm's solution (0 when none)
+	Elapsed time.Duration
+	Err     error // typed error for ArmFailed/ArmSkipped, nil otherwise
+}
+
+// SolveReport is the structured account of a deadline-aware solve: which
+// arms finished, which degraded or failed, the weight each achieved, and
+// the time each took. It is attached to every Result so callers can tell a
+// full-guarantee answer from a best-completed-arm answer.
+type SolveReport struct {
+	// Arms is indexed by Arm (ArmSmall, ArmMedium, ArmLarge).
+	Arms [3]ArmReport
+	// Elapsed is the wall clock of the whole solve.
+	Elapsed time.Duration
+	// Deadline echoes Params.Deadline (0 = none was set).
+	Deadline time.Duration
+	// Degraded is true when any arm ended in a state other than
+	// ArmCompleted; the solution is then the best of what completed.
+	Degraded bool
+}
+
+// String renders a compact single-paragraph summary for CLI diagnostics.
+func (r *SolveReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "solve %v", r.Elapsed.Round(time.Microsecond))
+	if r.Deadline > 0 {
+		fmt.Fprintf(&b, " (deadline %v)", r.Deadline)
+	}
+	for _, ar := range r.Arms {
+		fmt.Fprintf(&b, "; %s: %s w=%d in %v", ar.Arm, ar.State, ar.Weight,
+			ar.Elapsed.Round(time.Microsecond))
+		if ar.Err != nil {
+			fmt.Fprintf(&b, " (%v)", ar.Err)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sapalloc/internal/faultinject"
+	"sapalloc/internal/oracle"
+	"sapalloc/internal/saperr"
+)
+
+// TestDeadlineReturnsCompletedArms is the acceptance test of the anytime
+// contract: with a deadline that expires while the medium arm is stalled,
+// Solve must return — within the deadline plus a small grace — a feasible,
+// oracle-verified solution drawn from the arms that completed, with the
+// stalled arm accounted for in the SolveReport.
+func TestDeadlineReturnsCompletedArms(t *testing.T) {
+	in := mixedInstance(rand.New(rand.NewSource(7)), 6, 24)
+	const deadline = 300 * time.Millisecond
+	// Stall the medium arm far past the deadline; the delay honours the
+	// context, so it wakes as soon as the deadline cancels the solve.
+	plan := faultinject.NewPlan(faultinject.Injection{
+		Site:  "core/arm/medium",
+		Kind:  faultinject.KindDelay,
+		Delay: 30 * time.Second,
+	})
+	defer faultinject.Activate(plan)()
+
+	start := time.Now()
+	res, err := SolveCtx(context.Background(), in, Params{Deadline: deadline})
+	elapsed := time.Since(start)
+	if err != nil {
+		t.Fatalf("deadline solve failed outright: %v", err)
+	}
+	if elapsed > deadline+2*time.Second {
+		t.Fatalf("solve took %v, want under deadline %v plus grace", elapsed, deadline)
+	}
+	if err := oracle.CheckSAP(in, res.Solution); err != nil {
+		t.Fatalf("degraded solution infeasible: %v", err)
+	}
+	if res.Winner == ArmMedium {
+		t.Fatalf("stalled medium arm won: %+v", res.Report)
+	}
+	rep := res.Report
+	if rep == nil {
+		t.Fatal("no SolveReport attached")
+	}
+	if !rep.Degraded {
+		t.Fatalf("report not marked degraded: %v", rep)
+	}
+	if st := rep.Arms[ArmMedium].State; st == ArmCompleted {
+		t.Fatalf("medium arm reported completed despite the stall: %v", rep)
+	}
+	if rep.Deadline != deadline {
+		t.Fatalf("report deadline %v, want %v", rep.Deadline, deadline)
+	}
+}
+
+// TestSolveCtxPreCancelled: a context that is dead before the solve starts
+// yields a typed cancellation error, not a panic or a bogus solution.
+func TestSolveCtxPreCancelled(t *testing.T) {
+	in := mixedInstance(rand.New(rand.NewSource(3)), 4, 10)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := SolveCtx(ctx, in, Params{})
+	if err == nil {
+		t.Fatalf("pre-cancelled solve succeeded: %+v", res)
+	}
+	if !saperr.IsCancelled(err) {
+		t.Fatalf("want typed cancellation, got %v", err)
+	}
+}
+
+// TestArmPanicContained: an injected panic inside the large arm must not
+// crash the solve; the report shows the arm as failed with a typed
+// ErrInternal, and the other arms' best solution is returned.
+func TestArmPanicContained(t *testing.T) {
+	in := mixedInstance(rand.New(rand.NewSource(11)), 5, 20)
+	plan := faultinject.NewPlan(faultinject.Injection{
+		Site: "core/arm/large",
+		Kind: faultinject.KindPanic,
+	})
+	defer faultinject.Activate(plan)()
+
+	res, err := SolveCtx(context.Background(), in, Params{})
+	if err != nil {
+		t.Fatalf("solve failed despite two healthy arms: %v", err)
+	}
+	if err := oracle.CheckSAP(in, res.Solution); err != nil {
+		t.Fatalf("solution infeasible: %v", err)
+	}
+	ar := res.Report.Arms[ArmLarge]
+	if ar.State != ArmFailed {
+		t.Fatalf("large arm state %v, want failed (report %v)", ar.State, res.Report)
+	}
+	if !errors.Is(ar.Err, saperr.ErrInternal) {
+		t.Fatalf("large arm error not typed ErrInternal: %v", ar.Err)
+	}
+	if res.Winner == ArmLarge {
+		t.Fatal("panicked arm won")
+	}
+}
+
+// TestAllArmsPanicTypedError: when every arm dies, Solve returns a typed
+// error instead of a zero-value result — degradation-to-nothing is loud.
+func TestAllArmsPanicTypedError(t *testing.T) {
+	in := mixedInstance(rand.New(rand.NewSource(5)), 4, 12)
+	plan := faultinject.NewPlan(
+		faultinject.Injection{Site: "core/arm/small", Kind: faultinject.KindPanic},
+		faultinject.Injection{Site: "core/arm/medium", Kind: faultinject.KindPanic},
+		faultinject.Injection{Site: "core/arm/large", Kind: faultinject.KindPanic},
+	)
+	defer faultinject.Activate(plan)()
+
+	res, err := SolveCtx(context.Background(), in, Params{})
+	if err == nil {
+		t.Fatalf("all-arms-dead solve succeeded: %+v", res)
+	}
+	if !errors.Is(err, saperr.ErrInternal) {
+		t.Fatalf("want ErrInternal in chain, got %v", err)
+	}
+}

@@ -20,11 +20,13 @@ func TestParallelDeterminism(t *testing.T) {
 			if err != nil {
 				t.Fatalf("workers=1: %v (replay: %s)", err, c.Replay)
 			}
+			stripTimings(base)
 			for _, w := range []int{2, 8} {
 				got, err := core.Solve(c.In, core.Params{Workers: w})
 				if err != nil {
 					t.Fatalf("workers=%d: %v (replay: %s)", w, err, c.Replay)
 				}
+				stripTimings(got)
 				if got.Winner != base.Winner {
 					t.Errorf("workers=%d: winner %v, want %v (replay: %s)", w, got.Winner, base.Winner, c.Replay)
 				}
@@ -34,6 +36,19 @@ func TestParallelDeterminism(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// stripTimings zeroes the wall-clock fields of the SolveReport so the
+// DeepEqual below compares only the logical result: arm states, weights,
+// winner, task sets, heights. Elapsed times legitimately differ run to run.
+func stripTimings(r *core.Result) {
+	if r == nil || r.Report == nil {
+		return
+	}
+	r.Report.Elapsed = 0
+	for i := range r.Report.Arms {
+		r.Report.Arms[i].Elapsed = 0
 	}
 }
 
@@ -47,11 +62,13 @@ func TestParallelDeterminismRing(t *testing.T) {
 			if err != nil {
 				t.Fatalf("workers=1: %v (replay: %s)", err, c.Replay)
 			}
+			stripTimings(base.PathDetail)
 			for _, w := range []int{2, 8} {
 				got, err := ringsap.Solve(c.Ring, ringsap.Params{Workers: w})
 				if err != nil {
 					t.Fatalf("workers=%d: %v (replay: %s)", w, err, c.Replay)
 				}
+				stripTimings(got.PathDetail)
 				if !reflect.DeepEqual(got, base) {
 					t.Errorf("workers=%d: Result differs from workers=1 (replay: %s)\n got: %+v\nwant: %+v",
 						w, c.Replay, got, base)

@@ -1,0 +1,168 @@
+package difftest
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"sapalloc/internal/core"
+	"sapalloc/internal/faultinject"
+	"sapalloc/internal/oracle"
+	"sapalloc/internal/saperr"
+)
+
+// robustCases picks a small, fast subset of the generator matrix for the
+// fault-injection sweeps: the matrix multiplies cases × sites × kinds, so
+// each cell must stay cheap.
+func robustCases() []Case {
+	all := PathCases()
+	var out []Case
+	for _, c := range all {
+		switch c.Name {
+		case "rand-mixed-s", "rand-small-s", "rand-large-s", "stair-s":
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// discoverSites runs one clean solve per case under an observer plan and
+// returns the union of fault sites the workload actually reaches. Driving
+// the matrix off the live site list keeps it honest: a renamed or new site
+// is picked up automatically instead of silently dropping coverage.
+func discoverSites(t *testing.T, cases []Case) []string {
+	t.Helper()
+	obs := faultinject.Observer()
+	deactivate := faultinject.Activate(obs)
+	for _, c := range cases {
+		if _, err := core.SolveCtx(context.Background(), c.In, core.Params{}); err != nil {
+			deactivate()
+			t.Fatalf("clean solve of %s failed: %v (replay: %s)", c.Name, err, c.Replay)
+		}
+	}
+	deactivate()
+	sites := obs.Observed()
+	if len(sites) < 5 {
+		t.Fatalf("observer saw only %d fault sites (%v); the instrumentation has regressed", len(sites), sites)
+	}
+	return sites
+}
+
+// checkOutcome asserts the invariant of every fault-injection cell: the
+// solve either returns a feasible, oracle-clean solution or a typed error —
+// never a crash, never an infeasible solution, never an untyped failure.
+func checkOutcome(t *testing.T, c Case, res *core.Result, err error) {
+	t.Helper()
+	if err != nil {
+		if !saperr.IsCancelled(err) &&
+			!isTyped(err, saperr.ErrInternal) && !isTyped(err, saperr.ErrInfeasibleInput) {
+			t.Errorf("%s: untyped failure: %v (replay: %s)", c.Name, err, c.Replay)
+		}
+		return
+	}
+	if res == nil || res.Solution == nil {
+		t.Errorf("%s: nil result without error (replay: %s)", c.Name, c.Replay)
+		return
+	}
+	if oerr := oracle.CheckSAP(c.In, res.Solution); oerr != nil {
+		t.Errorf("%s: infeasible under fault: %v (replay: %s)", c.Name, oerr, c.Replay)
+	}
+}
+
+// TestFaultInjectionMatrix arms every (site, kind) pair discovered on the
+// live workload and asserts feasible-or-typed-error for each cell. Delay
+// cells run under a solve deadline so the injected stall exercises the
+// degradation path rather than just slowing the test down.
+func TestFaultInjectionMatrix(t *testing.T) {
+	cases := robustCases()
+	sites := discoverSites(t, cases)
+	kinds := []faultinject.Kind{faultinject.KindPanic, faultinject.KindDelay, faultinject.KindCancel}
+	for _, site := range sites {
+		for _, kind := range kinds {
+			t.Run(site+"/"+kind.String(), func(t *testing.T) {
+				for _, c := range cases {
+					inj := faultinject.Injection{Site: site, Kind: kind, Once: true}
+					p := core.Params{}
+					if kind == faultinject.KindDelay {
+						inj.Delay = 10 * time.Second // far past the deadline; woken by ctx
+						p.Deadline = 150 * time.Millisecond
+					}
+					plan := faultinject.NewPlan(inj)
+					ctx, cancel := context.WithCancel(context.Background())
+					plan.SetCancel(cancel)
+					deactivate := faultinject.Activate(plan)
+					res, err := core.SolveCtx(ctx, c.In, p)
+					deactivate()
+					cancel()
+					checkOutcome(t, c, res, err)
+				}
+			})
+		}
+	}
+}
+
+// TestFaultInjectionSeeded replays deterministic single-fault plans drawn
+// from seeds: FromSeed picks site, kind, and hit offset pseudo-randomly, so
+// over many seeds the faults land mid-loop (After > 0) in ways the
+// exhaustive first-hit matrix does not cover.
+func TestFaultInjectionSeeded(t *testing.T) {
+	cases := robustCases()
+	sites := discoverSites(t, cases)
+	for seed := int64(0); seed < 24; seed++ {
+		plan := faultinject.FromSeed(seed, sites)
+		ctx, cancel := context.WithCancel(context.Background())
+		plan.SetCancel(cancel)
+		deactivate := faultinject.Activate(plan)
+		for _, c := range cases {
+			res, err := core.SolveCtx(ctx, c.In, core.Params{Deadline: 2 * time.Second})
+			checkOutcome(t, c, res, err)
+			if ctx.Err() != nil {
+				break // a KindCancel plan killed the shared context
+			}
+		}
+		deactivate()
+		cancel()
+	}
+}
+
+// TestCancelMidSolve cancels solves at seeded random points for workers ∈
+// {1, 2, 8} and asserts the cancellation contract: prompt return with
+// either a feasible oracle-clean solution (completed arms) or a typed
+// cancellation error. Under -race this doubles as the teardown data-race
+// probe for the whole solver tree.
+func TestCancelMidSolve(t *testing.T) {
+	cases := robustCases()
+	for _, workers := range []int{1, 2, 8} {
+		for seed := int64(0); seed < 8; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			delay := time.Duration(rng.Intn(2000)) * time.Microsecond
+			for _, c := range cases {
+				ctx, cancel := context.WithCancel(context.Background())
+				timer := time.AfterFunc(delay, cancel)
+				start := time.Now()
+				res, err := core.SolveCtx(ctx, c.In, core.Params{Workers: workers})
+				elapsed := time.Since(start)
+				timer.Stop()
+				cancel()
+				if elapsed > 30*time.Second {
+					t.Fatalf("%s: cancelled solve hung for %v", c.Name, elapsed)
+				}
+				if err != nil {
+					if !saperr.IsCancelled(err) {
+						t.Errorf("%s workers=%d seed=%d: untyped error after cancel: %v", c.Name, workers, seed, err)
+					}
+					continue
+				}
+				if oerr := oracle.CheckSAP(c.In, res.Solution); oerr != nil {
+					t.Errorf("%s workers=%d seed=%d: infeasible after cancel: %v", c.Name, workers, seed, oerr)
+				}
+			}
+		}
+	}
+}
+
+func isTyped(err, sentinel error) bool {
+	return err != nil && errors.Is(err, sentinel)
+}

@@ -6,6 +6,7 @@
 package dsa
 
 import (
+	"context"
 	"sort"
 
 	"sapalloc/internal/intervals"
@@ -109,9 +110,22 @@ func lowestFreeSlot(rects []placed, start, end int, demand int64) int64 {
 // a feasible SAP solution for any instance whose capacities are ≥ ceiling on
 // the tasks' edges.
 func PackStrip(tasks []model.Task, ceiling int64, ord Order) (sol *model.Solution, dropped []model.Task) {
+	return PackStripCtx(context.Background(), tasks, ceiling, ord)
+}
+
+// PackStripCtx is PackStrip under a context, polled every 256 placements.
+// On cancellation the tasks not yet placed are moved to dropped — the
+// partial packing is a feasible strip solution in its own right.
+func PackStripCtx(ctx context.Context, tasks []model.Task, ceiling int64, ord Order) (sol *model.Solution, dropped []model.Task) {
 	sol = &model.Solution{}
 	var rects []placed
-	for _, t := range orderTasks(tasks, ord) {
+	done := ctx.Done()
+	ordered := orderTasks(tasks, ord)
+	for i, t := range ordered {
+		if done != nil && i&255 == 0 && ctx.Err() != nil {
+			dropped = append(dropped, ordered[i:]...)
+			break
+		}
 		if t.Demand > ceiling {
 			dropped = append(dropped, t)
 			continue
@@ -171,10 +185,16 @@ func (c ConvertResult) RetainedFraction() float64 {
 // is at most the ceiling, the measured retained fraction is expected to be
 // at least 1−4δ, and the experiment harness verifies exactly that.
 func ConvertToStrip(tasks []model.Task, ceiling int64) ConvertResult {
+	return ConvertToStripCtx(context.Background(), tasks, ceiling)
+}
+
+// ConvertToStripCtx is ConvertToStrip under a context; a cancelled order
+// trial keeps whatever it packed, so the result is always feasible.
+func ConvertToStripCtx(ctx context.Context, tasks []model.Task, ceiling int64) ConvertResult {
 	input := model.WeightOf(tasks)
 	var best ConvertResult
 	for i, ord := range []Order{ByStart, ByDensity} {
-		sol, dropped := PackStrip(tasks, ceiling, ord)
+		sol, dropped := PackStripCtx(ctx, tasks, ceiling, ord)
 		if w := sol.Weight(); i == 0 || w > best.RetainedWeight {
 			best = ConvertResult{Solution: sol, Dropped: dropped, RetainedWeight: w, InputWeight: input}
 		}

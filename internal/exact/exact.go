@@ -14,12 +14,16 @@
 package exact
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
+	"sapalloc/internal/faultinject"
 	"sapalloc/internal/model"
 	"sapalloc/internal/par"
+	"sapalloc/internal/saperr"
 )
 
 // ErrTooLarge is returned when an instance exceeds the exact solvers' size
@@ -61,6 +65,7 @@ type rect struct {
 
 // searcher is the shared branch-and-bound core.
 type searcher struct {
+	ctx     context.Context
 	items   []item
 	overlap [][]bool // precomputed pairwise path intersection
 
@@ -69,13 +74,14 @@ type searcher struct {
 	nodes       int64
 	maxNodes    int64
 	exhausted   bool
+	cancelled   bool
 
 	heights []int64 // working heights, -1 = unplaced
 }
 
-func newSearcher(items []item, maxNodes int64) *searcher {
+func newSearcher(ctx context.Context, items []item, maxNodes int64) *searcher {
 	n := len(items)
-	s := &searcher{items: items, maxNodes: maxNodes}
+	s := &searcher{ctx: ctx, items: items, maxNodes: maxNodes}
 	s.overlap = make([][]bool, n)
 	for i := range s.overlap {
 		s.overlap[i] = make([]bool, n)
@@ -168,6 +174,17 @@ func (s *searcher) greedySeed() {
 // cur the committed weight.
 func (s *searcher) rec(remaining uint64, placed []rect, cur int64) {
 	s.nodes++
+	// Masked cooperative check: a context poll every 1024 nodes keeps the
+	// per-node cost negligible while bounding cancellation latency.
+	if s.nodes&1023 == 0 && s.ctx != nil {
+		faultinject.Fire(s.ctx, "exact/sap/node")
+		if s.ctx.Err() != nil {
+			s.cancelled = true
+		}
+	}
+	if s.cancelled {
+		return
+	}
 	if s.maxNodes > 0 && s.nodes > s.maxNodes {
 		s.exhausted = true
 		return
@@ -191,7 +208,7 @@ func (s *searcher) rec(remaining uint64, placed []rect, cur int64) {
 	// The nondecreasing-height exchange argument makes this complete.
 	for m := remaining; m != 0; m &= m - 1 {
 		j := trailingZeros(m)
-		if s.exhausted {
+		if s.exhausted || s.cancelled {
 			return
 		}
 		h := s.lowestSlot(j, placed)
@@ -226,6 +243,11 @@ func trailingZeros(m uint64) int {
 type Options struct {
 	// MaxNodes caps the branch-and-bound node count (0 = 50 million).
 	MaxNodes int64
+	// Deadline, when positive, bounds the wall clock of a single call; on
+	// expiry the search stops and the incumbent is returned with a typed
+	// cancelled error (mirroring the ErrBudget contract). Callers that
+	// slice a larger budget across class solves set this per call.
+	Deadline time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -248,7 +270,20 @@ func edgeBits(words, start, end int) []uint64 {
 // with more than MaxTasks tasks are rejected with ErrTooLarge; if the node
 // budget is exhausted the incumbent is returned together with ErrBudget.
 func SolveSAP(in *model.Instance, opts Options) (*model.Solution, error) {
+	return SolveSAPCtx(context.Background(), in, opts)
+}
+
+// SolveSAPCtx is SolveSAP under a context (and optional Options.Deadline).
+// When cancelled mid-search the feasible incumbent found so far is returned
+// together with an error wrapping saperr.ErrCancelled — the anytime
+// counterpart of the ErrBudget contract.
+func SolveSAPCtx(ctx context.Context, in *model.Instance, opts Options) (*model.Solution, error) {
 	opts = opts.withDefaults()
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
 	n := len(in.Tasks)
 	if n > MaxTasks {
 		return nil, fmt.Errorf("%w: %d tasks (max %d)", ErrTooLarge, n, MaxTasks)
@@ -263,13 +298,16 @@ func SolveSAP(in *model.Instance, opts Options) (*model.Solution, error) {
 			cap:    in.Bottleneck(t),
 		}
 	}
-	s := newSearcher(items, opts.MaxNodes)
+	s := newSearcher(ctx, items, opts.MaxNodes)
 	s.run()
 	sol := &model.Solution{}
 	for i, h := range s.bestHeights {
 		if h >= 0 {
 			sol.Items = append(sol.Items, model.Placement{Task: in.Tasks[i], Height: h})
 		}
+	}
+	if s.cancelled {
+		return sol, saperr.Cancelled(ctx.Err())
 	}
 	if s.exhausted {
 		return sol, ErrBudget
@@ -280,7 +318,18 @@ func SolveSAP(in *model.Instance, opts Options) (*model.Solution, error) {
 // SolveUFPP computes an optimal UFPP solution by include/exclude branch and
 // bound with per-edge load tracking.
 func SolveUFPP(in *model.Instance, opts Options) ([]model.Task, error) {
+	return SolveUFPPCtx(context.Background(), in, opts)
+}
+
+// SolveUFPPCtx is SolveUFPP under a context; on cancellation the incumbent
+// task set is returned with an error wrapping saperr.ErrCancelled.
+func SolveUFPPCtx(ctx context.Context, in *model.Instance, opts Options) ([]model.Task, error) {
 	opts = opts.withDefaults()
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
 	n := len(in.Tasks)
 	if n > MaxTasks {
 		return nil, fmt.Errorf("%w: %d tasks (max %d)", ErrTooLarge, n, MaxTasks)
@@ -301,9 +350,19 @@ func SolveUFPP(in *model.Instance, opts Options) ([]model.Task, error) {
 	var best int64 = -1
 	var nodes int64
 	exhausted := false
+	cancelled := false
 	var rec func(k int, cur int64)
 	rec = func(k int, cur int64) {
 		nodes++
+		if nodes&1023 == 0 {
+			faultinject.Fire(ctx, "exact/ufpp/node")
+			if ctx.Err() != nil {
+				cancelled = true
+			}
+		}
+		if cancelled {
+			return
+		}
 		if nodes > opts.MaxNodes {
 			exhausted = true
 			return
@@ -334,7 +393,7 @@ func SolveUFPP(in *model.Instance, opts Options) ([]model.Task, error) {
 				load[e] -= t.Demand
 			}
 		}
-		if exhausted {
+		if exhausted || cancelled {
 			return
 		}
 		rec(k+1, cur)
@@ -346,6 +405,9 @@ func SolveUFPP(in *model.Instance, opts Options) ([]model.Task, error) {
 			out = append(out, in.Tasks[i])
 		}
 	}
+	if cancelled {
+		return out, saperr.Cancelled(ctx.Err())
+	}
 	if exhausted {
 		return out, ErrBudget
 	}
@@ -356,7 +418,19 @@ func SolveUFPP(in *model.Instance, opts Options) ([]model.Task, error) {
 // orientation of every task (2^n assignments) and running the SAP search on
 // each induced arc system. Practical for n ≤ ~14.
 func SolveRingSAP(r *model.RingInstance, opts Options) (*model.RingSolution, error) {
+	return SolveRingSAPCtx(context.Background(), r, opts)
+}
+
+// SolveRingSAPCtx is SolveRingSAP under a context; on cancellation the best
+// incumbent across the orientation masks searched so far is returned with
+// an error wrapping saperr.ErrCancelled.
+func SolveRingSAPCtx(ctx context.Context, r *model.RingInstance, opts Options) (*model.RingSolution, error) {
 	opts = opts.withDefaults()
+	if opts.Deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Deadline)
+		defer cancel()
+	}
 	n := len(r.Tasks)
 	if n > 20 {
 		return nil, fmt.Errorf("%w: %d ring tasks (max 20 for orientation enumeration)", ErrTooLarge, n)
@@ -367,13 +441,17 @@ func SolveRingSAP(r *model.RingInstance, opts Options) (*model.RingSolution, err
 		sol       *model.RingSolution
 		weight    int64
 		exhausted bool
+		cancelled bool
 	}
 	// One sparse-table build answers every (task, orientation) arc
 	// bottleneck across all 2^n assignments in O(1).
 	capIx := r.Index()
 	// Orientation assignments are independent; search them concurrently
-	// and merge in mask order for determinism.
-	outs, err := par.Map(1<<uint(n), 0, func(mask int) (maskOut, error) {
+	// and merge in mask order for determinism. ForEachCtx with caller-owned
+	// slots (rather than MapCtx) keeps the incumbents of masks that
+	// completed before a cancellation.
+	outs := make([]maskOut, 1<<uint(n))
+	err := par.ForEachCtx(ctx, 1<<uint(n), 0, func(mask int) error {
 		items := make([]item, n)
 		orients := make([]model.Orientation, n)
 		for i, t := range r.Tasks {
@@ -390,7 +468,7 @@ func SolveRingSAP(r *model.RingInstance, opts Options) (*model.RingSolution, err
 			from, to := t.ArcEndpoints(o)
 			items[i] = item{edges: bits, demand: t.Demand, weight: t.Weight, cap: capIx.ArcMin(from, to)}
 		}
-		s := newSearcher(items, opts.MaxNodes/int64(1<<uint(n))+1)
+		s := newSearcher(ctx, items, opts.MaxNodes/int64(1<<uint(n))+1)
 		s.run()
 		sol := &model.RingSolution{}
 		for i, h := range s.bestHeights {
@@ -400,22 +478,33 @@ func SolveRingSAP(r *model.RingInstance, opts Options) (*model.RingSolution, err
 				})
 			}
 		}
-		return maskOut{sol: sol, weight: s.bestWeight, exhausted: s.exhausted}, nil
+		outs[mask] = maskOut{sol: sol, weight: s.bestWeight, exhausted: s.exhausted, cancelled: s.cancelled}
+		return nil
 	})
-	if err != nil {
+	if err != nil && !saperr.IsCancelled(err) {
 		return nil, err
 	}
 	best := &model.RingSolution{}
 	var bestW int64 = -1
 	budgetHit := false
+	cancelHit := err != nil
 	for _, out := range outs {
+		if out.sol == nil {
+			continue // mask never ran (dispatch stopped by cancellation)
+		}
 		if out.exhausted {
 			budgetHit = true
+		}
+		if out.cancelled {
+			cancelHit = true
 		}
 		if out.weight > bestW {
 			bestW = out.weight
 			best = out.sol
 		}
+	}
+	if cancelHit {
+		return best, saperr.Cancelled(ctx.Err())
 	}
 	if budgetHit {
 		return best, ErrBudget
@@ -429,11 +518,16 @@ func SolveRingSAP(r *model.RingInstance, opts Options) (*model.RingSolution, err
 // to the branch-and-bound. Exposed as a convenience for harnesses; both
 // engines are cross-checked against each other in the test suites.
 func SolveSAPAuto(in *model.Instance, opts Options, dpSolve func(*model.Instance) (*model.Solution, error)) (*model.Solution, error) {
+	return SolveSAPAutoCtx(context.Background(), in, opts, dpSolve)
+}
+
+// SolveSAPAutoCtx is SolveSAPAuto under a context.
+func SolveSAPAutoCtx(ctx context.Context, in *model.Instance, opts Options, dpSolve func(*model.Instance) (*model.Solution, error)) (*model.Solution, error) {
 	if dpSolve != nil && in.MaxCapacity() <= 12 && len(in.Tasks) > 16 {
 		if sol, err := dpSolve(in); err == nil {
 			return sol, nil
 		}
 		// DP rejected or overflowed its state cap: fall through to B&B.
 	}
-	return SolveSAP(in, opts)
+	return SolveSAPCtx(ctx, in, opts)
 }

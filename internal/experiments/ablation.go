@@ -26,7 +26,7 @@ import (
 // E15DeltaSweep ablates the small/medium threshold δ = 1/DeltaDen of the
 // combined algorithm (Theorem 4 fixes δ as a function of ε; the library
 // default is 1/16).
-func (s Suite) E15DeltaSweep() Table {
+func (s Suite) E15DeltaSweep() (Table, error) {
 	t := Table{
 		ID:      "E15",
 		Title:   "Ablation — δ threshold of the combined algorithm",
@@ -40,9 +40,13 @@ func (s Suite) E15DeltaSweep() Table {
 			in := gen.Random(gen.Config{Seed: s.Seed + int64(15000+i), Edges: 4, Tasks: 9, CapLo: 64, CapHi: 257, Class: gen.Mixed})
 			res, err := core.Solve(in, core.Params{DeltaDen: den})
 			if err != nil {
-				panic(err)
+				return Table{}, err
 			}
-			stats.add(float64(mustSAPOpt(in)), float64(res.Solution.Weight()))
+			sw, err := sapOpt(in)
+			if err != nil {
+				return Table{}, err
+			}
+			stats.add(float64(sw), float64(res.Solution.Weight()))
 			ns += res.NumSmall
 			nm += res.NumMedium
 			nl += res.NumLarge
@@ -54,14 +58,14 @@ func (s Suite) E15DeltaSweep() Table {
 	}
 	t.Notes = append(t.Notes,
 		"Expected shape: the measured ratio is fairly flat in δ — shrinking δ shifts weight from the (4+ε) small arm to the (2+ε) medium arm, trading analysis constant for medium-arm work.")
-	return t
+	return t, nil
 }
 
 // E16UniformBaselines compares the UFPP engines on uniform-capacity
 // instances against the exact UFPP optimum: the Bar-Noy-style local-ratio
 // baseline (related work, ratio 3 in [5]) and this paper's Algorithm Strip
 // (which additionally guarantees ½B-packability).
-func (s Suite) E16UniformBaselines() Table {
+func (s Suite) E16UniformBaselines() (Table, error) {
 	t := Table{
 		ID:      "E16",
 		Title:   "Baselines — UFPP-U engines vs exact UFPP optimum",
@@ -73,12 +77,12 @@ func (s Suite) E16UniformBaselines() Table {
 		in := gen.Uniform(s.Seed+int64(16000+i), 5, 10, 64, gen.Mixed)
 		opt, err := exact.SolveUFPP(in, exact.Options{})
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		optW := float64(model.WeightOf(opt))
 		b, err := ufpp.UniformBaseline(in)
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		base.add(optW, float64(model.WeightOf(b)))
 		// Algorithm Strip packs into half the capacity — compare against
@@ -90,13 +94,13 @@ func (s Suite) E16UniformBaselines() Table {
 	t.Rows = append(t.Rows, []string{"Algorithm Strip (appendix)", fmt.Sprint(trials), f3(strip.max), f3(strip.mean()), "packs into B/2 by design"})
 	t.Notes = append(t.Notes,
 		"Expected shape: the Bar-Noy baseline lands well under its classic factor; Algorithm Strip pays extra because it must leave half the capacity free for the strip conversion — that is the structural cost of SAP-compatibility, not looseness.")
-	return t
+	return t, nil
 }
 
 // E17PackingAblation ablates the first-fit insertion order of the DSA
 // strip packer (the Lemma 4 substitute): makespan inflation over LOAD for
 // the unbounded strip, and retained weight for the capped strip.
-func (s Suite) E17PackingAblation() Table {
+func (s Suite) E17PackingAblation() (Table, error) {
 	t := Table{
 		ID:      "E17",
 		Title:   "Ablation — first-fit insertion order in the DSA strip packer",
@@ -137,14 +141,14 @@ func (s Suite) E17PackingAblation() Table {
 	})
 	t.Notes = append(t.Notes,
 		"Expected shape: by-start order keeps makespan closest to LOAD (the classic DSA result); density order retains the most weight when the ceiling bites; class banding pays a rounding factor for its regular layout. The Strip-Pack pipeline tries the first-fit orders and keeps the heavier (dsa.ConvertToStrip).")
-	return t
+	return t, nil
 }
 
 // E18ChenDP cross-checks the Chen–Hassin–Tzur dynamic program (related
 // work [18]: exact SAP-U for integer capacity K in O(n(nK)^K)) against the
 // library's independent branch-and-bound, and shows its scaling advantage
 // on long, thin uniform instances.
-func (s Suite) E18ChenDP() Table {
+func (s Suite) E18ChenDP() (Table, error) {
 	t := Table{
 		ID:      "E18",
 		Title:   "Related work [18] — Chen-Hassin-Tzur DP vs branch & bound on SAP-U",
@@ -168,14 +172,14 @@ func (s Suite) E18ChenDP() Table {
 			t0 := time.Now()
 			dp, err := chendp.Solve(in, chendp.Options{})
 			if err != nil {
-				panic(err)
+				return Table{}, err
 			}
 			dpTime += time.Since(t0)
 			if cfg.n <= 12 {
 				t1 := time.Now()
 				bb, err := exact.SolveSAP(in, exact.Options{})
 				if err != nil {
-					panic(err)
+					return Table{}, err
 				}
 				bbTime += time.Since(t1)
 				if dp.Weight() == bb.Weight() {
@@ -184,7 +188,7 @@ func (s Suite) E18ChenDP() Table {
 			} else {
 				agree++ // B&B skipped at this size; feasibility still checked
 				if err := model.ValidSAP(in, dp); err != nil {
-					panic(err)
+					return Table{}, err
 				}
 			}
 		}
@@ -201,14 +205,14 @@ func (s Suite) E18ChenDP() Table {
 	}
 	t.Notes = append(t.Notes,
 		"Expected shape: the two independent exact solvers agree everywhere; the DP's cost grows with K but is insensitive to n, the branch-and-bound the other way around.")
-	return t
+	return t, nil
 }
 
 // E19MinStretch exercises the extension the paper's conclusion poses as an
 // open problem: minimum-stretch DSA on non-uniform capacities. The
 // heuristic's stretch is compared against the certified lower bound and,
 // on small instances, the exact optimum.
-func (s Suite) E19MinStretch() Table {
+func (s Suite) E19MinStretch() (Table, error) {
 	t := Table{
 		ID:      "E19",
 		Title:   "Extension (paper's conclusion) — minimum-stretch DSA on non-uniform capacities",
@@ -221,11 +225,11 @@ func (s Suite) E19MinStretch() Table {
 		in := gen.Random(gen.Config{Seed: s.Seed + int64(19000+i), Edges: 4, Tasks: 7, CapLo: 16, CapHi: 65, Class: gen.Mixed})
 		h, err := stretch.MinStretch(in)
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		ex, err := stretch.MinStretchExact(in, exact.Options{})
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		hSum += h.Rho()
 		eSum += ex.Rho()
@@ -245,7 +249,7 @@ func (s Suite) E19MinStretch() Table {
 		in := gen.Random(gen.Config{Seed: s.Seed + int64(19500+i), Edges: 10, Tasks: 60, CapLo: 64, CapHi: 257, Class: gen.Small})
 		h, err := stretch.MinStretch(in)
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		hL += h.Rho()
 		lbL += h.LowerBoundRho()
@@ -257,7 +261,7 @@ func (s Suite) E19MinStretch() Table {
 	})
 	t.Notes = append(t.Notes,
 		"Expected shape: first-fit stays within a small constant of the exact optimum and of the load lower bound — evidence for the conclusion's conjecture that a constant-factor algorithm exists for non-uniform DSA.")
-	return t
+	return t, nil
 }
 
 // E20Scaling measures wall-clock scaling of the main pipelines as the
@@ -266,7 +270,7 @@ func (s Suite) E19MinStretch() Table {
 // solve. (Times are measured while other experiments run concurrently;
 // treat them as indicative, the benchmarks in bench_test.go are the
 // isolated numbers.)
-func (s Suite) E20Scaling() Table {
+func (s Suite) E20Scaling() (Table, error) {
 	t := Table{
 		ID:      "E20",
 		Title:   "Scaling — wall-clock growth of the pipelines",
@@ -298,20 +302,20 @@ func (s Suite) E20Scaling() Table {
 		in := gen.Random(gen.Config{Seed: s.Seed + int64(20000+c.n), Edges: c.m, Tasks: c.n, CapLo: 512, CapHi: 2049, Class: c.class})
 		_, lpOpt, err := lp.UFPPFractional(in)
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		var w int64
 		start := time.Now()
 		if c.class == gen.Small {
 			res, err := smallsap.Solve(in, smallsap.Params{})
 			if err != nil {
-				panic(err)
+				return Table{}, err
 			}
 			w = res.Solution.Weight()
 		} else {
 			res, err := core.Solve(in, core.Params{Exact: exact.Options{MaxNodes: 100_000}})
 			if err != nil {
-				panic(err)
+				return Table{}, err
 			}
 			w = res.Solution.Weight()
 		}
@@ -327,13 +331,13 @@ func (s Suite) E20Scaling() Table {
 	}
 	t.Notes = append(t.Notes,
 		"Expected shape: strip-pack grows roughly with the LP solve (polynomial, sub-second into the hundreds of tasks); the combined pipeline is dominated by the budgeted per-class searches of the medium arm.")
-	return t
+	return t, nil
 }
 
 // E21LPEngines compares the two LP engines on the UFPP relaxation: the
 // exact bounded-variable simplex vs the multiplicative-weights
 // approximation, in quality and time.
-func (s Suite) E21LPEngines() Table {
+func (s Suite) E21LPEngines() (Table, error) {
 	t := Table{
 		ID:      "E21",
 		Title:   "Substrate — simplex vs multiplicative-weights on relaxation (1)",
@@ -349,13 +353,13 @@ func (s Suite) E21LPEngines() Table {
 		t0 := time.Now()
 		exactSol, err := lp.Solve(p)
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		simplexTime := time.Since(t0)
 		t1 := time.Now()
 		approx, err := lp.ApproxPacking(p, lp.ApproxOptions{Eps: 0.1})
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		mwuTime := time.Since(t1)
 		t.Rows = append(t.Rows, []string{
@@ -367,14 +371,14 @@ func (s Suite) E21LPEngines() Table {
 	}
 	t.Notes = append(t.Notes,
 		"Expected shape: MWU stays within a few percent of the simplex optimum; its advantage is asymptotic (no tableau), while the dense simplex wins outright at these sizes.")
-	return t
+	return t, nil
 }
 
 // E22PriceOfContiguity runs both combined pipelines — the paper's SAP
 // algorithm and the Bonsma-style UFPP algorithm it adapts — on identical
 // workloads and measures how much weight the contiguity constraint costs,
 // both exactly (small instances) and at pipeline level.
-func (s Suite) E22PriceOfContiguity() Table {
+func (s Suite) E22PriceOfContiguity() (Table, error) {
 	t := Table{
 		ID:      "E22",
 		Title:   "Price of contiguity — SAP vs UFPP on identical workloads",
@@ -388,17 +392,20 @@ func (s Suite) E22PriceOfContiguity() Table {
 		in := gen.Random(gen.Config{Seed: s.Seed + int64(22000+i), Edges: 3 + i%3, Tasks: 7, CapLo: 16, CapHi: 129, Class: gen.Mixed})
 		uOpt, err := exact.SolveUFPP(in, exact.Options{})
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
-		sOpt := mustSAPOpt(in)
+		sOpt, err := sapOpt(in)
+		if err != nil {
+			return Table{}, err
+		}
 		exactStats.add(float64(model.WeightOf(uOpt)), float64(sOpt))
 		uAlg, err := ufppfull.Solve(in, ufppfull.Params{})
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		sAlg, err := core.Solve(in, core.Params{})
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		if w := sAlg.Solution.Weight(); w > 0 {
 			algRatioSum += float64(model.WeightOf(uAlg.Tasks)) / float64(w)
@@ -420,22 +427,25 @@ func (s Suite) E22PriceOfContiguity() Table {
 	}{{"Fig 1a", gen.Fig1a()}, {"Fig 1b", gen.Fig1b()}} {
 		uOpt, err := exact.SolveUFPP(c.in, exact.Options{})
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
-		sOpt := mustSAPOpt(c.in)
+		sOpt, err := sapOpt(c.in)
+		if err != nil {
+			return Table{}, err
+		}
 		gap := float64(model.WeightOf(uOpt)) / float64(sOpt)
 		t.Rows = append(t.Rows, []string{c.name, "1", f3(gap), f3(gap), "—"})
 	}
 	t.Notes = append(t.Notes,
 		"Expected shape: UFPP weakly dominates SAP everywhere (ratios ≥ 1); random instances show a tiny gap while the Figure 1 constructions force a strict one (2 and 7/6).")
-	return t
+	return t, nil
 }
 
 // E23Windows exercises the time-window extension of related work [5]/[26]:
 // widening every task's window monotonically buys admitted weight. Measured
 // with the windowed exact solver on small instances and the greedy on
 // larger ones.
-func (s Suite) E23Windows() Table {
+func (s Suite) E23Windows() (Table, error) {
 	t := Table{
 		ID:      "E23",
 		Title:   "Related work [5]/[26] — time-window extension: slack buys weight",
@@ -453,7 +463,7 @@ func (s Suite) E23Windows() Table {
 			wide := window.Widen(base[i], slack)
 			ex, err := window.SolveExact(wide, window.Options{})
 			if err != nil {
-				panic(err)
+				return Table{}, err
 			}
 			gr := window.Greedy(wide)
 			exSum += float64(ex.Weight())
@@ -470,13 +480,13 @@ func (s Suite) E23Windows() Table {
 	}
 	t.Notes = append(t.Notes,
 		"Expected shape: exact weight is nondecreasing in the slack (more freedom can only help); the greedy tracks the optimum within a modest factor and benefits from slack too.")
-	return t
+	return t, nil
 }
 
 // E24Improve measures the post-optimisation pass (core.Improve): gravity
 // compaction plus greedy insertion of unscheduled tasks lifts every
 // pipeline's output at negligible cost and without touching the guarantees.
-func (s Suite) E24Improve() Table {
+func (s Suite) E24Improve() (Table, error) {
 	t := Table{
 		ID:      "E24",
 		Title:   "Post-optimisation — gravity + greedy insertion (core.Improve)",
@@ -498,11 +508,11 @@ func (s Suite) E24Improve() Table {
 			in := gen.Random(gen.Config{Seed: s.Seed + int64(24000+i), Edges: 8, Tasks: cfg.n, CapLo: 64, CapHi: 257, Class: cfg.class})
 			res, err := core.Solve(in, core.Params{})
 			if err != nil {
-				panic(err)
+				return Table{}, err
 			}
 			improved := core.Improve(in, res.Solution)
-			if model.ValidSAP(in, improved) != nil {
-				panic("improve broke feasibility")
+			if err := model.ValidSAP(in, improved); err != nil {
+				return Table{}, fmt.Errorf("improve broke feasibility: %w", err)
 			}
 			before, after := res.Solution.Weight(), improved.Weight()
 			lift := 0.0
@@ -515,7 +525,7 @@ func (s Suite) E24Improve() Table {
 			}
 			_, lpOpt, err := lp.UFPPFractional(in)
 			if err != nil {
-				panic(err)
+				return Table{}, err
 			}
 			if after > 0 {
 				lpRatioSum += lpOpt / float64(after)
@@ -530,5 +540,5 @@ func (s Suite) E24Improve() Table {
 	}
 	t.Notes = append(t.Notes,
 		"Expected shape: the lift is largest where the best-of-three combination leaves the most on the table (mixed workloads, where the two losing arms' tasks are free to be re-inserted); it is never negative.")
-	return t
+	return t, nil
 }

@@ -56,9 +56,10 @@ func (s Suite) trials(full int) int {
 }
 
 // RunAll executes every experiment. Experiments are independent and run
-// concurrently; the returned order is fixed (E1..E24).
-func (s Suite) RunAll() []Table {
-	runners := []func() Table{
+// concurrently; the returned order is fixed (E1..E24). The first runner
+// error (in experiment order) aborts the suite and is returned.
+func (s Suite) RunAll() ([]Table, error) {
+	runners := []func() (Table, error){
 		s.E1Fig1Gap,
 		s.E2Classification,
 		s.E3Clipping,
@@ -85,12 +86,16 @@ func (s Suite) RunAll() []Table {
 		s.E24Improve,
 	}
 	tables, err := par.Map(len(runners), 0, func(i int) (Table, error) {
-		return runners[i](), nil
+		t, err := runners[i]()
+		if err != nil {
+			return Table{}, fmt.Errorf("experiments: E%d: %w", i+1, err)
+		}
+		return t, nil
 	})
 	if err != nil {
-		panic(err) // runners only fail by panicking; Map cannot error here
+		return nil, err
 	}
-	return tables
+	return tables, nil
 }
 
 // WriteMarkdown renders tables as GitHub-flavoured markdown.
@@ -145,20 +150,20 @@ func (r *ratioStats) mean() float64 {
 	return r.sum / float64(r.n)
 }
 
-// mustSAPOpt computes the exact SAP optimum, panicking on solver failure
-// (instances are sized to stay within budget).
-func mustSAPOpt(in *model.Instance) int64 {
+// sapOpt computes the exact SAP optimum (instances are sized to stay
+// within budget; solver failure propagates to the runner's error return).
+func sapOpt(in *model.Instance) (int64, error) {
 	sol, err := exact.SolveSAP(in, exact.Options{})
 	if err != nil {
-		panic(fmt.Sprintf("exact SAP failed: %v", err))
+		return 0, fmt.Errorf("exact SAP failed: %w", err)
 	}
-	return sol.Weight()
+	return sol.Weight(), nil
 }
 
 // E1Fig1Gap reproduces Figure 1: instances whose full task set is
 // UFPP-feasible yet admits no SAP packing, plus the measured UFPP/SAP
 // optimum gap on random instances.
-func (s Suite) E1Fig1Gap() Table {
+func (s Suite) E1Fig1Gap() (Table, error) {
 	t := Table{
 		ID:      "E1",
 		Title:   "Figure 1 — SAP is strictly harder than UFPP",
@@ -170,9 +175,12 @@ func (s Suite) E1Fig1Gap() Table {
 	}{{"Fig 1a (non-uniform)", gen.Fig1a()}, {"Fig 1b (uniform, per [18])", gen.Fig1b()}} {
 		ufppOpt, err := exact.SolveUFPP(c.in, exact.Options{})
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
-		sap := mustSAPOpt(c.in)
+		sap, err := sapOpt(c.in)
+		if err != nil {
+			return Table{}, err
+		}
 		packable := "yes"
 		if sap < c.in.TotalWeight() {
 			packable = "no"
@@ -189,9 +197,13 @@ func (s Suite) E1Fig1Gap() Table {
 		in := gen.Random(gen.Config{Seed: s.Seed + int64(1000+i), Edges: 4, Tasks: 8, CapLo: 8, CapHi: 33, Class: gen.Mixed})
 		u, err := exact.SolveUFPP(in, exact.Options{})
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
-		stats.add(float64(model.WeightOf(u)), float64(mustSAPOpt(in)))
+		sw, err := sapOpt(in)
+		if err != nil {
+			return Table{}, err
+		}
+		stats.add(float64(model.WeightOf(u)), float64(sw))
 	}
 	t.Rows = append(t.Rows, []string{
 		fmt.Sprintf("random mixed ×%d", trials), "8",
@@ -199,12 +211,12 @@ func (s Suite) E1Fig1Gap() Table {
 	})
 	t.Notes = append(t.Notes,
 		"Expected shape: both figure instances are UFPP-feasible in full but not SAP-packable; the UFPP optimum weakly dominates the SAP optimum everywhere.")
-	return t
+	return t, nil
 }
 
 // E2Classification reproduces Figure 2: δ-small/δ-large classification on
 // uniform and non-uniform capacities.
-func (s Suite) E2Classification() Table {
+func (s Suite) E2Classification() (Table, error) {
 	t := Table{
 		ID:      "E2",
 		Title:   "Figure 2 — δ-small / δ-large classification",
@@ -231,12 +243,12 @@ func (s Suite) E2Classification() Table {
 		})
 	}
 	t.Notes = append(t.Notes, "Expected shape: shrinking δ monotonically moves tasks from the small class to the large class; Fig 2's tasks are all ¼-small.")
-	return t
+	return t, nil
 }
 
 // E3Clipping verifies Observation 2 / Figure 3: clipping capacities to the
 // maximum bottleneck never changes the SAP optimum.
-func (s Suite) E3Clipping() Table {
+func (s Suite) E3Clipping() (Table, error) {
 	t := Table{
 		ID:      "E3",
 		Title:   "Observation 2 / Figure 3 — capacity clipping is lossless",
@@ -252,21 +264,27 @@ func (s Suite) E3Clipping() Table {
 				maxB = b
 			}
 		}
-		before := mustSAPOpt(in)
-		after := mustSAPOpt(in.ClipCapacities(maxB))
+		before, err := sapOpt(in)
+		if err != nil {
+			return Table{}, err
+		}
+		after, err := sapOpt(in.ClipCapacities(maxB))
+		if err != nil {
+			return Table{}, err
+		}
 		if before == after {
 			preserved++
 		}
 	}
 	t.Rows = append(t.Rows, []string{"random mixed", fmt.Sprint(trials), fmt.Sprintf("%d/%d", preserved, trials)})
 	t.Notes = append(t.Notes, "Expected shape: 100% preserved — clipping above the max bottleneck cannot exclude any solution.")
-	return t
+	return t, nil
 }
 
 // stripPackRatio measures Strip-Pack (or the local-ratio variant) against
 // the exact optimum on small instances and against the LP bound on larger
 // ones.
-func (s Suite) stripPackRatio(rounding smallsap.Rounding) ([][]string, []string, float64, float64) {
+func (s Suite) stripPackRatio(rounding smallsap.Rounding) ([][]string, []string, float64, float64, error) {
 	var rows [][]string
 	var notes []string
 	var maxExact, maxLP float64
@@ -277,9 +295,13 @@ func (s Suite) stripPackRatio(rounding smallsap.Rounding) ([][]string, []string,
 		in := gen.Random(gen.Config{Seed: s.Seed + int64(3000+i), Edges: 4, Tasks: 9, CapLo: 64, CapHi: 257, Class: gen.Small})
 		res, err := smallsap.Solve(in, smallsap.Params{Rounding: rounding})
 		if err != nil {
-			panic(err)
+			return nil, nil, 0, 0, err
 		}
-		vsExact.add(float64(mustSAPOpt(in)), float64(res.Solution.Weight()))
+		sw, err := sapOpt(in)
+		if err != nil {
+			return nil, nil, 0, 0, err
+		}
+		vsExact.add(float64(sw), float64(res.Solution.Weight()))
 	}
 	rows = append(rows, []string{"random δ-small (n=9) vs exact", fmt.Sprint(trials), f3(vsExact.max), f3(vsExact.mean())})
 	maxExact = vsExact.max
@@ -290,49 +312,55 @@ func (s Suite) stripPackRatio(rounding smallsap.Rounding) ([][]string, []string,
 		in := gen.Random(gen.Config{Seed: s.Seed + int64(3500+i), Edges: 10, Tasks: 80, CapLo: 128, CapHi: 513, Class: gen.Small})
 		res, err := smallsap.Solve(in, smallsap.Params{Rounding: rounding})
 		if err != nil {
-			panic(err)
+			return nil, nil, 0, 0, err
 		}
 		_, lpOpt, err := lp.UFPPFractional(in)
 		if err != nil {
-			panic(err)
+			return nil, nil, 0, 0, err
 		}
 		vsLP.add(lpOpt, float64(res.Solution.Weight()))
 	}
 	rows = append(rows, []string{"random δ-small (n=80) vs LP bound", fmt.Sprint(trialsL), f3(vsLP.max), f3(vsLP.mean())})
 	maxLP = vsLP.max
 	notes = append(notes, "The LP optimum upper-bounds OPT_SAP, so LP-relative ratios over-estimate the true ratio.")
-	return rows, notes, maxExact, maxLP
+	return rows, notes, maxExact, maxLP, nil
 }
 
 // E4StripPack reproduces Theorem 1 / Section 4 / Figure 4.
-func (s Suite) E4StripPack() Table {
+func (s Suite) E4StripPack() (Table, error) {
 	t := Table{
 		ID:      "E4",
 		Title:   "Theorem 1 / Fig. 4 — Strip-Pack on δ-small instances (bound 4+ε)",
 		Columns: []string{"workload", "trials", "max ratio", "mean ratio"},
 	}
-	rows, notes, _, _ := s.stripPackRatio(smallsap.LPRound)
+	rows, notes, _, _, err := s.stripPackRatio(smallsap.LPRound)
+	if err != nil {
+		return Table{}, err
+	}
 	t.Rows = rows
 	t.Notes = append(notes, "Expected shape: measured ratios well below the proven 4+ε; LP-relative ratios stay below ~4 even on dense instances.")
-	return t
+	return t, nil
 }
 
 // E5LocalRatioStrip reproduces the appendix's Algorithm Strip ((5+ε)).
-func (s Suite) E5LocalRatioStrip() Table {
+func (s Suite) E5LocalRatioStrip() (Table, error) {
 	t := Table{
 		ID:      "E5",
 		Title:   "Appendix — local-ratio Algorithm Strip (bound 5+ε)",
 		Columns: []string{"workload", "trials", "max ratio", "mean ratio"},
 	}
-	rows, notes, _, _ := s.stripPackRatio(smallsap.LocalRatio)
+	rows, notes, _, _, err := s.stripPackRatio(smallsap.LocalRatio)
+	if err != nil {
+		return Table{}, err
+	}
 	t.Rows = rows
 	t.Notes = append(notes, "Expected shape: slightly weaker than E4's LP rounding (5+ε vs 4+ε) but no LP solve needed.")
-	return t
+	return t, nil
 }
 
 // E6StripConversion measures the Lemma 4 substitute: the weight fraction
 // retained when a ½B-packable UFPP solution is packed into a strip.
-func (s Suite) E6StripConversion() Table {
+func (s Suite) E6StripConversion() (Table, error) {
 	t := Table{
 		ID:      "E6",
 		Title:   "Lemma 4 — UFPP→SAP strip conversion retains ≥ 1−4δ of the weight",
@@ -354,7 +382,7 @@ func (s Suite) E6StripConversion() Table {
 			}
 			half, _, err := ufpp.HalfPackable(in, in.Capacity[0], ufpp.RoundOptions{Seed: int64(i)})
 			if err != nil {
-				panic(err)
+				return Table{}, err
 			}
 			conv := dsa.ConvertToStrip(half, in.Capacity[0]/2)
 			f := conv.RetainedFraction()
@@ -370,11 +398,11 @@ func (s Suite) E6StripConversion() Table {
 		})
 	}
 	t.Notes = append(t.Notes, "Expected shape: retained fraction ≥ 1−4δ on every row (usually 1.000 — first-fit rarely drops anything at half load).")
-	return t
+	return t, nil
 }
 
 // E7Medium reproduces Theorem 2 / Section 5.
-func (s Suite) E7Medium() Table {
+func (s Suite) E7Medium() (Table, error) {
 	t := Table{
 		ID:      "E7",
 		Title:   "Theorem 2 / Fig. 6 — AlmostUniform on medium instances (bound 2+ε)",
@@ -387,19 +415,23 @@ func (s Suite) E7Medium() Table {
 			in := gen.Random(gen.Config{Seed: s.Seed + int64(5000+i), Edges: 4, Tasks: 8, CapLo: 64, CapHi: 257, Class: gen.Medium})
 			res, err := mediumsap.Solve(in, mediumsap.Params{Eps: eps})
 			if err != nil {
-				panic(err)
+				return Table{}, err
 			}
-			stats.add(float64(mustSAPOpt(in)), float64(res.Solution.Weight()))
+			sw, err := sapOpt(in)
+			if err != nil {
+				return Table{}, err
+			}
+			stats.add(float64(sw), float64(res.Solution.Weight()))
 		}
 		t.Rows = append(t.Rows, []string{"random medium (n=8)", f2(eps), fmt.Sprint(trials), f3(stats.max), f3(stats.mean())})
 	}
 	t.Notes = append(t.Notes,
 		"Expected shape: measured ratio below 2+ε for every ε; smaller ε widens the classes (larger ℓ) and should not hurt the ratio.")
-	return t
+	return t, nil
 }
 
 // E8Gravity reproduces Observation 11 / Figure 5.
-func (s Suite) E8Gravity() Table {
+func (s Suite) E8Gravity() (Table, error) {
 	t := Table{
 		ID:      "E8",
 		Title:   "Observation 11 / Fig. 5 — gravity normalisation",
@@ -447,11 +479,11 @@ func (s Suite) E8Gravity() Table {
 		f2(dropSum / float64(trials)),
 	})
 	t.Notes = append(t.Notes, "Expected shape: 100% feasible/weight-preserving and 100% grounded; heights only fall (Fig. 5's compaction).")
-	return t
+	return t, nil
 }
 
 // E9Large reproduces Theorem 3 / Section 6 / Figure 7.
-func (s Suite) E9Large() Table {
+func (s Suite) E9Large() (Table, error) {
 	t := Table{
 		ID:      "E9",
 		Title:   "Theorem 3 / Fig. 7 — rectangle packing on 1/k-large instances (bound 2k−1)",
@@ -464,9 +496,13 @@ func (s Suite) E9Large() Table {
 			in := kLarge(s.Seed+int64(7000+i)+k, 4, 8, k)
 			sol, err := largesap.Solve(in, largesap.Options{})
 			if err != nil {
-				panic(err)
+				return Table{}, err
 			}
-			opt := float64(mustSAPOpt(in))
+			sw, err := sapOpt(in)
+			if err != nil {
+				return Table{}, err
+			}
+			opt := float64(sw)
 			stats.add(opt, float64(sol.Weight()))
 			// Heuristic comparison: the heaviest color class of the FULL
 			// rectangle family is also a feasible solution (pairwise
@@ -488,7 +524,7 @@ func (s Suite) E9Large() Table {
 		})
 	}
 	t.Notes = append(t.Notes, "Expected shape: measured ratio far below 2k−1 (the exact rectangle MWIS usually matches the SAP optimum on random instances; the bound is tight only on adversarial families like Fig. 8).")
-	return t
+	return t, nil
 }
 
 // kLarge builds a random 1/k-large instance.
@@ -509,7 +545,7 @@ func kLarge(seed int64, edges, tasks int, k int64) *model.Instance {
 }
 
 // E10Degeneracy reproduces Lemma 17 / Figure 8.
-func (s Suite) E10Degeneracy() Table {
+func (s Suite) E10Degeneracy() (Table, error) {
 	t := Table{
 		ID:      "E10",
 		Title:   "Lemma 17 / Fig. 8 — rectangle-graph degeneracy of feasible ½-large solutions",
@@ -521,7 +557,7 @@ func (s Suite) E10Degeneracy() Table {
 		in := kLarge(s.Seed+int64(8000+i), 4, 8, 2)
 		opt, err := exact.SolveSAP(in, exact.Options{})
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		rects := largesap.RectanglesOf(in.Restrict(opt.Tasks()))
 		if _, _, d := largesap.SmallestLastColoring(rects); d > maxDeg {
@@ -537,11 +573,11 @@ func (s Suite) E10Degeneracy() Table {
 		"Fig 8 five-cycle", "1", fmt.Sprint(degen), "2", fmt.Sprintf("%d (2k−1 = 3 required)", colors),
 	})
 	t.Notes = append(t.Notes, "Expected shape: degeneracy ≤ 2 everywhere; the Fig 8 instance attains it and needs exactly 3 colors (C5 is not 2-colorable), showing Lemma 17 tight for k=2.")
-	return t
+	return t, nil
 }
 
 // E11Combined reproduces Theorem 4 on mixed and domain workloads.
-func (s Suite) E11Combined() Table {
+func (s Suite) E11Combined() (Table, error) {
 	t := Table{
 		ID:      "E11",
 		Title:   "Theorem 4 — combined algorithm on mixed workloads (bound 9+ε)",
@@ -553,9 +589,13 @@ func (s Suite) E11Combined() Table {
 		in := gen.Random(gen.Config{Seed: s.Seed + int64(9000+i), Edges: 4, Tasks: 9, CapLo: 64, CapHi: 257, Class: gen.Mixed})
 		res, err := core.Solve(in, core.Params{})
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
-		stats.add(float64(mustSAPOpt(in)), float64(res.Solution.Weight()))
+		sw, err := sapOpt(in)
+		if err != nil {
+			return Table{}, err
+		}
+		stats.add(float64(sw), float64(res.Solution.Weight()))
 	}
 	t.Rows = append(t.Rows, []string{"random mixed (n=9) vs exact", fmt.Sprint(trials), f3(stats.max), f3(stats.mean()), "9+ε"})
 
@@ -570,11 +610,11 @@ func (s Suite) E11Combined() Table {
 	} {
 		res, err := core.Solve(c.in, core.Params{})
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		_, lpOpt, err := lp.UFPPFractional(c.in)
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		ratio := math.Inf(1)
 		if res.Solution.Weight() > 0 {
@@ -585,11 +625,11 @@ func (s Suite) E11Combined() Table {
 		})
 	}
 	t.Notes = append(t.Notes, "Expected shape: exact-relative ratios ≈ 1–2; LP-relative ratios below the 9+ε bound with room to spare.")
-	return t
+	return t, nil
 }
 
 // E12Ring reproduces Theorem 5 / Section 7.
-func (s Suite) E12Ring() Table {
+func (s Suite) E12Ring() (Table, error) {
 	t := Table{
 		ID:      "E12",
 		Title:   "Theorem 5 — SAP on ring networks (bound 10+ε)",
@@ -602,11 +642,11 @@ func (s Suite) E12Ring() Table {
 		ring := gen.Ring(s.Seed+int64(10000+i), 5, 7, 16, 64)
 		res, err := ringsap.Solve(ring, ringsap.Params{})
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		opt, err := exact.SolveRingSAP(ring, exact.Options{})
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		stats.add(float64(opt.Weight()), float64(res.Solution.Weight()))
 		if res.Winner == ringsap.ArmKnapsack {
@@ -618,12 +658,12 @@ func (s Suite) E12Ring() Table {
 		fmt.Sprintf("%d/%d", knapWins, trials),
 	})
 	t.Notes = append(t.Notes, "Expected shape: measured ratio well under 10+ε; the knapsack arm wins when traffic concentrates on the cut edge.")
-	return t
+	return t, nil
 }
 
 // E13BestOf reproduces Lemma 3: the best-of combination on adversarial
 // two-family mixes where each arm must win somewhere.
-func (s Suite) E13BestOf() Table {
+func (s Suite) E13BestOf() (Table, error) {
 	t := Table{
 		ID:      "E13",
 		Title:   "Lemma 3 — best-of combination across the three arms",
@@ -640,7 +680,7 @@ func (s Suite) E13BestOf() Table {
 	for _, mx := range mixes {
 		res, err := core.Solve(mx.in, core.Params{})
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		t.Rows = append(t.Rows, []string{
 			mx.name, res.Winner.String(),
@@ -648,12 +688,12 @@ func (s Suite) E13BestOf() Table {
 		})
 	}
 	t.Notes = append(t.Notes, "Expected shape: each arm wins on its own family; the returned weight always equals the per-arm maximum (Lemma 3's r1+r2+r3 accounting).")
-	return t
+	return t, nil
 }
 
 // E14LPGap measures the integrality gap of relaxation (1) on structured
 // families.
-func (s Suite) E14LPGap() Table {
+func (s Suite) E14LPGap() (Table, error) {
 	t := Table{
 		ID:      "E14",
 		Title:   "LP (1) — integrality gap of the UFPP relaxation",
@@ -674,11 +714,11 @@ func (s Suite) E14LPGap() Table {
 			in := fam.mk(int64(i))
 			_, lpOpt, err := lp.UFPPFractional(in)
 			if err != nil {
-				panic(err)
+				return Table{}, err
 			}
 			ilp, err := exact.SolveUFPP(in, exact.Options{})
 			if err != nil {
-				panic(err)
+				return Table{}, err
 			}
 			stats.add(lpOpt, float64(model.WeightOf(ilp)))
 		}
@@ -689,11 +729,11 @@ func (s Suite) E14LPGap() Table {
 		in := gen.GapChain(n)
 		_, lpOpt, err := lp.UFPPFractional(in)
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		ilp, err := exact.SolveUFPP(in, exact.Options{})
 		if err != nil {
-			panic(err)
+			return Table{}, err
 		}
 		gap := lpOpt / float64(model.WeightOf(ilp))
 		t.Rows = append(t.Rows, []string{
@@ -702,5 +742,5 @@ func (s Suite) E14LPGap() Table {
 	}
 	t.Notes = append(t.Notes,
 		"Expected shape: random families stay below 2, while the adversarial exponential-capacity chain of [14] exhibits the Ω(n) gap — roughly n/2 and growing linearly.")
-	return t
+	return t, nil
 }

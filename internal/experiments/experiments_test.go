@@ -13,7 +13,11 @@ var quickTables []Table
 func tables(t *testing.T) []Table {
 	t.Helper()
 	if quickTables == nil {
-		quickTables = Suite{Quick: true}.RunAll()
+		ts, err := Suite{Quick: true}.RunAll()
+		if err != nil {
+			t.Fatalf("RunAll: %v", err)
+		}
+		quickTables = ts
 	}
 	return quickTables
 }

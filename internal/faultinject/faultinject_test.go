@@ -1,0 +1,107 @@
+package faultinject
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestInertWithoutPlan(t *testing.T) {
+	if Enabled() {
+		t.Fatal("plan active at test start")
+	}
+	// Must be a no-op, not a crash.
+	Fire(context.Background(), "nowhere")
+}
+
+func TestObserverCountsHits(t *testing.T) {
+	p := Observer()
+	defer Activate(p)()
+	ctx := context.Background()
+	Fire(ctx, "a")
+	Fire(ctx, "a")
+	Fire(ctx, "b")
+	if got := p.Hits("a"); got != 2 {
+		t.Fatalf("Hits(a) = %d, want 2", got)
+	}
+	if got := p.Observed(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Observed() = %v", got)
+	}
+}
+
+func TestPanicInjection(t *testing.T) {
+	p := NewPlan(Injection{Site: "s", Kind: KindPanic, After: 1, Once: true})
+	defer Activate(p)()
+	ctx := context.Background()
+	Fire(ctx, "s") // hit 1: below After threshold
+	fired := func() (v any) {
+		defer func() { v = recover() }()
+		Fire(ctx, "s") // hit 2: triggers
+		return nil
+	}()
+	if fired == nil {
+		t.Fatal("injection did not panic")
+	}
+	if !p.Triggered("s") {
+		t.Fatal("Triggered(s) = false after firing")
+	}
+	Fire(ctx, "s") // Once: disarmed now, must not panic
+}
+
+func TestDelayHonoursContext(t *testing.T) {
+	p := NewPlan(Injection{Site: "slow", Kind: KindDelay, Delay: time.Hour})
+	defer Activate(p)()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	Fire(ctx, "slow")
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("delay ignored cancelled ctx (took %v)", elapsed)
+	}
+}
+
+func TestCancelInjection(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := NewPlan(Injection{Site: "c", Kind: KindCancel, Once: true})
+	p.SetCancel(cancel)
+	defer Activate(p)()
+	Fire(ctx, "c")
+	if ctx.Err() == nil {
+		t.Fatal("cancel injection did not cancel the context")
+	}
+}
+
+func TestActivateIsExclusive(t *testing.T) {
+	p := Observer()
+	deactivate := Activate(p)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("second Activate did not panic")
+			}
+		}()
+		Activate(Observer())
+	}()
+	deactivate()
+	// After deactivation a new plan can be installed again.
+	Activate(Observer())()
+}
+
+func TestFromSeedDeterministic(t *testing.T) {
+	sites := []string{"a", "b", "c", "d"}
+	p1 := FromSeed(42, sites)
+	p2 := FromSeed(42, sites)
+	var s1, s2 Injection
+	for _, r := range p1.rules {
+		s1 = r.inj
+	}
+	for _, r := range p2.rules {
+		s2 = r.inj
+	}
+	if s1 != s2 {
+		t.Fatalf("same seed produced different plans: %+v vs %+v", s1, s2)
+	}
+	if FromSeed(7, nil) == nil {
+		t.Fatal("empty site list must yield an inert plan, not nil")
+	}
+}

@@ -1,5 +1,53 @@
 package intervals
 
+import "errors"
+
+// ErrBounds is the sentinel behind every bounds panic of this package.
+// The segment tree sits on hot query paths, so out-of-range arguments
+// still panic rather than returning errors — but the panic value is a
+// *BoundsError wrapping ErrBounds, so boundary layers (the oracle, solver
+// containment) can recover it, test errors.Is(err, intervals.ErrBounds),
+// and convert the crash into a structured report.
+var ErrBounds = errors.New("intervals: range out of bounds")
+
+// BoundsError is the typed panic value raised on out-of-range arguments.
+type BoundsError struct {
+	Op     string // the offending method ("Add", "Assign", "Max", ...)
+	Lo, Hi int    // the requested range
+	N      int    // the tree's position count
+}
+
+func (e *BoundsError) Error() string {
+	return errors.Join(ErrBounds).Error() + ": " + e.Op + " [" +
+		itoa(e.Lo) + "," + itoa(e.Hi) + ") on " + itoa(e.N) + " positions"
+}
+
+// Unwrap ties BoundsError into errors.Is(err, ErrBounds).
+func (e *BoundsError) Unwrap() error { return ErrBounds }
+
+// itoa avoids pulling fmt into this leaf package.
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		b[i] = '-'
+	}
+	return string(b[i:])
+}
+
 // SegTree is a lazy segment tree over positions 0..n-1 supporting range
 // add, range assign and range max of int64 values. It backs the first-fit
 // contiguous allocator (skyline queries over edges), fast load/makespan
@@ -18,7 +66,7 @@ type SegTree struct {
 // NewSegTree returns a tree over n positions, all values zero.
 func NewSegTree(n int) *SegTree {
 	if n < 0 {
-		panic("intervals: negative segment tree size")
+		panic(&BoundsError{Op: "NewSegTree", Lo: n, Hi: n, N: n})
 	}
 	size := 1
 	for size < n {
@@ -76,7 +124,7 @@ func (s *SegTree) push(node int) {
 // Add adds v to every position in [lo, hi).
 func (s *SegTree) Add(lo, hi int, v int64) {
 	if lo < 0 || hi > s.n || lo > hi {
-		panic("intervals: Add range out of bounds")
+		panic(&BoundsError{Op: "Add", Lo: lo, Hi: hi, N: s.n})
 	}
 	if lo == hi || v == 0 {
 		return
@@ -87,7 +135,7 @@ func (s *SegTree) Add(lo, hi int, v int64) {
 // Assign sets every position in [lo, hi) to v.
 func (s *SegTree) Assign(lo, hi int, v int64) {
 	if lo < 0 || hi > s.n || lo > hi {
-		panic("intervals: Assign range out of bounds")
+		panic(&BoundsError{Op: "Assign", Lo: lo, Hi: hi, N: s.n})
 	}
 	if lo == hi {
 		return
@@ -121,7 +169,7 @@ func (s *SegTree) update(node, nodeLo, nodeHi, lo, hi int, v int64, assign bool)
 // Max returns the maximum value over [lo, hi). Max over an empty range is 0.
 func (s *SegTree) Max(lo, hi int) int64 {
 	if lo < 0 || hi > s.n || lo > hi {
-		panic("intervals: Max range out of bounds")
+		panic(&BoundsError{Op: "Max", Lo: lo, Hi: hi, N: s.n})
 	}
 	if lo == hi {
 		return 0

@@ -5,7 +5,12 @@
 // capacity; the paper calls an FPTAS there, and so do we.
 package knapsack
 
-import "sort"
+import (
+	"context"
+	"sort"
+
+	"sapalloc/internal/saperr"
+)
 
 // Item is a knapsack item with a size and a profit.
 type Item struct {
@@ -20,6 +25,14 @@ type Item struct {
 // Size > capacity are never chosen; items with non-positive profit are
 // ignored.
 func SolveExact(items []Item, capacity int64) (chosen []int, profit int64) {
+	return SolveExactCtx(context.Background(), items, capacity)
+}
+
+// SolveExactCtx is SolveExact under a context, polled between item rows.
+// The DP is anytime over item prefixes: after processing i items the table
+// is exact for those items, so on cancellation the remaining rows are
+// skipped and the best selection over the processed prefix is returned.
+func SolveExactCtx(ctx context.Context, items []Item, capacity int64) (chosen []int, profit int64) {
 	var totalProfit int64
 	for _, it := range items {
 		if it.Profit > 0 && it.Size <= capacity {
@@ -41,7 +54,11 @@ func SolveExact(items []Item, capacity int64) (chosen []int, profit int64) {
 	// predecessor pointers which later items can corrupt.
 	words := int(totalProfit/64) + 1
 	take := make([][]uint64, len(items))
+	done := ctx.Done()
 	for i, it := range items {
+		if done != nil && i&15 == 0 && ctx.Err() != nil {
+			break // prefix DP is exact for the rows already processed
+		}
 		if it.Profit <= 0 || it.Size > capacity {
 			continue
 		}
@@ -84,11 +101,18 @@ func SolveExact(items []Item, capacity int64) (chosen []int, profit int64) {
 // SolveFPTAS computes a (1+eps)-approximate 0/1 knapsack selection by the
 // classic profit-scaling FPTAS: profits are scaled down by K = eps·Pmax/n,
 // the scaled instance is solved exactly, and the selection is returned with
-// its true profit. eps must be positive. The returned profit is at least
-// OPT/(1+eps).
+// its true profit. eps must be positive (the panic carries a typed
+// saperr.ErrInfeasibleInput, so solver boundaries contain it as such). The
+// returned profit is at least OPT/(1+eps).
 func SolveFPTAS(items []Item, capacity int64, eps float64) (chosen []int, profit int64) {
+	return SolveFPTASCtx(context.Background(), items, capacity, eps)
+}
+
+// SolveFPTASCtx is SolveFPTAS under a context (see SolveExactCtx for the
+// anytime semantics of the underlying DP).
+func SolveFPTASCtx(ctx context.Context, items []Item, capacity int64, eps float64) (chosen []int, profit int64) {
 	if eps <= 0 {
-		panic("knapsack: eps must be positive")
+		panic(saperr.Input("knapsack: eps must be positive (got %g)", eps))
 	}
 	n := len(items)
 	if n == 0 {
@@ -111,7 +135,7 @@ func SolveFPTAS(items []Item, capacity int64, eps float64) (chosen []int, profit
 	for i, it := range items {
 		scaled[i] = Item{Size: it.Size, Profit: int64(float64(it.Profit) / k)}
 	}
-	chosen, _ = SolveExact(scaled, capacity)
+	chosen, _ = SolveExactCtx(ctx, scaled, capacity)
 	for _, i := range chosen {
 		profit += items[i].Profit
 	}

@@ -18,11 +18,14 @@
 package largesap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
 
+	"sapalloc/internal/faultinject"
 	"sapalloc/internal/model"
+	"sapalloc/internal/saperr"
 )
 
 // Rect is the fixed rectangle R(j) = [s_j, t_j) × [ℓ(j), b(j)] of a task.
@@ -93,9 +96,17 @@ var ErrBudget = errors.New("largesap: search budget exhausted")
 // (2k−1)-approximation for any 1/k-large instance by Theorem 3 of the
 // paper.
 func Solve(in *model.Instance, opts Options) (*model.Solution, error) {
+	return SolveCtx(context.Background(), in, opts)
+}
+
+// SolveCtx is Solve under a context. On cancellation the branch-and-bound's
+// feasible incumbent (possibly empty) is returned with an error wrapping
+// saperr.ErrCancelled, mirroring the ErrBudget contract.
+func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (*model.Solution, error) {
 	opts = opts.withDefaults()
 	rects := RectanglesOf(in)
-	chosen, err := MaxWeightIndependentSet(rects, in.Edges(), opts)
+	faultinject.Fire(ctx, "largesap/mwis")
+	chosen, err := maxWeightIndependentSetCtx(ctx, rects, in.Edges(), opts)
 	sol := &model.Solution{}
 	for _, i := range chosen {
 		sol.Items = append(sol.Items, model.Placement{Task: rects[i].Task, Height: rects[i].Bottom})
@@ -111,24 +122,32 @@ func Solve(in *model.Instance, opts Options) (*model.Solution, error) {
 // is exceeded the exact branch-and-bound fallback finishes the job. Indices
 // into rects are returned.
 func MaxWeightIndependentSet(rects []Rect, edges int, opts Options) ([]int, error) {
+	return maxWeightIndependentSetCtx(context.Background(), rects, edges, opts)
+}
+
+func maxWeightIndependentSetCtx(ctx context.Context, rects []Rect, edges int, opts Options) ([]int, error) {
 	opts = opts.withDefaults()
 	n := len(rects)
 	if n == 0 {
 		return nil, nil
 	}
 	if n > 64 {
-		return mwisBranchBound(rects, opts)
+		return mwisBranchBound(ctx, rects, opts)
 	}
-	chosen, ok := mwisPathDP(rects, edges, opts.MaxStates)
+	chosen, ok := mwisPathDP(ctx, rects, edges, opts.MaxStates)
 	if ok {
 		return chosen, nil
 	}
-	return mwisBranchBound(rects, opts)
+	// DP overflowed its state cap or was cancelled: the branch-and-bound
+	// finishes the job (and, under cancellation, immediately returns its
+	// greedy-free incumbent with a typed error).
+	return mwisBranchBound(ctx, rects, opts)
 }
 
 // mwisPathDP is the path-decomposition DP. Returns ok=false if the state
-// cap was exceeded.
-func mwisPathDP(rects []Rect, edges int, maxStates int) ([]int, bool) {
+// cap was exceeded or the context was cancelled (the DP has no usable
+// partial answer: interior layers do not reach the right end of the path).
+func mwisPathDP(ctx context.Context, rects []Rect, edges int, maxStates int) ([]int, bool) {
 	n := len(rects)
 	startAt := make([][]int, edges)
 	for i, r := range rects {
@@ -151,7 +170,11 @@ func mwisPathDP(rects []Rect, edges int, maxStates int) ([]int, bool) {
 	// trace[e] records the best entry per state mask at edge e.
 	trace := make([]map[uint64]entry, edges)
 	cur := map[uint64]entry{0: {}}
+	done := ctx.Done()
 	for e := 0; e < edges; e++ {
+		if done != nil && e&63 == 0 && ctx.Err() != nil {
+			return nil, false
+		}
 		next := make(map[uint64]entry, len(cur))
 		for mask, ent := range cur {
 			// Rectangles leaving after edge e-1 (End == e) are dropped.
@@ -241,7 +264,7 @@ func mwisPathDP(rects []Rect, edges int, maxStates int) ([]int, bool) {
 
 // mwisBranchBound is an exact include/exclude search over rectangles sorted
 // by weight, with suffix-weight pruning.
-func mwisBranchBound(rects []Rect, opts Options) ([]int, error) {
+func mwisBranchBound(ctx context.Context, rects []Rect, opts Options) ([]int, error) {
 	n := len(rects)
 	order := make([]int, n)
 	for i := range order {
@@ -258,9 +281,19 @@ func mwisBranchBound(rects []Rect, opts Options) ([]int, error) {
 	var cur []int
 	var nodes int64
 	exhausted := false
+	cancelled := false
 	var rec func(k int, w int64)
 	rec = func(k int, w int64) {
 		nodes++
+		if nodes&1023 == 0 {
+			faultinject.Fire(ctx, "largesap/bb/node")
+			if ctx.Err() != nil {
+				cancelled = true
+			}
+		}
+		if cancelled {
+			return
+		}
 		if nodes > opts.MaxNodes {
 			exhausted = true
 			return
@@ -285,7 +318,7 @@ func mwisBranchBound(rects []Rect, opts Options) ([]int, error) {
 			rec(k+1, w+rects[i].Task.Weight)
 			cur = cur[:len(cur)-1]
 		}
-		if exhausted {
+		if exhausted || cancelled {
 			return
 		}
 		rec(k+1, w)
@@ -293,6 +326,9 @@ func mwisBranchBound(rects []Rect, opts Options) ([]int, error) {
 	rec(0, 0)
 	out := append([]int(nil), bestSet...)
 	sort.Ints(out)
+	if cancelled {
+		return out, saperr.Cancelled(ctx.Err())
+	}
 	if exhausted {
 		return out, fmt.Errorf("%w: %d nodes", ErrBudget, nodes)
 	}

@@ -1,6 +1,7 @@
 package largesap
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -135,7 +136,7 @@ func TestMWISFallbackAgreesWithDP(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%v", err)
 		}
-		viaBB, err := mwisBranchBound(rects, Options{}.withDefaults())
+		viaBB, err := mwisBranchBound(context.Background(), rects, Options{}.withDefaults())
 		if err != nil {
 			t.Fatalf("%v", err)
 		}

@@ -1,9 +1,11 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"sapalloc/internal/faultinject"
 	"sapalloc/internal/par"
 )
 
@@ -46,6 +48,14 @@ func (o ApproxOptions) withDefaults(rows int) ApproxOptions {
 // approximation (the experiments measure it well above 90% of optimal at
 // the default ε). The returned solution is always feasible.
 func ApproxPacking(p *Problem, opts ApproxOptions) (*Solution, error) {
+	return ApproxPackingCtx(context.Background(), p, opts)
+}
+
+// ApproxPackingCtx is ApproxPacking under a context. The method is anytime:
+// every iterate is scale-corrected to feasibility, so on cancellation the
+// loop simply stops early and the best feasible iterate found so far is
+// returned (with nil error — degradation here costs quality, not validity).
+func ApproxPackingCtx(ctx context.Context, p *Problem, opts ApproxOptions) (*Solution, error) {
 	m := len(p.A)
 	n := len(p.C)
 	if len(p.B) != m || len(p.U) != n {
@@ -105,6 +115,12 @@ func ApproxPacking(p *Problem, opts ApproxOptions) (*Solution, error) {
 	scores := make([]float64, n)
 
 	for iter := 0; iter < opts.MaxIters; iter++ {
+		if iter&63 == 0 {
+			faultinject.Fire(ctx, "lp/mwu/iter")
+			if ctx.Err() != nil {
+				break // anytime: bestX is feasible as-is
+			}
+		}
 		// Score all columns in parallel: c_j divided by the y-weighted
 		// relative length.
 		_ = par.ForEach(n, workers, func(j int) error {

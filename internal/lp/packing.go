@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"fmt"
 
 	"sapalloc/internal/model"
@@ -37,7 +38,12 @@ func UFPPRelaxation(in *model.Instance) *Problem {
 // task values x (indexed like in.Tasks) and the LP optimum, a valid upper
 // bound on both the UFPP and the SAP integral optima.
 func UFPPFractional(in *model.Instance) (x []float64, opt float64, err error) {
-	sol, err := Solve(UFPPRelaxation(in))
+	return UFPPFractionalCtx(context.Background(), in)
+}
+
+// UFPPFractionalCtx is UFPPFractional under a context.
+func UFPPFractionalCtx(ctx context.Context, in *model.Instance) (x []float64, opt float64, err error) {
+	sol, err := SolveCtx(ctx, UFPPRelaxation(in))
 	if err != nil {
 		return nil, 0, fmt.Errorf("ufpp relaxation: %w", err)
 	}

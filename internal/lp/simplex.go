@@ -12,9 +12,13 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
+
+	"sapalloc/internal/faultinject"
+	"sapalloc/internal/saperr"
 )
 
 // Problem describes max c·x s.t. A·x ≤ b, 0 ≤ x ≤ u. A is dense, row-major:
@@ -62,6 +66,13 @@ const (
 // primal feasible and satisfies the optimality conditions up to a 1e-7
 // tolerance.
 func Solve(p *Problem) (*Solution, error) {
+	return SolveCtx(context.Background(), p)
+}
+
+// SolveCtx is Solve under a context, polled once per pivot. Simplex has no
+// useful partial answer (an interior tableau is not primal optimal), so on
+// cancellation it returns a typed saperr.ErrCancelled and no solution.
+func SolveCtx(ctx context.Context, p *Problem) (*Solution, error) {
 	m := len(p.A)
 	if len(p.B) != m {
 		return nil, fmt.Errorf("%w: %d rows but %d rhs entries", ErrMalformed, m, len(p.B))
@@ -125,6 +136,12 @@ func Solve(p *Problem) (*Solution, error) {
 	maxIter := maxIterMult * (total + 1)
 	for {
 		iters++
+		if iters&63 == 0 {
+			faultinject.Fire(ctx, "lp/simplex/pivot")
+			if err := saperr.FromContext(ctx); err != nil {
+				return nil, err
+			}
+		}
 		if iters > maxIter {
 			return nil, fmt.Errorf("lp: iteration limit %d exceeded", maxIter)
 		}

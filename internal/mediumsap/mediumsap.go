@@ -18,14 +18,17 @@
 package mediumsap
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"sapalloc/internal/exact"
+	"sapalloc/internal/faultinject"
 	"sapalloc/internal/model"
 	"sapalloc/internal/par"
+	"sapalloc/internal/saperr"
 )
 
 // Params configures Algorithm AlmostUniform.
@@ -88,13 +91,32 @@ type Result struct {
 	Classes map[int]int64
 	// Residue is the winning r*, Ell and Q the framework parameters.
 	Residue, Ell, Q int
+	// Degraded is set when at least one class fell back from the proven
+	// per-class optimum to a best-effort solution — because the exact
+	// search exhausted its node budget or its deadline slice, or because a
+	// class failed entirely and was dropped (see ClassErrs). The stacked
+	// result remains feasible either way.
+	Degraded bool
+	// ClassErrs collects the typed errors of classes that were dropped.
+	ClassErrs []error
 }
 
 // Solve runs Algorithm AlmostUniform on the instance. Tasks are expected to
 // be (1−2β)-small (use core.Partition to select them); δ-largeness affects
 // only running time. The returned solution is feasible for the instance.
 func Solve(in *model.Instance, p Params) (*Result, error) {
+	return SolveCtx(context.Background(), in, p)
+}
+
+// SolveCtx is Solve under a context. Per-class exact searches honour
+// cancellation and degrade to their feasible incumbents (exact →
+// approximate); a class that fails outright is dropped and recorded in
+// ClassErrs. A typed error is returned only when no class completed.
+func SolveCtx(ctx context.Context, in *model.Instance, p Params) (*Result, error) {
 	p = p.withDefaults()
+	if err := saperr.FromContext(ctx); err != nil {
+		return nil, err
+	}
 	if 2*p.BetaNum >= p.BetaDen {
 		return nil, fmt.Errorf("mediumsap: β = %d/%d is not in (0, 1/2)", p.BetaNum, p.BetaDen)
 	}
@@ -124,22 +146,56 @@ func Solve(in *model.Instance, p Params) (*Result, error) {
 	sort.Ints(ks)
 
 	// Per class: elevated 2-approximate solutions, solved concurrently —
-	// the classes are independent sub-instances.
-	sols, err := par.Map(len(ks), p.Workers, func(i int) (*model.Solution, error) {
-		k := ks[i]
-		sol, err := Elevator(in, classTasks[k], k, ell, p)
-		if err != nil {
-			return nil, fmt.Errorf("mediumsap: class k=%d: %w", k, err)
-		}
-		return sol, nil
-	})
-	if err != nil {
-		return nil, err
+	// the classes are independent sub-instances. Slots are caller-owned so
+	// classes that completed before a cancellation survive into the stack.
+	type classOut struct {
+		sol      *model.Solution
+		degraded bool
+		err      error
 	}
+	outs := make([]classOut, len(ks))
+	_ = par.ForEachCtx(ctx, len(ks), p.Workers, func(i int) error {
+		k := ks[i]
+		sol, degraded, err := func() (sol *model.Solution, degraded bool, err error) {
+			defer saperr.Contain(&err)
+			faultinject.Fire(ctx, "mediumsap/class")
+			return ElevatorCtx(ctx, in, classTasks[k], k, ell, p)
+		}()
+		if err != nil {
+			outs[i] = classOut{err: fmt.Errorf("mediumsap: class k=%d: %w", k, err)}
+			return nil
+		}
+		outs[i] = classOut{sol: sol, degraded: degraded}
+		return nil
+	})
 	classSols := map[int]*model.Solution{}
+	completed := 0
 	for i, k := range ks {
-		classSols[k] = sols[i]
-		res.Classes[k] = sols[i].Weight()
+		out := outs[i]
+		if out.err != nil {
+			res.Degraded = true
+			res.ClassErrs = append(res.ClassErrs, out.err)
+			classSols[k] = &model.Solution{}
+			res.Classes[k] = 0
+			continue
+		}
+		if out.sol == nil {
+			// Slot never ran: dispatch stopped by cancellation.
+			res.Degraded = true
+			res.ClassErrs = append(res.ClassErrs, saperr.Cancelled(ctx.Err()))
+			classSols[k] = &model.Solution{}
+			res.Classes[k] = 0
+			continue
+		}
+		completed++
+		if out.degraded {
+			res.Degraded = true
+		}
+		classSols[k] = out.sol
+		res.Classes[k] = out.sol.Weight()
+	}
+	if len(ks) > 0 && completed == 0 {
+		return nil, fmt.Errorf("mediumsap: no class completed: %w", res.ClassErrs[0])
 	}
 
 	// Residue classes K(r) = K ∩ { r + i(ℓ+q) }.
@@ -169,29 +225,41 @@ func Solve(in *model.Instance, p Params) (*Result, error) {
 // the optimum into two β-elevated solutions (Lemma 14) and returns the
 // heavier.
 func Elevator(in *model.Instance, tasks []model.Task, k, ell int, p Params) (*model.Solution, error) {
+	sol, _, err := ElevatorCtx(context.Background(), in, tasks, k, ell, p)
+	return sol, err
+}
+
+// ElevatorCtx is Elevator under a context. degraded reports that the class
+// solution is the exact search's feasible incumbent rather than the proven
+// optimum — either the node budget or the deadline slice ran out. This is
+// the pipeline's exact → approximate fallback: the incumbent is seeded with
+// a greedy packing, so a cancelled class still contributes a solution.
+func ElevatorCtx(ctx context.Context, in *model.Instance, tasks []model.Task, k, ell int, p Params) (sol *model.Solution, degraded bool, err error) {
 	p = p.withDefaults()
 	classIn := in.Restrict(tasks)
 	if k+ell >= 0 && k+ell < 62 {
 		classIn = classIn.ClipCapacities(int64(1) << uint(k+ell))
 	}
-	opt, err := exact.SolveSAP(classIn, p.Exact)
-	if errors.Is(err, exact.ErrBudget) {
+	opt, err := exact.SolveSAPCtx(ctx, classIn, p.Exact)
+	if errors.Is(err, exact.ErrBudget) || (saperr.IsCancelled(err) && opt != nil) {
 		// The class was too large to prove optimality within the node
-		// budget; the incumbent is still feasible, so the pipeline degrades
-		// gracefully from the proven 2-approximation to a best-effort
-		// solution (the experiment harness reports measured ratios either
-		// way). This mirrors the paper's reliance on a DP whose exponent
-		// L² makes it polynomial only for constant δ and ℓ.
+		// budget (or its time slice); the incumbent is still feasible, so
+		// the pipeline degrades gracefully from the proven 2-approximation
+		// to a best-effort solution (the experiment harness reports
+		// measured ratios either way). This mirrors the paper's reliance
+		// on a DP whose exponent L² makes it polynomial only for constant
+		// δ and ℓ.
+		degraded = true
 		err = nil
 	}
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	lo, hi := ElevatePartition(opt, k, p.BetaNum, p.BetaDen)
 	if lo.Weight() >= hi.Weight() {
-		return lo, nil
+		return lo, degraded, nil
 	}
-	return hi, nil
+	return hi, degraded, nil
 }
 
 // ElevatePartition splits a feasible class solution into two β-elevated

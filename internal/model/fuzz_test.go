@@ -2,7 +2,10 @@ package model
 
 import (
 	"bytes"
+	"errors"
 	"testing"
+
+	"sapalloc/internal/saperr"
 )
 
 // FuzzReadInstanceJSON hardens the decoder: arbitrary bytes must never
@@ -90,4 +93,76 @@ func newSplitMix(state uint64) func() uint64 {
 		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
 		return z ^ (z >> 31)
 	}
+}
+
+// FuzzValidateHardened drives Validate as the untrusted-input gate: it must
+// never panic, every rejection must carry the typed saperr.ErrInfeasibleInput
+// sentinel, and every accepted instance must satisfy the overflow-safety
+// invariants the solvers rely on (demand and weight sums fit in int64).
+func FuzzValidateHardened(f *testing.F) {
+	f.Add(int64(1), uint16(2), uint16(3), int64(4), int64(1), int64(1))
+	f.Add(int64(9), uint16(0), uint16(0), int64(0), int64(0), int64(0))
+	f.Add(int64(-3), uint16(7), uint16(40), int64(1)<<40, int64(1)<<40, int64(1)<<40)
+	f.Add(int64(11), uint16(5), uint16(9), int64(-2), int64(7), int64(1)<<41)
+	f.Fuzz(func(t *testing.T, seed int64, mRaw, nRaw uint16, capBias, demBias, wBias int64) {
+		m := int(mRaw % 10)
+		n := int(nRaw % 24)
+		rng := newSplitMix(uint64(seed))
+		in := &Instance{}
+		for e := 0; e < m; e++ {
+			in.Capacity = append(in.Capacity, int64(rng()%64)-4+capBias%8)
+		}
+		for i := 0; i < n; i++ {
+			s := 0
+			e := 1
+			if m > 0 {
+				s = int(rng() % uint64(m+1))
+				e = int(rng() % uint64(m+2))
+			}
+			tk := Task{
+				ID:     int(rng() % uint64(n+1)), // collisions on purpose
+				Start:  s,
+				End:    e,
+				Demand: int64(rng()%32) - 2 + demBias%4,
+				Weight: int64(rng()%32) - 2 + wBias%4,
+			}
+			// Occasionally spike a field toward the magnitude limit so the
+			// overflow guards get exercised.
+			switch rng() % 16 {
+			case 0:
+				tk.Demand = MaxMagnitude + demBias%4
+			case 1:
+				tk.Weight = MaxMagnitude + wBias%4
+			case 2 % 16:
+				if len(in.Capacity) > 0 {
+					in.Capacity[rng()%uint64(len(in.Capacity))] = MaxMagnitude + capBias%4
+				}
+			}
+			in.Tasks = append(in.Tasks, tk)
+		}
+		err := in.Validate()
+		if err != nil {
+			if !errors.Is(err, saperr.ErrInfeasibleInput) {
+				t.Fatalf("Validate rejection lacks typed sentinel: %v", err)
+			}
+			return
+		}
+		// Accepted: the documented overflow invariants must hold.
+		var dSum, wSum int64
+		for _, tk := range in.Tasks {
+			if tk.Demand <= 0 || tk.Demand > MaxMagnitude || tk.Weight < 0 || tk.Weight > MaxMagnitude {
+				t.Fatalf("Validate accepted out-of-range task %+v", tk)
+			}
+			dSum += tk.Demand
+			wSum += tk.Weight
+			if dSum < 0 || wSum < 0 {
+				t.Fatalf("Validate accepted an instance whose sums overflow")
+			}
+		}
+		for e, c := range in.Capacity {
+			if c <= 0 || c > MaxMagnitude {
+				t.Fatalf("Validate accepted out-of-range capacity %d at edge %d", c, e)
+			}
+		}
+	})
 }

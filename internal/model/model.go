@@ -18,6 +18,8 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+
+	"sapalloc/internal/saperr"
 )
 
 // Task is a single allocation request on the path: the half-open edge
@@ -63,31 +65,75 @@ type Instance struct {
 // Edges returns the number of edges of the underlying path.
 func (in *Instance) Edges() int { return len(in.Capacity) }
 
+// Hard size and magnitude limits enforced by Validate. They exist so that
+// every downstream algorithm can rely on int64 arithmetic being exact and
+// closed: heights are sums of demands and objectives are sums of weights,
+// so with at most MaxTasks tasks of magnitude at most MaxMagnitude every
+// such sum stays below 2^62 and can never overflow.
+const (
+	// MaxEdges bounds the path/ring length accepted by Validate.
+	MaxEdges = 1 << 24
+	// MaxTasks bounds the number of tasks accepted by Validate.
+	MaxTasks = 1 << 22
+	// MaxMagnitude bounds each capacity, demand, and weight (2^40):
+	// MaxTasks·MaxMagnitude = 2^62 < 2^63-1, so demand sums (heights) and
+	// weight sums (objectives) are overflow-free by construction.
+	MaxMagnitude = 1 << 40
+)
+
 // Validate checks structural well-formedness: positive demands and
-// capacities, non-negative weights, task intervals within the path, and
-// unique IDs. Algorithms in this module assume Validate passes.
+// capacities, non-negative weights, task intervals within the path, unique
+// IDs, and the size/magnitude limits that make int64 sums overflow-free
+// (MaxEdges, MaxTasks, MaxMagnitude). It is the single trust boundary for
+// untrusted input — every error wraps saperr.ErrInfeasibleInput, and
+// algorithms in this module assume Validate passes.
 func (in *Instance) Validate() error {
 	m := in.Edges()
+	if m > MaxEdges {
+		return saperr.Input("%d edges exceed the limit of %d", m, MaxEdges)
+	}
+	if len(in.Tasks) > MaxTasks {
+		return saperr.Input("%d tasks exceed the limit of %d", len(in.Tasks), MaxTasks)
+	}
 	for e, c := range in.Capacity {
 		if c <= 0 {
-			return fmt.Errorf("edge %d: capacity %d is not positive", e, c)
+			return saperr.Input("edge %d: capacity %d is not positive", e, c)
+		}
+		if c > MaxMagnitude {
+			return saperr.Input("edge %d: capacity %d exceeds the magnitude limit %d", e, c, int64(MaxMagnitude))
 		}
 	}
 	seen := make(map[int]bool, len(in.Tasks))
+	var demandSum, weightSum int64
 	for i, t := range in.Tasks {
 		if t.Start < 0 || t.End > m || t.Start >= t.End {
-			return fmt.Errorf("task %d (id %d): interval [%d,%d) outside path with %d edges", i, t.ID, t.Start, t.End, m)
+			return saperr.Input("task %d (id %d): interval [%d,%d) outside path with %d edges", i, t.ID, t.Start, t.End, m)
 		}
 		if t.Demand <= 0 {
-			return fmt.Errorf("task %d (id %d): demand %d is not positive", i, t.ID, t.Demand)
+			return saperr.Input("task %d (id %d): demand %d is not positive", i, t.ID, t.Demand)
+		}
+		if t.Demand > MaxMagnitude {
+			return saperr.Input("task %d (id %d): demand %d exceeds the magnitude limit %d", i, t.ID, t.Demand, int64(MaxMagnitude))
 		}
 		if t.Weight < 0 {
-			return fmt.Errorf("task %d (id %d): weight %d is negative", i, t.ID, t.Weight)
+			return saperr.Input("task %d (id %d): weight %d is negative", i, t.ID, t.Weight)
+		}
+		if t.Weight > MaxMagnitude {
+			return saperr.Input("task %d (id %d): weight %d exceeds the magnitude limit %d", i, t.ID, t.Weight, int64(MaxMagnitude))
 		}
 		if seen[t.ID] {
-			return fmt.Errorf("task %d: duplicate id %d", i, t.ID)
+			return saperr.Input("task %d: duplicate id %d", i, t.ID)
 		}
 		seen[t.ID] = true
+		// Belt and braces: the per-field limits already make these sums
+		// safe, but check explicitly so the invariant survives future
+		// limit changes.
+		if demandSum += t.Demand; demandSum < 0 {
+			return saperr.Input("task %d (id %d): demand sum overflows int64", i, t.ID)
+		}
+		if weightSum += t.Weight; weightSum < 0 {
+			return saperr.Input("task %d (id %d): weight sum overflows int64", i, t.ID)
+		}
 	}
 	return nil
 }

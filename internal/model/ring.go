@@ -3,6 +3,8 @@ package model
 import (
 	"fmt"
 	"sort"
+
+	"sapalloc/internal/saperr"
 )
 
 // Orientation selects which of the two arcs a ring task is routed on.
@@ -44,30 +46,47 @@ type RingInstance struct {
 // Edges returns the number of edges (= vertices) of the ring.
 func (r *RingInstance) Edges() int { return len(r.Capacity) }
 
-// Validate checks structural well-formedness of the ring instance.
+// Validate checks structural well-formedness of the ring instance. Like
+// Instance.Validate it is a trust boundary: every error wraps
+// saperr.ErrInfeasibleInput and the same size/magnitude limits apply.
 func (r *RingInstance) Validate() error {
 	m := r.Edges()
 	if m < 3 {
-		return fmt.Errorf("ring needs at least 3 edges, have %d", m)
+		return saperr.Input("ring needs at least 3 edges, have %d", m)
+	}
+	if m > MaxEdges {
+		return saperr.Input("%d edges exceed the limit of %d", m, MaxEdges)
+	}
+	if len(r.Tasks) > MaxTasks {
+		return saperr.Input("%d tasks exceed the limit of %d", len(r.Tasks), MaxTasks)
 	}
 	for e, c := range r.Capacity {
 		if c <= 0 {
-			return fmt.Errorf("edge %d: capacity %d is not positive", e, c)
+			return saperr.Input("edge %d: capacity %d is not positive", e, c)
+		}
+		if c > MaxMagnitude {
+			return saperr.Input("edge %d: capacity %d exceeds the magnitude limit %d", e, c, int64(MaxMagnitude))
 		}
 	}
 	seen := make(map[int]bool, len(r.Tasks))
 	for i, t := range r.Tasks {
 		if t.Start < 0 || t.Start >= m || t.End < 0 || t.End >= m || t.Start == t.End {
-			return fmt.Errorf("task %d (id %d): endpoints (%d,%d) invalid on ring with %d vertices", i, t.ID, t.Start, t.End, m)
+			return saperr.Input("task %d (id %d): endpoints (%d,%d) invalid on ring with %d vertices", i, t.ID, t.Start, t.End, m)
 		}
 		if t.Demand <= 0 {
-			return fmt.Errorf("task %d (id %d): demand %d is not positive", i, t.ID, t.Demand)
+			return saperr.Input("task %d (id %d): demand %d is not positive", i, t.ID, t.Demand)
+		}
+		if t.Demand > MaxMagnitude {
+			return saperr.Input("task %d (id %d): demand %d exceeds the magnitude limit %d", i, t.ID, t.Demand, int64(MaxMagnitude))
 		}
 		if t.Weight < 0 {
-			return fmt.Errorf("task %d (id %d): weight %d is negative", i, t.ID, t.Weight)
+			return saperr.Input("task %d (id %d): weight %d is negative", i, t.ID, t.Weight)
+		}
+		if t.Weight > MaxMagnitude {
+			return saperr.Input("task %d (id %d): weight %d exceeds the magnitude limit %d", i, t.ID, t.Weight, int64(MaxMagnitude))
 		}
 		if seen[t.ID] {
-			return fmt.Errorf("task %d: duplicate id %d", i, t.ID)
+			return saperr.Input("task %d: duplicate id %d", i, t.ID)
 		}
 		seen[t.ID] = true
 	}

@@ -1,0 +1,41 @@
+package oracle
+
+import (
+	"errors"
+	"testing"
+
+	"sapalloc/internal/model"
+)
+
+// TestCheckSAPMalformedInterval: a placement whose task interval lies
+// outside the path (the instance itself is unvalidated) must produce a
+// structured KindMalformed violation, not a panic from the sweep machinery.
+func TestCheckSAPMalformedInterval(t *testing.T) {
+	bad := model.Task{ID: 7, Start: 0, End: 9, Demand: 1, Weight: 1}
+	in := &model.Instance{Capacity: []int64{4, 4}, Tasks: []model.Task{bad}}
+	sol := &model.Solution{Items: []model.Placement{{Task: bad, Height: 0}}}
+	err := CheckSAP(in, sol)
+	if err == nil {
+		t.Fatal("malformed solution accepted")
+	}
+	v, ok := As(err)
+	if !ok || v.Kind != KindMalformed {
+		t.Fatalf("want KindMalformed violation, got %v", err)
+	}
+	if !errors.Is(err, model.ErrInfeasible) {
+		t.Fatalf("violation does not wrap model.ErrInfeasible: %v", err)
+	}
+}
+
+// TestCheckUFPPMalformedInterval is the UFPP twin.
+func TestCheckUFPPMalformedInterval(t *testing.T) {
+	bad := model.Task{ID: 3, Start: -2, End: 1, Demand: 1, Weight: 1}
+	in := &model.Instance{Capacity: []int64{4}, Tasks: []model.Task{bad}}
+	err := CheckUFPP(in, []model.Task{bad})
+	if err == nil {
+		t.Fatal("malformed selection accepted")
+	}
+	if v, ok := As(err); !ok || v.Kind != KindMalformed {
+		t.Fatalf("want KindMalformed violation, got %v", err)
+	}
+}

@@ -26,6 +26,7 @@
 package oracle
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -57,6 +58,12 @@ const (
 	// KindRatio flags a solution weight below bound/factor, i.e. an
 	// approximation-guarantee breach.
 	KindRatio
+	// KindMalformed flags a structurally malformed solution — e.g. a
+	// placement whose task interval lies outside the instance's path —
+	// that would otherwise crash the feasibility sweep itself. The oracle
+	// converts internal bounds panics (intervals.ErrBounds) into this kind
+	// so the verifier reports instead of crashing.
+	KindMalformed
 )
 
 func (k Kind) String() string {
@@ -75,6 +82,8 @@ func (k Kind) String() string {
 		return "load"
 	case KindWeight:
 		return "weight"
+	case KindMalformed:
+		return "malformed"
 	default:
 		return "ratio"
 	}
@@ -107,10 +116,44 @@ func As(err error) (*Violation, bool) {
 	return v, ok
 }
 
+// guardMalformed converts an intervals bounds panic escaping a feasibility
+// sweep into a KindMalformed violation: the oracle's contract is to report
+// on any input, so a solution broken enough to crash the checker machinery
+// is itself the finding, not a crash. Panics of any other type propagate.
+func guardMalformed(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if e, ok := r.(error); ok && errors.Is(e, intervals.ErrBounds) {
+		*err = &Violation{
+			Kind: KindMalformed, Edge: -1,
+			Detail: fmt.Sprintf("feasibility sweep aborted: %v", e),
+		}
+		return
+	}
+	panic(r)
+}
+
+// checkTaskInterval pre-validates a task interval against the path before
+// the sweeps index any edge-based structure with it.
+func checkTaskInterval(t model.Task, m int) *Violation {
+	if t.Start < 0 || t.End > m || t.Start >= t.End {
+		return &Violation{
+			Kind: KindMalformed, TaskIDs: []int{t.ID}, Edge: -1,
+			Detail: fmt.Sprintf("interval [%d,%d) outside path with %d edges", t.Start, t.End, m),
+		}
+	}
+	return nil
+}
+
 // CheckSAP verifies full SAP feasibility of the solution for the instance.
 // It returns nil when feasible and a *Violation describing the first
-// breach otherwise.
-func CheckSAP(in *model.Instance, sol *model.Solution) error {
+// breach otherwise. Structurally malformed inputs — intervals outside the
+// path, even inside an unvalidated instance — yield a KindMalformed
+// violation rather than a crash.
+func CheckSAP(in *model.Instance, sol *model.Solution) (err error) {
+	defer guardMalformed(&err)
 	m := in.Edges()
 	byID := make(map[int]model.Task, len(in.Tasks))
 	for _, t := range in.Tasks {
@@ -135,6 +178,9 @@ func CheckSAP(in *model.Instance, sol *model.Solution) error {
 			}
 		}
 		seen[p.Task.ID] = true
+		if v := checkTaskInterval(p.Task, m); v != nil {
+			return v
+		}
 		if p.Height < 0 {
 			return &Violation{
 				Kind: KindNegativeHeight, TaskIDs: []int{p.Task.ID}, Edge: -1,
@@ -190,8 +236,10 @@ func checkDisjoint(m int, items []model.Placement) error {
 }
 
 // CheckUFPP verifies that the task set is a feasible UFPP solution:
-// membership, no duplicates, and per-edge load within capacity.
-func CheckUFPP(in *model.Instance, tasks []model.Task) error {
+// membership, no duplicates, and per-edge load within capacity. Malformed
+// task intervals yield a KindMalformed violation rather than a crash.
+func CheckUFPP(in *model.Instance, tasks []model.Task) (err error) {
+	defer guardMalformed(&err)
 	byID := make(map[int]model.Task, len(in.Tasks))
 	for _, t := range in.Tasks {
 		byID[t.ID] = t
@@ -214,6 +262,9 @@ func CheckUFPP(in *model.Instance, tasks []model.Task) error {
 			}
 		}
 		seen[t.ID] = true
+		if v := checkTaskInterval(t, m); v != nil {
+			return v
+		}
 		load.Add(t.Start, t.End, t.Demand)
 	}
 	for e := 0; e < m; e++ {

@@ -1,10 +1,13 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"runtime"
 	"sync/atomic"
 	"testing"
+
+	"sapalloc/internal/saperr"
 )
 
 func TestForEachRunsAll(t *testing.T) {
@@ -160,5 +163,108 @@ func BenchmarkForEachDispatch(b *testing.B) {
 				})
 			}
 		})
+	}
+}
+
+func TestForEachPanicDeterministicLowestIndex(t *testing.T) {
+	// Every item panics with its own index. Item 0 is always the first
+	// index claimed, so the re-raised panic must be 0 on every run.
+	for rep := 0; rep < 50; rep++ {
+		got := func() (v any) {
+			defer func() { v = recover() }()
+			_ = ForEach(100, 8, func(i int) error { panic(i) })
+			return nil
+		}()
+		if got != 0 {
+			t.Fatalf("rep %d: re-raised panic from index %v, want 0", rep, got)
+		}
+	}
+}
+
+func TestForEachPanicStopsDispatch(t *testing.T) {
+	const n = 100_000
+	var ran atomic.Int64
+	func() {
+		defer func() { _ = recover() }()
+		_ = ForEach(n, 4, func(i int) error {
+			ran.Add(1)
+			if i == 0 {
+				panic("stop")
+			}
+			return nil
+		})
+	}()
+	// After the panic at item 0 the stop flag halts claiming; only items
+	// already in flight (≈ worker count) may still finish.
+	if got := ran.Load(); got >= n/2 {
+		t.Fatalf("dispatch did not stop after panic: %d of %d items ran", got, n)
+	}
+}
+
+func TestForEachCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, w := range []int{1, 4} {
+		called := false
+		err := ForEachCtx(ctx, 10, w, func(i int) error { called = true; return nil })
+		if !saperr.IsCancelled(err) {
+			t.Fatalf("workers=%d: want ErrCancelled, got %v", w, err)
+		}
+		if w == 1 && called {
+			t.Fatal("sequential path ran an item under a dead context")
+		}
+	}
+}
+
+func TestForEachCtxCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	const n = 100_000
+	err := ForEachCtx(ctx, n, 4, func(i int) error {
+		if ran.Add(1) == 10 {
+			cancel()
+		}
+		return nil
+	})
+	if !saperr.IsCancelled(err) {
+		t.Fatalf("want ErrCancelled, got %v", err)
+	}
+	if got := ran.Load(); got >= n/2 {
+		t.Fatalf("dispatch did not stop after cancel: %d of %d items ran", got, n)
+	}
+}
+
+func TestForEachCtxErrorBeatsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	boom := errors.New("boom")
+	err := ForEachCtx(ctx, 8, 2, func(i int) error {
+		if i == 0 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("fn error at index 0 should win, got %v", err)
+	}
+}
+
+func TestForEachCtxCompletesWithLiveContext(t *testing.T) {
+	var ran atomic.Int64
+	err := ForEachCtx(context.Background(), 500, 8, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if err != nil || ran.Load() != 500 {
+		t.Fatalf("err=%v ran=%d", err, ran.Load())
+	}
+}
+
+func TestMapCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := MapCtx(ctx, 10, 4, func(i int) (int, error) { return i, nil })
+	if !saperr.IsCancelled(err) || out != nil {
+		t.Fatalf("out=%v err=%v", out, err)
 	}
 }

@@ -10,13 +10,16 @@
 package ringsap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"sapalloc/internal/core"
+	"sapalloc/internal/faultinject"
 	"sapalloc/internal/knapsack"
 	"sapalloc/internal/model"
 	"sapalloc/internal/par"
+	"sapalloc/internal/saperr"
 )
 
 // Params configures the ring solver.
@@ -70,32 +73,56 @@ type Result struct {
 	CutEdge  int
 	// PathWeight and KnapsackWeight are the two arm weights.
 	PathWeight, KnapsackWeight int64
-	// PathDetail exposes the path arm's combined-solver diagnostics.
+	// PathDetail exposes the path arm's combined-solver diagnostics (nil
+	// when the path arm failed or was cancelled — see Degraded/ArmErrs).
 	PathDetail *core.Result
+	// Degraded is true when one of the two arms failed or was cancelled
+	// and the result is the other arm's solution alone. The (10+ε)
+	// guarantee of Theorem 5 only holds when both arms ran.
+	Degraded bool
+	// ArmErrs records the per-arm typed errors behind a degraded result
+	// (indexed by Arm; nil entries for arms that completed).
+	ArmErrs [2]error
 }
 
 // Solve runs the ring algorithm of Theorem 5.
 func Solve(r *model.RingInstance, p Params) (*Result, error) {
+	return SolveCtx(context.Background(), r, p)
+}
+
+// SolveCtx is Solve under a context. The two reduction arms are each
+// wrapped in panic containment and degrade independently: if one arm fails
+// or is cancelled, the other arm's solution is returned with Degraded set.
+// A typed error is returned only when neither arm produced a solution.
+func SolveCtx(ctx context.Context, r *model.RingInstance, p Params) (res *Result, err error) {
+	defer saperr.Contain(&err)
 	p = p.withDefaults()
 	if err := r.Validate(); err != nil {
-		return nil, fmt.Errorf("ringsap: %w", err)
+		return nil, fmt.Errorf("ringsap: %w", saperr.Input("%v", err))
+	}
+	if err := saperr.FromContext(ctx); err != nil {
+		return nil, err
 	}
 	cut := r.MinCapacityEdge()
-	res := &Result{CutEdge: cut}
+	res = &Result{CutEdge: cut}
 
 	// The two reduction arms of Lemma 18 are independent: the path arm
 	// solves the cut instance, the knapsack arm stacks tasks routed through
-	// the cut edge. Run them concurrently; each writes its own slot.
+	// the cut edge. Run them concurrently; each writes its own slot and is
+	// contained on its own, so one arm panicking or timing out leaves the
+	// other's solution standing.
 	var pathRes *core.Result
 	pathSol := &model.RingSolution{}
 	knapSol := &model.RingSolution{}
+	var armDone [2]bool
 	arms := []func() error{
-		func() error {
+		func() (err error) {
+			defer saperr.Contain(&err)
+			faultinject.Fire(ctx, "ringsap/arm/path")
 			// Arm 1: path solution on the cut ring; tasks are routed on the
 			// arc avoiding the cut edge.
 			pathIn := r.CutAt(cut)
-			var err error
-			pathRes, err = core.Solve(pathIn, p.Path)
+			pathRes, err = core.SolveCtx(ctx, pathIn, p.Path)
 			if err != nil {
 				return fmt.Errorf("ringsap: path arm: %w", err)
 			}
@@ -110,16 +137,25 @@ func Solve(r *model.RingInstance, p Params) (*Result, error) {
 					Height:      pl.Height,
 				})
 			}
+			armDone[ArmPath] = true
 			return nil
 		},
-		func() error {
+		func() (err error) {
+			defer saperr.Contain(&err)
+			faultinject.Fire(ctx, "ringsap/arm/knapsack")
 			// Arm 2: knapsack over all tasks routed through the cut edge,
 			// stacked bottom-up (h_2(j) = Σ_{ℓ<j, ℓ∈S₂} d_ℓ as in the paper).
 			items := make([]knapsack.Item, len(r.Tasks))
 			for i, t := range r.Tasks {
 				items[i] = knapsack.Item{Size: t.Demand, Profit: t.Weight}
 			}
-			chosen, _ := knapsack.SolveFPTAS(items, r.Capacity[cut], p.Eps)
+			chosen, _ := knapsack.SolveFPTASCtx(ctx, items, r.Capacity[cut], p.Eps)
+			if err := saperr.FromContext(ctx); err != nil {
+				// The prefix-DP is anytime, but a selection truncated by
+				// cancellation has no FPTAS guarantee: report the arm as
+				// cancelled rather than completed.
+				return fmt.Errorf("ringsap: knapsack arm: %w", err)
+			}
 			sort.Ints(chosen)
 			var h int64
 			for _, i := range chosen {
@@ -131,19 +167,41 @@ func Solve(r *model.RingInstance, p Params) (*Result, error) {
 				})
 				h += t.Demand
 			}
+			armDone[ArmKnapsack] = true
 			return nil
 		},
 	}
-	if err := par.ForEach(len(arms), p.Workers, func(i int) error { return arms[i]() }); err != nil {
-		return nil, err
+	// Arm errors land in ArmErrs, never abort the sibling arm.
+	_ = par.ForEachCtx(ctx, len(arms), p.Workers, func(i int) error {
+		if err := arms[i](); err != nil {
+			res.ArmErrs[i] = err
+		}
+		return nil
+	})
+	for i := range armDone {
+		if !armDone[i] {
+			res.Degraded = true
+			if res.ArmErrs[i] == nil {
+				res.ArmErrs[i] = saperr.Cancelled(ctx.Err())
+			}
+		}
+	}
+	if !armDone[ArmPath] && !armDone[ArmKnapsack] {
+		return nil, fmt.Errorf("ringsap: no arm completed: %w", res.ArmErrs[ArmPath])
 	}
 	res.PathDetail = pathRes
-	res.PathWeight = pathRes.Solution.Weight()
+	res.PathWeight = pathSol.Weight()
 	res.KnapsackWeight = knapSol.Weight()
 
-	if res.KnapsackWeight > res.PathWeight {
+	// Best-of over the arms that completed; fixed tie-break path-first.
+	switch {
+	case !armDone[ArmPath]:
 		res.Solution, res.Winner = knapSol, ArmKnapsack
-	} else {
+	case !armDone[ArmKnapsack]:
+		res.Solution, res.Winner = pathSol, ArmPath
+	case res.KnapsackWeight > res.PathWeight:
+		res.Solution, res.Winner = knapSol, ArmKnapsack
+	default:
 		res.Solution, res.Winner = pathSol, ArmPath
 	}
 	return res, nil

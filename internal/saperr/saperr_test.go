@@ -1,0 +1,105 @@
+package saperr
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestCancelledWrapsBothChains(t *testing.T) {
+	err := Cancelled(context.DeadlineExceeded)
+	if !errors.Is(err, ErrCancelled) {
+		t.Fatalf("Cancelled does not wrap ErrCancelled: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Cancelled does not preserve the context cause: %v", err)
+	}
+	if !IsCancelled(err) {
+		t.Fatalf("IsCancelled(%v) = false", err)
+	}
+	if Cancelled(nil) == nil || !IsCancelled(Cancelled(nil)) {
+		t.Fatalf("Cancelled(nil) must default to a cancellation")
+	}
+}
+
+func TestFromContext(t *testing.T) {
+	if err := FromContext(context.Background()); err != nil {
+		t.Fatalf("live context reported %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := FromContext(ctx)
+	if err == nil || !errors.Is(err, ErrCancelled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("dead context reported %v", err)
+	}
+}
+
+func TestInput(t *testing.T) {
+	err := Input("task %d: demand %d exceeds bottleneck", 7, 12)
+	if !errors.Is(err, ErrInfeasibleInput) {
+		t.Fatalf("Input does not wrap ErrInfeasibleInput: %v", err)
+	}
+	if !strings.Contains(err.Error(), "task 7") {
+		t.Fatalf("Input lost its message: %v", err)
+	}
+}
+
+func TestContainConvertsPanic(t *testing.T) {
+	f := func() (err error) {
+		defer Contain(&err)
+		panic("boom")
+	}
+	err := f()
+	if !errors.Is(err, ErrInternal) {
+		t.Fatalf("contained panic is not ErrInternal: %v", err)
+	}
+	var ie *Internal
+	if !errors.As(err, &ie) {
+		t.Fatalf("contained panic is not *Internal: %v", err)
+	}
+	if ie.Value != "boom" {
+		t.Fatalf("panic value lost: %v", ie.Value)
+	}
+	if len(ie.Stack) == 0 || !strings.Contains(string(ie.Stack), "goroutine") {
+		t.Fatalf("stack not captured")
+	}
+}
+
+func TestContainPreservesTypedPanics(t *testing.T) {
+	want := Cancelled(context.Canceled)
+	f := func() (err error) {
+		defer Contain(&err)
+		panic(want)
+	}
+	err := f()
+	if !errors.Is(err, ErrCancelled) || errors.Is(err, ErrInternal) {
+		t.Fatalf("typed panic lost its type: %v", err)
+	}
+
+	g := func() (err error) {
+		defer Contain(&err)
+		panic(Input("bad instance"))
+	}
+	if err := g(); !errors.Is(err, ErrInfeasibleInput) {
+		t.Fatalf("typed input panic lost its type: %v", err)
+	}
+}
+
+func TestContainNoPanicKeepsError(t *testing.T) {
+	sentinel := errors.New("plain failure")
+	f := func() (err error) {
+		defer Contain(&err)
+		return sentinel
+	}
+	if err := f(); !errors.Is(err, sentinel) {
+		t.Fatalf("Contain clobbered a normal error: %v", err)
+	}
+	g := func() (err error) {
+		defer Contain(&err)
+		return nil
+	}
+	if err := g(); err != nil {
+		t.Fatalf("Contain invented an error: %v", err)
+	}
+}

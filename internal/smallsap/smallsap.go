@@ -13,12 +13,15 @@
 package smallsap
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"sapalloc/internal/dsa"
+	"sapalloc/internal/faultinject"
 	"sapalloc/internal/model"
 	"sapalloc/internal/par"
+	"sapalloc/internal/saperr"
 	"sapalloc/internal/ufpp"
 )
 
@@ -67,6 +70,13 @@ type Result struct {
 	// the class-wise SAP optima and hence OPT_SAP(J) when every task is
 	// δ-small (Theorem 1's accounting).
 	LPBoundTotal float64
+	// Degraded is set when one or more classes were skipped because of
+	// cancellation or a contained per-class failure. The merged solution
+	// stays feasible — classes occupy disjoint vertical bands — but the
+	// (4+ε) guarantee only covers the classes that completed.
+	Degraded bool
+	// ClassErrs collects the per-class typed errors behind Degraded.
+	ClassErrs []error
 }
 
 // Solve runs Algorithm Strip-Pack on the instance. All tasks should be
@@ -75,6 +85,18 @@ type Result struct {
 // half-integral strip and are skipped (integer demands make such classes
 // empty in practice).
 func Solve(in *model.Instance, p Params) (*Result, error) {
+	return SolveCtx(context.Background(), in, p)
+}
+
+// SolveCtx is Solve under a context. Classes are independent (disjoint
+// vertical bands), so on cancellation the classes that completed are merged
+// into a feasible partial result with Degraded set; a per-class panic or
+// error is contained, recorded in ClassErrs, and degrades that class only.
+// A typed error is returned only when no class completed.
+func SolveCtx(ctx context.Context, in *model.Instance, p Params) (*Result, error) {
+	if err := saperr.FromContext(ctx); err != nil {
+		return nil, err
+	}
 	res := &Result{Solution: &model.Solution{}}
 	classes := map[int][]model.Task{}
 	bot := in.BottleneckFunc()
@@ -92,28 +114,53 @@ func Solve(in *model.Instance, p Params) (*Result, error) {
 		report ClassReport
 		sol    *model.Solution
 		skip   bool
+		err    error
 	}
-	outs, err := par.Map(len(ts), p.Workers, func(i int) (classOut, error) {
+	// ForEachCtx with caller-owned slots (not MapCtx) so the classes that
+	// completed before a cancellation survive into the merge.
+	outs := make([]classOut, len(ts))
+	_ = par.ForEachCtx(ctx, len(ts), p.Workers, func(i int) error {
 		t := ts[i]
 		if t < 1 {
-			return classOut{skip: true}, nil // strip height 2^{t-1} < 1: nothing fits
+			outs[i] = classOut{skip: true} // strip height 2^{t-1} < 1: nothing fits
+			return nil
 		}
-		report, sol, err := solveClass(in, classes[t], t, p)
+		report, sol, err := func() (report ClassReport, sol *model.Solution, err error) {
+			defer saperr.Contain(&err)
+			faultinject.Fire(ctx, "smallsap/class")
+			return solveClass(ctx, in, classes[t], t, p)
+		}()
 		if err != nil {
-			return classOut{}, fmt.Errorf("smallsap: class t=%d: %w", t, err)
+			outs[i] = classOut{err: fmt.Errorf("smallsap: class t=%d: %w", t, err)}
+			return nil
 		}
-		return classOut{report: report, sol: sol}, nil
+		outs[i] = classOut{report: report, sol: sol}
+		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
+	attempted, completed := 0, 0
 	for _, out := range outs {
 		if out.skip {
 			continue
 		}
+		attempted++
+		if out.err != nil {
+			res.Degraded = true
+			res.ClassErrs = append(res.ClassErrs, out.err)
+			continue
+		}
+		if out.sol == nil {
+			// Slot never ran: dispatch stopped by cancellation.
+			res.Degraded = true
+			res.ClassErrs = append(res.ClassErrs, saperr.Cancelled(ctx.Err()))
+			continue
+		}
+		completed++
 		res.Classes = append(res.Classes, out.report)
 		res.LPBoundTotal += out.report.LPBound
 		res.Solution.Merge(out.sol)
+	}
+	if attempted > 0 && completed == 0 {
+		return nil, fmt.Errorf("smallsap: no class completed: %w", res.ClassErrs[0])
 	}
 	res.Solution.SortByID()
 	return res, nil
@@ -121,7 +168,7 @@ func Solve(in *model.Instance, p Params) (*Result, error) {
 
 // solveClass handles one bottleneck class J_t: ½B-packable UFPP solution,
 // strip conversion, lift by 2^{t-1}.
-func solveClass(in *model.Instance, tasks []model.Task, t int, p Params) (ClassReport, *model.Solution, error) {
+func solveClass(ctx context.Context, in *model.Instance, tasks []model.Task, t int, p Params) (ClassReport, *model.Solution, error) {
 	b := int64(1) << uint(t)
 	classIn := in.Restrict(tasks).ClipCapacities(2 * b)
 	report := ClassReport{T: t, Tasks: len(tasks)}
@@ -133,7 +180,7 @@ func solveClass(in *model.Instance, tasks []model.Task, t int, p Params) (ClassR
 	default:
 		var lpOpt float64
 		var err error
-		sel, lpOpt, err = ufpp.HalfPackable(classIn, b, p.Round)
+		sel, lpOpt, err = ufpp.HalfPackableCtx(ctx, classIn, b, p.Round)
 		if err != nil {
 			return report, nil, err
 		}
@@ -141,7 +188,7 @@ func solveClass(in *model.Instance, tasks []model.Task, t int, p Params) (ClassR
 	}
 	report.UFPPWeight = model.WeightOf(sel)
 
-	conv := dsa.ConvertToStrip(sel, b/2)
+	conv := dsa.ConvertToStripCtx(ctx, sel, b/2)
 	report.RetainedWeight = conv.RetainedWeight
 	sol := conv.Solution.Lift(b / 2)
 	return report, sol, nil

@@ -14,14 +14,17 @@
 package ufpp
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
+	"sapalloc/internal/faultinject"
 	"sapalloc/internal/intervals"
 	"sapalloc/internal/lp"
 	"sapalloc/internal/model"
 	"sapalloc/internal/par"
+	"sapalloc/internal/saperr"
 )
 
 // RoundOptions tunes the randomized LP rounding.
@@ -60,11 +63,18 @@ func (o RoundOptions) withDefaults() RoundOptions {
 // of the (unscaled) relaxation — an upper bound on OPT_UFPP(J) and hence on
 // OPT_SAP(J).
 func HalfPackable(in *model.Instance, b int64, opts RoundOptions) ([]model.Task, float64, error) {
+	return HalfPackableCtx(context.Background(), in, b, opts)
+}
+
+// HalfPackableCtx is HalfPackable under a context: the LP solve and the
+// rounding trials all honour cancellation.
+func HalfPackableCtx(ctx context.Context, in *model.Instance, b int64, opts RoundOptions) ([]model.Task, float64, error) {
 	opts = opts.withDefaults()
 	if len(in.Tasks) == 0 {
 		return nil, 0, nil
 	}
-	x, lpOpt, err := lp.UFPPFractional(in)
+	faultinject.Fire(ctx, "ufpp/halfpackable")
+	x, lpOpt, err := lp.UFPPFractionalCtx(ctx, in)
 	if err != nil {
 		return nil, 0, fmt.Errorf("half-packable rounding: %w", err)
 	}
@@ -79,7 +89,7 @@ func HalfPackable(in *model.Instance, b int64, opts RoundOptions) ([]model.Task,
 
 	// Independent rounding trials, each with its own deterministic RNG, run
 	// concurrently and merged in trial order.
-	trials, err := par.Map(opts.Trials, opts.Workers, func(trial int) ([]model.Task, error) {
+	trials, err := par.MapCtx(ctx, opts.Trials, opts.Workers, func(trial int) ([]model.Task, error) {
 		rng := rand.New(rand.NewSource(opts.Seed + int64(trial)))
 		var sample []model.Task
 		for j, t := range in.Tasks {
@@ -90,6 +100,11 @@ func HalfPackable(in *model.Instance, b int64, opts RoundOptions) ([]model.Task,
 		return evictToBudget(in, sample, budget), nil
 	})
 	if err != nil {
+		if saperr.IsCancelled(err) {
+			// Anytime degradation: the deterministic greedy candidate is
+			// already feasible and half-packable; skip the lost trials.
+			return best, lpOpt, nil
+		}
 		return nil, 0, err
 	}
 	for _, repaired := range trials {

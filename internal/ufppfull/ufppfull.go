@@ -27,15 +27,18 @@
 package ufppfull
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"sort"
 
 	"sapalloc/internal/exact"
+	"sapalloc/internal/faultinject"
 	"sapalloc/internal/largesap"
 	"sapalloc/internal/model"
 	"sapalloc/internal/par"
+	"sapalloc/internal/saperr"
 	"sapalloc/internal/ufpp"
 )
 
@@ -92,39 +95,99 @@ type Result struct {
 	Winner Arm
 	// Per-arm weights.
 	SmallWeight, MediumWeight, LargeWeight int64
+	// Degraded is true when an arm failed or was cancelled; the result is
+	// the best of the arms that completed, and the combined approximation
+	// guarantee only covers those arms.
+	Degraded bool
+	// ArmErrs records per-arm typed errors (indexed by Arm; nil entries
+	// for arms that completed).
+	ArmErrs [3]error
 }
 
 // Solve runs the combined UFPP approximation. The returned task set is
 // always a feasible UFPP solution for the instance.
 func Solve(in *model.Instance, p Params) (*Result, error) {
+	return SolveCtx(context.Background(), in, p)
+}
+
+// SolveCtx is Solve under a context. Each arm runs under its own panic
+// containment and degrades independently: a failed or cancelled arm is
+// recorded in ArmErrs and the best of the surviving arms is returned. A
+// typed error is returned only when no arm produced a selection.
+func SolveCtx(ctx context.Context, in *model.Instance, p Params) (res *Result, err error) {
+	defer saperr.Contain(&err)
 	p = p.withDefaults()
+	if err := saperr.FromContext(ctx); err != nil {
+		return nil, err
+	}
 	small, medium, large := partition(in, p.DeltaDen)
+	res = &Result{}
 
-	smallSel, err := solveSmall(in.Restrict(small), p)
-	if err != nil {
-		return nil, fmt.Errorf("ufppfull: small arm: %w", err)
+	type armOut struct {
+		sel  []model.Task
+		done bool
 	}
-	medSel, err := solveMedium(in.Restrict(medium), p)
-	if err != nil {
-		return nil, fmt.Errorf("ufppfull: medium arm: %w", err)
+	var outs [3]armOut
+	runArm := func(i int) (sel []model.Task, err error) {
+		defer saperr.Contain(&err)
+		switch Arm(i) {
+		case ArmSmall:
+			faultinject.Fire(ctx, "ufppfull/arm/small")
+			return solveSmall(ctx, in.Restrict(small), p)
+		case ArmMedium:
+			faultinject.Fire(ctx, "ufppfull/arm/medium")
+			return solveMedium(ctx, in.Restrict(medium), p)
+		default:
+			faultinject.Fire(ctx, "ufppfull/arm/large")
+			sol, err := largesap.SolveCtx(ctx, in.Restrict(large), largesap.Options{})
+			if err != nil {
+				if sol != nil && (errors.Is(err, largesap.ErrBudget) || saperr.IsCancelled(err)) {
+					return sol.Tasks(), nil // feasible incumbent stands
+				}
+				return nil, err
+			}
+			return sol.Tasks(), nil
+		}
 	}
-	largeSol, err := largesap.Solve(in.Restrict(large), largesap.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("ufppfull: large arm: %w", err)
+	// Arm errors land in ArmErrs; one arm failing never kills its siblings.
+	_ = par.ForEachCtx(ctx, len(outs), p.Workers, func(i int) error {
+		sel, err := runArm(i)
+		if err != nil {
+			res.ArmErrs[i] = fmt.Errorf("ufppfull: %s arm: %w", Arm(i), err)
+			return nil
+		}
+		outs[i] = armOut{sel: sel, done: true}
+		return nil
+	})
+	completed := 0
+	for i := range outs {
+		if outs[i].done {
+			completed++
+			continue
+		}
+		res.Degraded = true
+		if res.ArmErrs[i] == nil {
+			res.ArmErrs[i] = saperr.Cancelled(ctx.Err())
+		}
 	}
-	largeSel := largeSol.Tasks()
+	if completed == 0 {
+		return nil, fmt.Errorf("ufppfull: no arm completed: %w", res.ArmErrs[ArmSmall])
+	}
+	res.SmallWeight = model.WeightOf(outs[ArmSmall].sel)
+	res.MediumWeight = model.WeightOf(outs[ArmMedium].sel)
+	res.LargeWeight = model.WeightOf(outs[ArmLarge].sel)
 
-	res := &Result{
-		SmallWeight:  model.WeightOf(smallSel),
-		MediumWeight: model.WeightOf(medSel),
-		LargeWeight:  model.WeightOf(largeSel),
-	}
-	res.Tasks, res.Winner = smallSel, ArmSmall
-	if res.MediumWeight > model.WeightOf(res.Tasks) {
-		res.Tasks, res.Winner = medSel, ArmMedium
-	}
-	if res.LargeWeight > model.WeightOf(res.Tasks) {
-		res.Tasks, res.Winner = largeSel, ArmLarge
+	// Best-of over completed arms in fixed order (small < medium < large
+	// on ties).
+	first := true
+	for i := range outs {
+		if !outs[i].done {
+			continue
+		}
+		if first || model.WeightOf(outs[i].sel) > model.WeightOf(res.Tasks) {
+			res.Tasks, res.Winner = outs[i].sel, Arm(i)
+			first = false
+		}
 	}
 	sort.Slice(res.Tasks, func(i, j int) bool { return res.Tasks[i].ID < res.Tasks[j].ID })
 	return res, nil
@@ -152,7 +215,7 @@ func partition(in *model.Instance, deltaDen int64) (small, medium, large []model
 // of a residue union: class t's load on any of its edges is ≤ 2^{t-1};
 // classes below t in the same residue contribute ≤ Σ_{i≥1} 2^{t-2i-1}
 // < 2^{t-1}, and every edge used by class t has capacity ≥ 2^t.
-func solveSmall(in *model.Instance, p Params) ([]model.Task, error) {
+func solveSmall(ctx context.Context, in *model.Instance, p Params) ([]model.Task, error) {
 	classes := map[int][]model.Task{}
 	bot := in.BottleneckFunc()
 	for _, t := range in.Tasks {
@@ -166,11 +229,11 @@ func solveSmall(in *model.Instance, p Params) ([]model.Task, error) {
 		}
 	}
 	sort.Ints(ts)
-	sels, err := par.Map(len(ts), p.Workers, func(i int) ([]model.Task, error) {
+	sels, err := par.MapCtx(ctx, len(ts), p.Workers, func(i int) ([]model.Task, error) {
 		t := ts[i]
 		b := int64(1) << uint(t)
 		classIn := in.Restrict(classes[t]).ClipCapacities(2 * b)
-		sel, _, err := ufpp.HalfPackable(classIn, b, p.Round)
+		sel, _, err := ufpp.HalfPackableCtx(ctx, classIn, b, p.Round)
 		return sel, err
 	})
 	if err != nil {
@@ -195,7 +258,7 @@ func solveSmall(in *model.Instance, p Params) ([]model.Task, error) {
 // solveMedium handles the medium tasks with the UFPP analogue of Algorithm
 // AlmostUniform: classes J^{k,ℓ}, per class an exact (budgeted) UFPP solve
 // on capacities min(c_e, 2^{k+ℓ})/2, residues mod ℓ+1 combined, best kept.
-func solveMedium(in *model.Instance, p Params) ([]model.Task, error) {
+func solveMedium(ctx context.Context, in *model.Instance, p Params) ([]model.Task, error) {
 	if len(in.Tasks) == 0 {
 		return nil, nil
 	}
@@ -216,7 +279,7 @@ func solveMedium(in *model.Instance, p Params) ([]model.Task, error) {
 		ks = append(ks, k)
 	}
 	sort.Ints(ks)
-	sels, err := par.Map(len(ks), p.Workers, func(i int) ([]model.Task, error) {
+	sels, err := par.MapCtx(ctx, len(ks), p.Workers, func(i int) ([]model.Task, error) {
 		k := ks[i]
 		classIn := in.Restrict(classTasks[k])
 		// Halve into a fresh slice: Restrict shares its capacity slice with
@@ -235,8 +298,8 @@ func solveMedium(in *model.Instance, p Params) ([]model.Task, error) {
 			}
 		}
 		classIn = &model.Instance{Capacity: caps, Tasks: classIn.Tasks}
-		sel, err := exact.SolveUFPP(classIn, p.Exact)
-		if errors.Is(err, exact.ErrBudget) {
+		sel, err := exact.SolveUFPPCtx(ctx, classIn, p.Exact)
+		if errors.Is(err, exact.ErrBudget) || (saperr.IsCancelled(err) && sel != nil) {
 			err = nil // incumbent is feasible; guarantee degrades gracefully
 		}
 		return sel, err
