@@ -5,12 +5,49 @@
 #   ./check.sh         full gate
 #   ./check.sh bench   pinned benchmark subset vs committed BENCH.json
 #   ./check.sh robust  fault-injection + cancellation suites under -race
+#   ./check.sh cover   coverage run with the ratcheted floor (COVER_FLOOR)
+#   ./check.sh fuzz    30s smoke of the three pinned fuzz targets
 set -e
+
+# Ratcheted coverage floor (percentage points). CI fails when total
+# statement coverage drops more than 1pt below this; raise it when coverage
+# grows so the ratchet never slips backwards.
+COVER_FLOOR=80.2
 
 if [ "$1" = "bench" ]; then
     echo "== bench regression gate (BENCH.json) =="
     go run ./cmd/sapbench -json -out BENCH.fresh.json -baseline BENCH.json -maxregress 0.30
     echo "BENCH GATE PASSED (fresh report in BENCH.fresh.json)"
+    exit 0
+fi
+
+if [ "$1" = "cover" ]; then
+    echo "== coverage (floor ${COVER_FLOOR}%, 1pt grace) =="
+    go test -count=1 -coverprofile=coverage.out ./...
+    total=$(go tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $3); print $3}')
+    echo "total statement coverage: ${total}% (floor ${COVER_FLOOR}%)"
+    awk -v t="$total" -v f="$COVER_FLOOR" 'BEGIN {
+        if (t + 1.0 < f) {
+            printf "COVERAGE GATE FAILED: %.1f%% is more than 1pt below the %.1f%% floor\n", t, f
+            exit 1
+        }
+        if (t > f + 1.0) {
+            printf "note: coverage %.1f%% is above the floor; consider raising COVER_FLOOR in check.sh\n", t
+        }
+    }'
+    echo "COVERAGE GATE PASSED"
+    exit 0
+fi
+
+if [ "$1" = "fuzz" ]; then
+    # 30s per target; the corpus seeds run as plain tests everywhere else,
+    # so this verb is the only place new inputs are explored.
+    fuzztime="${FUZZTIME:-30s}"
+    echo "== fuzz smoke (${fuzztime} per target) =="
+    go test -run '^$' -fuzz '^FuzzSolveSmallSAP$' -fuzztime "$fuzztime" ./internal/smallsap/
+    go test -run '^$' -fuzz '^FuzzCoreSolve$' -fuzztime "$fuzztime" ./internal/core/
+    go test -run '^$' -fuzz '^FuzzValidateHardened$' -fuzztime "$fuzztime" ./internal/model/
+    echo "FUZZ SMOKE PASSED"
     exit 0
 fi
 

@@ -27,8 +27,10 @@ import (
 	"sapalloc/internal/core"
 	"sapalloc/internal/exact"
 	"sapalloc/internal/largesap"
+	"sapalloc/internal/lp"
 	"sapalloc/internal/mediumsap"
 	"sapalloc/internal/model"
+	"sapalloc/internal/obscli"
 	"sapalloc/internal/ringsap"
 	"sapalloc/internal/saperr"
 	"sapalloc/internal/smallsap"
@@ -46,11 +48,17 @@ func main() {
 		showViz = flag.Bool("viz", false, "render the schedule as ASCII art")
 		outJSON = flag.Bool("json", false, "emit the solution as JSON instead of text")
 		improve = flag.Bool("improve", false, "post-optimise the schedule (gravity + greedy insertion)")
-		trace   = flag.Bool("trace", false, "print per-arm and per-class diagnostics (combined algorithm only)")
+		diag    = flag.Bool("diag", false, "print per-arm and per-class diagnostics (combined algorithm only)")
 		workers = flag.Int("workers", 0, "goroutine bound for the parallel solvers (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
 		timeout = flag.Duration("timeout", 0, "wall-clock budget for the solve (0 = none); on expiry the best solution among completed arms is returned, or a typed error and exit 1 when nothing completed")
 	)
+	obsFlags := obscli.Register(flag.CommandLine)
 	flag.Parse()
+	stopObs, err := obsFlags.Start("sapsolve")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer stopObs()
 
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -148,7 +156,17 @@ func main() {
 		if res.Report != nil && res.Report.Degraded {
 			label += " [degraded — see report]"
 		}
-		if *trace {
+		if obsFlags.Metrics {
+			// The LP optimum upper-bounds OPT_SAP (the paper's Theorem 1
+			// accounting), so achieved/LP is a certified lower bound on the
+			// realised approximation quality of this run.
+			lpBound := 0.0
+			if _, lpOpt, lpErr := lp.UFPPFractional(in); lpErr == nil {
+				lpBound = lpOpt
+			}
+			obscli.PrintArmBreakdown(os.Stderr, res.Winner.String(), sol.Weight(), lpBound)
+		}
+		if *diag {
 			fmt.Printf("partition: %d small / %d medium / %d large tasks\n",
 				res.NumSmall, res.NumMedium, res.NumLarge)
 			if res.Report != nil {

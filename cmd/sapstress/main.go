@@ -28,6 +28,8 @@ import (
 	"sapalloc/internal/gen"
 	"sapalloc/internal/lp"
 	"sapalloc/internal/model"
+	"sapalloc/internal/obs"
+	"sapalloc/internal/obscli"
 	"sapalloc/internal/par"
 )
 
@@ -37,9 +39,35 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel checkers (0 = GOMAXPROCS)")
 		seed     = flag.Int64("seed", time.Now().UnixNano(), "base seed (printed for reproduction)")
 		timeout  = flag.Duration("timeout", 0, "per-case solve deadline (0 = none); degraded-but-feasible results pass, degradation-to-nothing is a failure")
+		interval = flag.Duration("metrics-interval", 5*time.Second, "with -metrics: period of the one-line metrics summary")
 	)
+	obsFlags := obscli.Register(flag.CommandLine)
 	flag.Parse()
+	stopObs, err := obsFlags.Start("sapstress")
+	if err != nil {
+		log.Fatalf("sapstress: %v", err)
+	}
+	defer stopObs()
 	fmt.Printf("sapstress: base seed %d, budget %s\n", *seed, *duration)
+
+	// Periodic one-line summary so long soaks show forward progress and
+	// counter drift without waiting for the exit dump.
+	if obsFlags.Metrics && *interval > 0 {
+		ticker := time.NewTicker(*interval)
+		defer ticker.Stop()
+		tickDone := make(chan struct{})
+		defer close(tickDone)
+		go func() {
+			for {
+				select {
+				case <-ticker.C:
+					fmt.Fprintf(os.Stderr, "sapstress: %s\n", obs.Summary())
+				case <-tickDone:
+					return
+				}
+			}
+		}()
+	}
 
 	deadline := time.Now().Add(*duration)
 	var iterations, failures int64

@@ -24,6 +24,7 @@ import (
 	"sapalloc/internal/largesap"
 	"sapalloc/internal/mediumsap"
 	"sapalloc/internal/model"
+	"sapalloc/internal/obs"
 	"sapalloc/internal/par"
 	"sapalloc/internal/saperr"
 	"sapalloc/internal/smallsap"
@@ -91,6 +92,10 @@ const (
 	ArmMedium
 	ArmLarge
 )
+
+// armSpanNames are the fixed trace-span names of the three arms, indexed by
+// Arm (precomputed so a disabled tracer costs no string concatenation).
+var armSpanNames = [3]string{"core/arm/small", "core/arm/medium", "core/arm/large"}
 
 func (a Arm) String() string {
 	switch a {
@@ -162,9 +167,29 @@ func Solve(in *model.Instance, p Params) (*Result, error) {
 // error is returned only when no arm produced a solution — all failed, or
 // the context died before any arm ran.
 func SolveCtx(ctx context.Context, in *model.Instance, p Params) (res *Result, err error) {
+	start := time.Now()
+	ctx, endSolve := obs.StartSpan(ctx, "core/solve")
+	obs.SolvesStarted.Inc()
+	obs.TasksInput.Add(int64(len(in.Tasks)))
+	// Outcome accounting runs after saperr.Contain (LIFO), so a contained
+	// panic is already classified into err by the time this fires.
+	defer func() {
+		endSolve()
+		obs.SolveNs.Record(int64(time.Since(start)))
+		switch {
+		case err != nil:
+			obs.SolvesFailed.Inc()
+		case res != nil && res.Report != nil && res.Report.Degraded:
+			obs.SolvesDegraded.Inc()
+		default:
+			obs.SolvesCompleted.Inc()
+		}
+		if err == nil && res != nil && res.Solution != nil {
+			obs.TasksAdmitted.Add(int64(res.Solution.Len()))
+		}
+	}()
 	defer saperr.Contain(&err)
 	p = p.withDefaults()
-	start := time.Now()
 	if p.Deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, p.Deadline)
@@ -174,7 +199,9 @@ func SolveCtx(ctx context.Context, in *model.Instance, p Params) (res *Result, e
 		return nil, err
 	}
 	faultinject.Fire(ctx, "core/solve")
+	_, endPartition := obs.StartSpan(ctx, "core/partition")
 	small, medium, large := Partition(in, p.DeltaDen)
+	endPartition()
 	res = &Result{NumSmall: len(small), NumMedium: len(medium), NumLarge: len(large)}
 	report := &SolveReport{Deadline: p.Deadline}
 
@@ -184,18 +211,22 @@ func SolveCtx(ctx context.Context, in *model.Instance, p Params) (res *Result, e
 	// bug or corrupt sub-instance degrades that arm instead of the solve.
 	runArm := func(i int) (sol *model.Solution, degraded bool, err error) {
 		defer saperr.Contain(&err)
+		// Each arm gets its own trace track: the arms run concurrently, so
+		// sharing the parent's track would interleave their spans.
+		armCtx, endArm := obs.StartSpanTrack(ctx, armSpanNames[i])
+		defer endArm()
 		switch Arm(i) {
 		case ArmSmall:
-			faultinject.Fire(ctx, "core/arm/small")
-			r, err := smallsap.SolveCtx(ctx, in.Restrict(small), p.Small)
+			faultinject.Fire(armCtx, "core/arm/small")
+			r, err := smallsap.SolveCtx(armCtx, in.Restrict(small), p.Small)
 			if err != nil {
 				return nil, false, err
 			}
 			smallRes = r
 			return r.Solution, r.Degraded, nil
 		case ArmMedium:
-			faultinject.Fire(ctx, "core/arm/medium")
-			r, err := mediumsap.SolveCtx(ctx, in.Restrict(medium), mediumsap.Params{
+			faultinject.Fire(armCtx, "core/arm/medium")
+			r, err := mediumsap.SolveCtx(armCtx, in.Restrict(medium), mediumsap.Params{
 				Eps: p.Eps, BetaNum: 1, BetaDen: 4, Exact: p.Exact, Workers: p.Workers,
 			})
 			if err != nil {
@@ -204,8 +235,8 @@ func SolveCtx(ctx context.Context, in *model.Instance, p Params) (res *Result, e
 			medRes = r
 			return r.Solution, r.Degraded, nil
 		default:
-			faultinject.Fire(ctx, "core/arm/large")
-			sol, err := largesap.SolveCtx(ctx, in.Restrict(large), p.Large)
+			faultinject.Fire(armCtx, "core/arm/large")
+			sol, err := largesap.SolveCtx(armCtx, in.Restrict(large), p.Large)
 			if err != nil {
 				if sol != nil && (errors.Is(err, largesap.ErrBudget) || saperr.IsCancelled(err)) {
 					return sol, true, nil // feasible incumbent stands
@@ -237,6 +268,9 @@ func SolveCtx(ctx context.Context, in *model.Instance, p Params) (res *Result, e
 		ar := &report.Arms[i]
 		ar.Arm = Arm(i)
 		ar.Elapsed = out.elapsed
+		if out.ran {
+			obs.ArmNs[i].Record(int64(out.elapsed))
+		}
 		switch {
 		case !out.ran:
 			ar.State = ArmSkipped

@@ -110,4 +110,4 @@ type recordingTB struct {
 	failures int
 }
 
-func (r *recordingTB) Errorf(string, ...interface{}) { r.failures++ }
+func (r *recordingTB) Errorf(string, ...any) { r.failures++ }

@@ -1,0 +1,84 @@
+package difftest
+
+import (
+	"reflect"
+	"testing"
+
+	"sapalloc/internal/core"
+	"sapalloc/internal/obs"
+	"sapalloc/internal/ringsap"
+)
+
+// TestObsPreservesOutputs pins the inertness contract of internal/obs: the
+// hooks threaded through the solver hot paths observe, never steer. Every
+// difftest case must produce a byte-identical Result (timings stripped) with
+// metrics and tracing fully enabled as with observability off. The obs gates
+// are process-global, so this test must not run in parallel with others.
+func TestObsPreservesOutputs(t *testing.T) {
+	for _, c := range PathCases() {
+		t.Run(c.Name, func(t *testing.T) {
+			obs.DisableMetrics()
+			obs.DisableTracing()
+			base, err := core.Solve(c.In, core.Params{})
+			if err != nil {
+				t.Fatalf("obs off: %v (replay: %s)", err, c.Replay)
+			}
+			stripTimings(base)
+
+			obs.EnableMetrics()
+			obs.EnableTracing(0)
+			defer func() {
+				obs.DisableTracing()
+				obs.DisableMetrics()
+				obs.Reset()
+			}()
+			got, err := core.Solve(c.In, core.Params{})
+			if err != nil {
+				t.Fatalf("obs on: %v (replay: %s)", err, c.Replay)
+			}
+			stripTimings(got)
+			if !reflect.DeepEqual(got, base) {
+				t.Errorf("enabling obs changed the Result (replay: %s)\n got: %+v\nwant: %+v",
+					c.Replay, got, base)
+			}
+			if obs.SpanCount() == 0 {
+				t.Error("tracing enabled but no spans recorded")
+			}
+			if obs.SolvesStarted.Value() == 0 {
+				t.Error("metrics enabled but solves_started stayed 0")
+			}
+		})
+	}
+}
+
+// TestObsPreservesOutputsRing is the ring-side twin of the inertness test.
+func TestObsPreservesOutputsRing(t *testing.T) {
+	for _, c := range RingCases() {
+		t.Run(c.Name, func(t *testing.T) {
+			obs.DisableMetrics()
+			obs.DisableTracing()
+			base, err := ringsap.Solve(c.Ring, ringsap.Params{})
+			if err != nil {
+				t.Fatalf("obs off: %v (replay: %s)", err, c.Replay)
+			}
+			stripTimings(base.PathDetail)
+
+			obs.EnableMetrics()
+			obs.EnableTracing(0)
+			defer func() {
+				obs.DisableTracing()
+				obs.DisableMetrics()
+				obs.Reset()
+			}()
+			got, err := ringsap.Solve(c.Ring, ringsap.Params{})
+			if err != nil {
+				t.Fatalf("obs on: %v (replay: %s)", err, c.Replay)
+			}
+			stripTimings(got.PathDetail)
+			if !reflect.DeepEqual(got, base) {
+				t.Errorf("enabling obs changed the Result (replay: %s)\n got: %+v\nwant: %+v",
+					c.Replay, got, base)
+			}
+		})
+	}
+}

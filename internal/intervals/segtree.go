@@ -1,6 +1,10 @@
 package intervals
 
-import "errors"
+import (
+	"errors"
+
+	"sapalloc/internal/obs"
+)
 
 // ErrBounds is the sentinel behind every bounds panic of this package.
 // The segment tree sits on hot query paths, so out-of-range arguments
@@ -18,7 +22,7 @@ type BoundsError struct {
 }
 
 func (e *BoundsError) Error() string {
-	return errors.Join(ErrBounds).Error() + ": " + e.Op + " [" +
+	return ErrBounds.Error() + ": " + e.Op + " [" +
 		itoa(e.Lo) + "," + itoa(e.Hi) + ") on " + itoa(e.N) + " positions"
 }
 
@@ -126,6 +130,7 @@ func (s *SegTree) Add(lo, hi int, v int64) {
 	if lo < 0 || hi > s.n || lo > hi {
 		panic(&BoundsError{Op: "Add", Lo: lo, Hi: hi, N: s.n})
 	}
+	obs.SegtreeOps.Inc()
 	if lo == hi || v == 0 {
 		return
 	}
@@ -137,6 +142,7 @@ func (s *SegTree) Assign(lo, hi int, v int64) {
 	if lo < 0 || hi > s.n || lo > hi {
 		panic(&BoundsError{Op: "Assign", Lo: lo, Hi: hi, N: s.n})
 	}
+	obs.SegtreeOps.Inc()
 	if lo == hi {
 		return
 	}
@@ -171,6 +177,7 @@ func (s *SegTree) Max(lo, hi int) int64 {
 	if lo < 0 || hi > s.n || lo > hi {
 		panic(&BoundsError{Op: "Max", Lo: lo, Hi: hi, N: s.n})
 	}
+	obs.SegtreeOps.Inc()
 	if lo == hi {
 		return 0
 	}

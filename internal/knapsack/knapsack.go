@@ -9,6 +9,7 @@ import (
 	"context"
 	"sort"
 
+	"sapalloc/internal/obs"
 	"sapalloc/internal/saperr"
 )
 
@@ -55,6 +56,8 @@ func SolveExactCtx(ctx context.Context, items []Item, capacity int64) (chosen []
 	words := int(totalProfit/64) + 1
 	take := make([][]uint64, len(items))
 	done := ctx.Done()
+	var cells int64
+	defer func() { obs.KnapsackCells.Add(cells) }()
 	for i, it := range items {
 		if done != nil && i&15 == 0 && ctx.Err() != nil {
 			break // prefix DP is exact for the rows already processed
@@ -62,6 +65,7 @@ func SolveExactCtx(ctx context.Context, items []Item, capacity int64) (chosen []
 		if it.Profit <= 0 || it.Size > capacity {
 			continue
 		}
+		cells += totalProfit - it.Profit + 1
 		row := make([]uint64, words)
 		for p := totalProfit; p >= it.Profit; p-- {
 			if minSize[p-it.Profit] == inf {

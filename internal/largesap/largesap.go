@@ -25,6 +25,7 @@ import (
 
 	"sapalloc/internal/faultinject"
 	"sapalloc/internal/model"
+	"sapalloc/internal/obs"
 	"sapalloc/internal/saperr"
 )
 
@@ -105,6 +106,8 @@ func Solve(in *model.Instance, opts Options) (*model.Solution, error) {
 func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (*model.Solution, error) {
 	opts = opts.withDefaults()
 	rects := RectanglesOf(in)
+	ctx, endMWIS := obs.StartSpan(ctx, "largesap/mwis")
+	defer endMWIS()
 	faultinject.Fire(ctx, "largesap/mwis")
 	chosen, err := maxWeightIndependentSetCtx(ctx, rects, in.Edges(), opts)
 	sol := &model.Solution{}
@@ -141,6 +144,9 @@ func maxWeightIndependentSetCtx(ctx context.Context, rects []Rect, edges int, op
 	// DP overflowed its state cap or was cancelled: the branch-and-bound
 	// finishes the job (and, under cancellation, immediately returns its
 	// greedy-free incumbent with a typed error).
+	obs.BBFallbacks.Inc()
+	_, endFallback := obs.StartSpan(ctx, "largesap/exact-fallback")
+	defer endFallback()
 	return mwisBranchBound(ctx, rects, opts)
 }
 
@@ -236,6 +242,7 @@ func mwisPathDP(ctx context.Context, rects []Rect, edges int, maxStates int) ([]
 		}
 		trace[e] = next
 		cur = next
+		obs.DPStates.Add(int64(len(next)))
 	}
 	// Best final state; ties go to the smallest mask for determinism.
 	var bestMask uint64
@@ -324,6 +331,7 @@ func mwisBranchBound(ctx context.Context, rects []Rect, opts Options) ([]int, er
 		rec(k+1, w)
 	}
 	rec(0, 0)
+	obs.BBNodes.Add(nodes)
 	out := append([]int(nil), bestSet...)
 	sort.Ints(out)
 	if cancelled {

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"sapalloc/internal/faultinject"
+	"sapalloc/internal/obs"
 	"sapalloc/internal/par"
 )
 
@@ -114,7 +115,13 @@ func ApproxPackingCtx(ctx context.Context, p *Problem, opts ApproxOptions) (*Sol
 	workers := par.Workers(opts.Workers, n)
 	scores := make([]float64, n)
 
-	for iter := 0; iter < opts.MaxIters; iter++ {
+	_, endMWU := obs.StartSpan(ctx, "lp/mwu")
+	var iter int
+	defer func() {
+		obs.MWUIters.Add(int64(iter))
+		endMWU()
+	}()
+	for ; iter < opts.MaxIters; iter++ {
 		if iter&63 == 0 {
 			faultinject.Fire(ctx, "lp/mwu/iter")
 			if ctx.Err() != nil {

@@ -27,6 +27,7 @@ import (
 	"sapalloc/internal/exact"
 	"sapalloc/internal/faultinject"
 	"sapalloc/internal/model"
+	"sapalloc/internal/obs"
 	"sapalloc/internal/par"
 	"sapalloc/internal/saperr"
 )
@@ -158,8 +159,10 @@ func SolveCtx(ctx context.Context, in *model.Instance, p Params) (*Result, error
 		k := ks[i]
 		sol, degraded, err := func() (sol *model.Solution, degraded bool, err error) {
 			defer saperr.Contain(&err)
-			faultinject.Fire(ctx, "mediumsap/class")
-			return ElevatorCtx(ctx, in, classTasks[k], k, ell, p)
+			classCtx, endClass := obs.StartSpanTrack(ctx, "mediumsap/class")
+			defer endClass()
+			faultinject.Fire(classCtx, "mediumsap/class")
+			return ElevatorCtx(classCtx, in, classTasks[k], k, ell, p)
 		}()
 		if err != nil {
 			outs[i] = classOut{err: fmt.Errorf("mediumsap: class k=%d: %w", k, err)}
@@ -240,7 +243,9 @@ func ElevatorCtx(ctx context.Context, in *model.Instance, tasks []model.Task, k,
 	if k+ell >= 0 && k+ell < 62 {
 		classIn = classIn.ClipCapacities(int64(1) << uint(k+ell))
 	}
-	opt, err := exact.SolveSAPCtx(ctx, classIn, p.Exact)
+	exactCtx, endExact := obs.StartSpan(ctx, "mediumsap/exact")
+	opt, err := exact.SolveSAPCtx(exactCtx, classIn, p.Exact)
+	endExact()
 	if errors.Is(err, exact.ErrBudget) || (saperr.IsCancelled(err) && opt != nil) {
 		// The class was too large to prove optimality within the node
 		// budget (or its time slice); the incumbent is still feasible, so
@@ -249,6 +254,7 @@ func ElevatorCtx(ctx context.Context, in *model.Instance, tasks []model.Task, k,
 		// measured ratios either way). This mirrors the paper's reliance
 		// on a DP whose exponent L² makes it polynomial only for constant
 		// δ and ℓ.
+		obs.ExactFallbacks.Inc()
 		degraded = true
 		err = nil
 	}

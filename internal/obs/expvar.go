@@ -1,0 +1,18 @@
+package obs
+
+import (
+	"expvar"
+	"sync"
+)
+
+var expvarOnce sync.Once
+
+// PublishExpvar exposes the metrics registry as the expvar variable
+// "sapalloc_metrics", so a -pprof debug server (or anything else serving
+// /debug/vars) reports a live JSON snapshot alongside the runtime's
+// memstats. Safe to call more than once; only the first call publishes.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("sapalloc_metrics", expvar.Func(func() any { return Snapshot() }))
+	})
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+	"time"
+)
+
+// A span is one timed region of the solve pipeline: partition, an arm, an
+// exact-search fallback, an oracle verification. Completed spans land in a
+// fixed-size ring buffer (oldest entries overwritten) and are exported as
+// Chrome trace_event JSON for chrome://tracing / Perfetto.
+type spanRec struct {
+	name  string
+	track uint32
+	start time.Duration // since the tracer epoch
+	dur   time.Duration
+}
+
+var tracer struct {
+	mu    sync.Mutex
+	buf   []spanRec
+	total uint64 // spans ever recorded this epoch; buf holds the last len(buf)
+	epoch time.Time
+	gen   uint32 // epoch generation; stale span-end closures are dropped
+	track uint32 // last allocated track id (see newTrack)
+}
+
+// DefaultTraceSpans is the ring capacity EnableTracing uses when given a
+// non-positive capacity: enough for the spans of thousands of solves while
+// bounding memory to a few hundred kilobytes.
+const DefaultTraceSpans = 4096
+
+// trackUnscoped is the shared track of ctx-less Span sites; allocated
+// tracks start above it.
+const trackUnscoped = 1
+
+// EnableTracing turns the span tracer on with a fresh ring of the given
+// capacity (DefaultTraceSpans when capacity ≤ 0). Any previously recorded
+// spans are discarded and in-flight span ends from the previous epoch are
+// dropped on arrival.
+func EnableTracing(capacity int) {
+	if capacity <= 0 {
+		capacity = DefaultTraceSpans
+	}
+	tracer.mu.Lock()
+	tracer.buf = make([]spanRec, capacity)
+	tracer.total = 0
+	tracer.epoch = time.Now()
+	tracer.gen++
+	tracer.track = trackUnscoped
+	tracer.mu.Unlock()
+	setGate(gateTracing, true)
+}
+
+// DisableTracing stops recording. The buffer is retained, so WriteTrace
+// still exports the spans captured before the stop.
+func DisableTracing() { setGate(gateTracing, false) }
+
+// SpanCount returns how many spans have been recorded this epoch (including
+// ones the ring has since overwritten).
+func SpanCount() int64 {
+	tracer.mu.Lock()
+	defer tracer.mu.Unlock()
+	return int64(tracer.total)
+}
+
+type trackKey struct{}
+
+func trackOf(ctx context.Context) uint32 {
+	if v, ok := ctx.Value(trackKey{}).(uint32); ok {
+		return v
+	}
+	return 0
+}
+
+func newTrack() uint32 {
+	tracer.mu.Lock()
+	defer tracer.mu.Unlock()
+	tracer.track++
+	return tracer.track
+}
+
+// nopEnd is the shared no-op closure returned while tracing is disabled, so
+// a disabled StartSpan allocates nothing.
+var nopEnd = func() {}
+
+// StartSpan opens a span on the context's track, allocating a fresh track
+// when the context has none (the root solve span typically does). It
+// returns the (possibly track-tagged) context and the closure that ends the
+// span. With tracing disabled it returns ctx unchanged and a shared no-op
+// after a single atomic load.
+func StartSpan(ctx context.Context, name string) (context.Context, func()) {
+	if !TracingOn() {
+		return ctx, nopEnd
+	}
+	track := trackOf(ctx)
+	if track == 0 {
+		track = newTrack()
+		ctx = context.WithValue(ctx, trackKey{}, track)
+	}
+	return ctx, beginSpan(name, track)
+}
+
+// StartSpanTrack opens a span on a fresh track regardless of the context's
+// current one. Use it for regions that run concurrently with their siblings
+// (the solver arms, per-class sub-solves) so their spans occupy separate
+// rows in the trace viewer instead of interleaving on the parent's track.
+func StartSpanTrack(ctx context.Context, name string) (context.Context, func()) {
+	if !TracingOn() {
+		return ctx, nopEnd
+	}
+	track := newTrack()
+	return context.WithValue(ctx, trackKey{}, track), beginSpan(name, track)
+}
+
+// Span opens a span at a site with no context at hand (the oracle's
+// verification entry points). All such spans share one "unscoped" track.
+func Span(name string) func() {
+	if !TracingOn() {
+		return nopEnd
+	}
+	return beginSpan(name, trackUnscoped)
+}
+
+func beginSpan(name string, track uint32) func() {
+	tracer.mu.Lock()
+	epoch := tracer.epoch
+	gen := tracer.gen
+	tracer.mu.Unlock()
+	start := time.Since(epoch)
+	return func() {
+		recordSpan(gen, name, track, start, time.Since(epoch)-start)
+	}
+}
+
+// recordSpan appends a completed span to the ring. gen guards against span
+// ends that outlive the epoch they started in (EnableTracing was called
+// again, or tracing stopped): their timestamps belong to the old epoch, so
+// they are dropped rather than misfiled.
+func recordSpan(gen uint32, name string, track uint32, start, dur time.Duration) {
+	if !TracingOn() {
+		return
+	}
+	tracer.mu.Lock()
+	if tracer.gen == gen && len(tracer.buf) > 0 {
+		tracer.buf[tracer.total%uint64(len(tracer.buf))] = spanRec{name: name, track: track, start: start, dur: dur}
+		tracer.total++
+	}
+	tracer.mu.Unlock()
+}
+
+// WriteTrace exports the ring's spans (oldest first) as Chrome trace_event
+// JSON — the object form {"traceEvents": [...]} with complete ("X") events,
+// timestamps in microseconds — which chrome://tracing and Perfetto load
+// directly. Tracks are emitted as thread ids of a single process.
+func WriteTrace(w io.Writer) error {
+	tracer.mu.Lock()
+	var spans []spanRec
+	if n := uint64(len(tracer.buf)); tracer.total <= n {
+		spans = append(spans, tracer.buf[:tracer.total]...)
+	} else {
+		for i := uint64(0); i < n; i++ {
+			spans = append(spans, tracer.buf[(tracer.total+i)%n])
+		}
+	}
+	tracer.mu.Unlock()
+
+	var b strings.Builder
+	b.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	b.WriteString(`{"name":"process_name","ph":"M","pid":1,"args":{"name":"sapalloc"}}`)
+	for _, s := range spans {
+		b.WriteString(",\n")
+		fmt.Fprintf(&b, `{"name":%q,"cat":"sap","ph":"X","ts":%.3f,"dur":%.3f,"pid":1,"tid":%d}`,
+			s.name, float64(s.start)/1e3, float64(s.dur)/1e3, s.track)
+	}
+	b.WriteString("\n]}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

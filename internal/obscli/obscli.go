@@ -1,0 +1,136 @@
+// Package obscli wires the observability command-line flags shared by the
+// sapalloc commands (-metrics, -metrics-json, -trace, -pprof) to
+// internal/obs, so every main gets the same three-line setup:
+//
+//	obsFlags := obscli.Register(flag.CommandLine)
+//	flag.Parse()
+//	defer must(obsFlags.Start("mycmd"))()
+//
+// All facilities default to off; a command that passes none of the flags
+// runs the solvers with observability fully disabled (one atomic load per
+// hook site).
+package obscli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"time"
+
+	"sapalloc/internal/obs"
+)
+
+// Flags carries a command's parsed observability flags.
+type Flags struct {
+	// Metrics enables the metrics registry and dumps it as text to stderr
+	// when the returned stop function runs.
+	Metrics bool
+	// MetricsJSON additionally writes the registry as JSON to this path
+	// (implies Metrics).
+	MetricsJSON string
+	// Trace enables the span tracer and writes the captured spans as Chrome
+	// trace_event JSON to this path.
+	Trace string
+	// TraceSpans overrides the span ring capacity (0 = obs.DefaultTraceSpans).
+	TraceSpans int
+	// Pprof serves net/http/pprof on this address (e.g. localhost:6060).
+	Pprof string
+}
+
+// Register installs the observability flags on fs and returns the struct
+// their values land in after fs is parsed.
+func Register(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.BoolVar(&f.Metrics, "metrics", false, "collect solver metrics and print a dump to stderr on exit")
+	fs.StringVar(&f.MetricsJSON, "metrics-json", "", "also write the metrics dump as JSON to this file (implies -metrics)")
+	fs.StringVar(&f.Trace, "trace", "", "record solver spans and write Chrome trace_event JSON to this file (load in Perfetto or chrome://tracing)")
+	fs.IntVar(&f.TraceSpans, "trace-spans", 0, "span ring capacity for -trace (0 = default; oldest spans are dropped beyond it)")
+	fs.StringVar(&f.Pprof, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	return f
+}
+
+// Active reports whether any observability facility was requested.
+func (f *Flags) Active() bool {
+	return f.Metrics || f.MetricsJSON != "" || f.Trace != "" || f.Pprof != ""
+}
+
+// Start enables the requested facilities. The returned stop function writes
+// the metrics and trace dumps; run it (usually via defer) before the command
+// exits. The only error is a pprof address that cannot be bound.
+func (f *Flags) Start(cmd string) (stop func(), err error) {
+	if f.MetricsJSON != "" {
+		f.Metrics = true
+	}
+	if f.Metrics {
+		obs.EnableMetrics()
+		obs.PublishExpvar()
+	}
+	if f.Trace != "" {
+		obs.EnableTracing(f.TraceSpans)
+	}
+	if f.Pprof != "" {
+		ln, err := net.Listen("tcp", f.Pprof)
+		if err != nil {
+			return nil, fmt.Errorf("pprof: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "%s: pprof listening on http://%s/debug/pprof/\n", cmd, ln.Addr())
+		go func() { _ = http.Serve(ln, nil) }()
+	}
+	return func() { f.dump(cmd) }, nil
+}
+
+// dump writes the requested exit artefacts. Dump failures are reported to
+// stderr rather than aborting: by this point the solve itself succeeded.
+func (f *Flags) dump(cmd string) {
+	if f.Metrics {
+		fmt.Fprintf(os.Stderr, "%s: metrics:\n", cmd)
+		if err := obs.DumpText(os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: metrics dump: %v\n", cmd, err)
+		}
+	}
+	if f.MetricsJSON != "" {
+		if err := writeFile(f.MetricsJSON, obs.DumpJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: metrics-json: %v\n", cmd, err)
+		}
+	}
+	if f.Trace != "" {
+		if err := writeFile(f.Trace, obs.WriteTrace); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: trace: %v\n", cmd, err)
+		}
+	}
+}
+
+// PrintArmBreakdown prints the per-arm wall times, the winning arm, and the
+// achieved-weight/LP-bound ratio — sapsolve's -metrics epilogue for the
+// combined algorithm. lpBound ≤ 0 suppresses the ratio line.
+func PrintArmBreakdown(w io.Writer, winner string, achieved int64, lpBound float64) {
+	armNames := [3]string{"small", "medium", "large"}
+	for i, h := range obs.ArmNs {
+		if h.Count() == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "arm %-6s  wall %v (solves %d)\n",
+			armNames[i], time.Duration(int64(h.Mean())).Round(time.Microsecond), h.Count())
+	}
+	fmt.Fprintf(w, "winner arm: %s\n", winner)
+	if lpBound > 0 {
+		fmt.Fprintf(w, "achieved/LP-bound ratio: %d/%.1f = %.3f\n",
+			achieved, lpBound, float64(achieved)/lpBound)
+	}
+}
+
+func writeFile(path string, write func(io.Writer) error) error {
+	fh, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(fh); err != nil {
+		fh.Close()
+		return err
+	}
+	return fh.Close()
+}

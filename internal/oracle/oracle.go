@@ -32,6 +32,7 @@ import (
 
 	"sapalloc/internal/intervals"
 	"sapalloc/internal/model"
+	"sapalloc/internal/obs"
 )
 
 // Kind classifies a violation.
@@ -153,6 +154,8 @@ func checkTaskInterval(t model.Task, m int) *Violation {
 // path, even inside an unvalidated instance — yield a KindMalformed
 // violation rather than a crash.
 func CheckSAP(in *model.Instance, sol *model.Solution) (err error) {
+	obs.OracleChecks.Inc()
+	defer obs.Span("oracle/check-sap")()
 	defer guardMalformed(&err)
 	m := in.Edges()
 	byID := make(map[int]model.Task, len(in.Tasks))
@@ -239,6 +242,8 @@ func checkDisjoint(m int, items []model.Placement) error {
 // membership, no duplicates, and per-edge load within capacity. Malformed
 // task intervals yield a KindMalformed violation rather than a crash.
 func CheckUFPP(in *model.Instance, tasks []model.Task) (err error) {
+	obs.OracleChecks.Inc()
+	defer obs.Span("oracle/check-ufpp")()
 	defer guardMalformed(&err)
 	byID := make(map[int]model.Task, len(in.Tasks))
 	for _, t := range in.Tasks {
@@ -288,6 +293,8 @@ func CheckUFPP(in *model.Instance, tasks []model.Task) (err error) {
 // duplicates, non-negative heights, capacity on every edge of each chosen
 // arc, and vertical disjointness on every shared ring edge.
 func CheckRing(r *model.RingInstance, sol *model.RingSolution) error {
+	obs.OracleChecks.Inc()
+	defer obs.Span("oracle/check-ring")()
 	byID := make(map[int]model.RingTask, len(r.Tasks))
 	for _, t := range r.Tasks {
 		byID[t.ID] = t

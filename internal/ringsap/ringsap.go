@@ -18,6 +18,7 @@ import (
 	"sapalloc/internal/faultinject"
 	"sapalloc/internal/knapsack"
 	"sapalloc/internal/model"
+	"sapalloc/internal/obs"
 	"sapalloc/internal/par"
 	"sapalloc/internal/saperr"
 )
@@ -96,6 +97,8 @@ func Solve(r *model.RingInstance, p Params) (*Result, error) {
 // A typed error is returned only when neither arm produced a solution.
 func SolveCtx(ctx context.Context, r *model.RingInstance, p Params) (res *Result, err error) {
 	defer saperr.Contain(&err)
+	ctx, endSolve := obs.StartSpan(ctx, "ringsap/solve")
+	defer endSolve()
 	p = p.withDefaults()
 	if err := r.Validate(); err != nil {
 		return nil, fmt.Errorf("ringsap: %w", saperr.Input("%v", err))
@@ -118,11 +121,13 @@ func SolveCtx(ctx context.Context, r *model.RingInstance, p Params) (res *Result
 	arms := []func() error{
 		func() (err error) {
 			defer saperr.Contain(&err)
-			faultinject.Fire(ctx, "ringsap/arm/path")
+			armCtx, endArm := obs.StartSpanTrack(ctx, "ringsap/arm/path")
+			defer endArm()
+			faultinject.Fire(armCtx, "ringsap/arm/path")
 			// Arm 1: path solution on the cut ring; tasks are routed on the
 			// arc avoiding the cut edge.
 			pathIn := r.CutAt(cut)
-			pathRes, err = core.SolveCtx(ctx, pathIn, p.Path)
+			pathRes, err = core.SolveCtx(armCtx, pathIn, p.Path)
 			if err != nil {
 				return fmt.Errorf("ringsap: path arm: %w", err)
 			}
@@ -142,15 +147,17 @@ func SolveCtx(ctx context.Context, r *model.RingInstance, p Params) (res *Result
 		},
 		func() (err error) {
 			defer saperr.Contain(&err)
-			faultinject.Fire(ctx, "ringsap/arm/knapsack")
+			armCtx, endArm := obs.StartSpanTrack(ctx, "ringsap/arm/knapsack")
+			defer endArm()
+			faultinject.Fire(armCtx, "ringsap/arm/knapsack")
 			// Arm 2: knapsack over all tasks routed through the cut edge,
 			// stacked bottom-up (h_2(j) = Σ_{ℓ<j, ℓ∈S₂} d_ℓ as in the paper).
 			items := make([]knapsack.Item, len(r.Tasks))
 			for i, t := range r.Tasks {
 				items[i] = knapsack.Item{Size: t.Demand, Profit: t.Weight}
 			}
-			chosen, _ := knapsack.SolveFPTASCtx(ctx, items, r.Capacity[cut], p.Eps)
-			if err := saperr.FromContext(ctx); err != nil {
+			chosen, _ := knapsack.SolveFPTASCtx(armCtx, items, r.Capacity[cut], p.Eps)
+			if err := saperr.FromContext(armCtx); err != nil {
 				// The prefix-DP is anytime, but a selection truncated by
 				// cancellation has no FPTAS guarantee: report the arm as
 				// cancelled rather than completed.

@@ -20,6 +20,7 @@ import (
 	"sapalloc/internal/dsa"
 	"sapalloc/internal/faultinject"
 	"sapalloc/internal/model"
+	"sapalloc/internal/obs"
 	"sapalloc/internal/par"
 	"sapalloc/internal/saperr"
 	"sapalloc/internal/ufpp"
@@ -127,8 +128,10 @@ func SolveCtx(ctx context.Context, in *model.Instance, p Params) (*Result, error
 		}
 		report, sol, err := func() (report ClassReport, sol *model.Solution, err error) {
 			defer saperr.Contain(&err)
-			faultinject.Fire(ctx, "smallsap/class")
-			return solveClass(ctx, in, classes[t], t, p)
+			classCtx, endClass := obs.StartSpanTrack(ctx, "smallsap/class")
+			defer endClass()
+			faultinject.Fire(classCtx, "smallsap/class")
+			return solveClass(classCtx, in, classes[t], t, p)
 		}()
 		if err != nil {
 			outs[i] = classOut{err: fmt.Errorf("smallsap: class t=%d: %w", t, err)}
@@ -187,6 +190,11 @@ func solveClass(ctx context.Context, in *model.Instance, tasks []model.Task, t i
 		report.LPBound = lpOpt
 	}
 	report.UFPPWeight = model.WeightOf(sel)
+	if obs.MetricsOn() && report.LPBound > 0 {
+		pm := int64(1000 * float64(report.UFPPWeight) / report.LPBound)
+		obs.RatioPermille.Record(pm)
+		obs.LastRatioPermille.Set(pm)
+	}
 
 	conv := dsa.ConvertToStripCtx(ctx, sel, b/2)
 	report.RetainedWeight = conv.RetainedWeight

@@ -15,6 +15,7 @@ package ufpp
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -271,7 +272,7 @@ func LocalRatioStrip(in *model.Instance, b int64) []model.Task {
 // The instance must have uniform capacities.
 func UniformBaseline(in *model.Instance) ([]model.Task, error) {
 	if !in.Uniform() {
-		return nil, fmt.Errorf("ufpp: UniformBaseline requires uniform capacities")
+		return nil, errors.New("ufpp: UniformBaseline requires uniform capacities")
 	}
 	if len(in.Tasks) == 0 {
 		return nil, nil

@@ -37,6 +37,7 @@ import (
 	"sapalloc/internal/faultinject"
 	"sapalloc/internal/largesap"
 	"sapalloc/internal/model"
+	"sapalloc/internal/obs"
 	"sapalloc/internal/par"
 	"sapalloc/internal/saperr"
 	"sapalloc/internal/ufpp"
@@ -78,6 +79,10 @@ const (
 	ArmLarge
 )
 
+// armSpanNames are the trace-span names per arm, precomputed so the
+// disabled-tracing path does not pay a string concatenation.
+var armSpanNames = [3]string{"ufppfull/arm/small", "ufppfull/arm/medium", "ufppfull/arm/large"}
+
 func (a Arm) String() string {
 	switch a {
 	case ArmSmall:
@@ -116,6 +121,8 @@ func Solve(in *model.Instance, p Params) (*Result, error) {
 // typed error is returned only when no arm produced a selection.
 func SolveCtx(ctx context.Context, in *model.Instance, p Params) (res *Result, err error) {
 	defer saperr.Contain(&err)
+	ctx, endSolve := obs.StartSpan(ctx, "ufppfull/solve")
+	defer endSolve()
 	p = p.withDefaults()
 	if err := saperr.FromContext(ctx); err != nil {
 		return nil, err
@@ -130,16 +137,18 @@ func SolveCtx(ctx context.Context, in *model.Instance, p Params) (res *Result, e
 	var outs [3]armOut
 	runArm := func(i int) (sel []model.Task, err error) {
 		defer saperr.Contain(&err)
+		armCtx, endArm := obs.StartSpanTrack(ctx, armSpanNames[i])
+		defer endArm()
 		switch Arm(i) {
 		case ArmSmall:
-			faultinject.Fire(ctx, "ufppfull/arm/small")
-			return solveSmall(ctx, in.Restrict(small), p)
+			faultinject.Fire(armCtx, "ufppfull/arm/small")
+			return solveSmall(armCtx, in.Restrict(small), p)
 		case ArmMedium:
-			faultinject.Fire(ctx, "ufppfull/arm/medium")
-			return solveMedium(ctx, in.Restrict(medium), p)
+			faultinject.Fire(armCtx, "ufppfull/arm/medium")
+			return solveMedium(armCtx, in.Restrict(medium), p)
 		default:
-			faultinject.Fire(ctx, "ufppfull/arm/large")
-			sol, err := largesap.SolveCtx(ctx, in.Restrict(large), largesap.Options{})
+			faultinject.Fire(armCtx, "ufppfull/arm/large")
+			sol, err := largesap.SolveCtx(armCtx, in.Restrict(large), largesap.Options{})
 			if err != nil {
 				if sol != nil && (errors.Is(err, largesap.ErrBudget) || saperr.IsCancelled(err)) {
 					return sol.Tasks(), nil // feasible incumbent stands
