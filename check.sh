@@ -6,7 +6,8 @@
 #   ./check.sh bench   pinned benchmark subset vs committed BENCH.json
 #   ./check.sh robust  fault-injection + cancellation suites under -race
 #   ./check.sh cover   coverage run with the ratcheted floor (COVER_FLOOR)
-#   ./check.sh fuzz    30s smoke of the three pinned fuzz targets
+#   ./check.sh fuzz    30s smoke of the pinned fuzz targets
+#   ./check.sh serve   serving-layer suites (cache/singleflight/admission) under -race
 set -e
 
 # Ratcheted coverage floor (percentage points). CI fails when total
@@ -47,7 +48,21 @@ if [ "$1" = "fuzz" ]; then
     go test -run '^$' -fuzz '^FuzzSolveSmallSAP$' -fuzztime "$fuzztime" ./internal/smallsap/
     go test -run '^$' -fuzz '^FuzzCoreSolve$' -fuzztime "$fuzztime" ./internal/core/
     go test -run '^$' -fuzz '^FuzzValidateHardened$' -fuzztime "$fuzztime" ./internal/model/
+    go test -run '^$' -fuzz '^FuzzReadInstanceJSON$' -fuzztime "$fuzztime" ./internal/model/
+    go test -run '^$' -fuzz '^FuzzReadSolutionJSON$' -fuzztime "$fuzztime" ./internal/model/
     echo "FUZZ SMOKE PASSED"
+    exit 0
+fi
+
+if [ "$1" = "serve" ]; then
+    # The serving layer's whole value is concurrent behaviour (cache,
+    # singleflight, admission control), so its suites always run -race.
+    echo "== serving layer: cache + singleflight + admission (-race) =="
+    go test -race -timeout 10m -count=1 ./internal/sapcache/ ./internal/serve/
+    echo "== serving layer: differential matrix over HTTP (-race) =="
+    go test -race -timeout 15m -count=1 -run 'TestServeMatches' ./internal/difftest/
+    go build ./cmd/sapserved
+    echo "SERVE GATE PASSED"
     exit 0
 fi
 

@@ -81,7 +81,13 @@ func main() {
 		go func(worker int) {
 			defer wg.Done()
 			for i := int64(0); time.Now().Before(deadline); i++ {
-				caseSeed := *seed + int64(worker)*1_000_003 + i
+				// Disjoint per-worker strides: worker k draws the seeds
+				// ≡ k (mod w), so no two workers ever re-check the same
+				// case no matter how long the soak runs. (The old
+				// worker*1_000_003 offsets collided once any worker
+				// passed 1,000,003 iterations.) The printed reproducer
+				// seed is caseSeed itself, so replay stays exact.
+				caseSeed := *seed + i*int64(w) + int64(worker)
 				if msg := checkOne(caseSeed, *timeout); msg != "" {
 					atomic.AddInt64(&failures, 1)
 					mu.Lock()

@@ -129,11 +129,19 @@ type Result struct {
 // medium tasks (δ-large and ½-small), and ½-large tasks, with δ =
 // 1/deltaDen.
 func Partition(in *model.Instance, deltaDen int64) (small, medium, large []model.Task) {
+	if deltaDen < 1 {
+		deltaDen = 1 // δ ≥ 1 keeps the division below defined; withDefaults never passes less
+	}
 	bot := in.BottleneckFunc()
 	for _, t := range in.Tasks {
 		b := bot(t)
 		switch {
-		case t.Demand*deltaDen <= b: // d ≤ δ·b
+		// d ≤ δ·b ⟺ d·deltaDen ≤ b ⟺ d ≤ ⌊b/deltaDen⌋ (all positive
+		// integers). The division form cannot overflow: the product form
+		// wrapped for Demand·DeltaDen ≥ 2^63 (demands up to 2^40 pass
+		// Validate, so DeltaDen ≥ 2^23 silently misclassified large tasks
+		// as small).
+		case t.Demand <= b/deltaDen:
 			small = append(small, t)
 		case 2*t.Demand <= b: // δ·b < d ≤ b/2
 			medium = append(medium, t)

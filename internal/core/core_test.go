@@ -57,6 +57,56 @@ func TestPartition(t *testing.T) {
 	}
 }
 
+// TestPartitionOverflowBoundary pins the overflow-safe classification at the
+// magnitude limits Validate admits: demands up to 2^40 with DeltaDen ≥ 2^23
+// made the old product form Demand·DeltaDen wrap past 2^63 and silently file
+// the heaviest tasks under "small". (The DeltaDen values are reachable via
+// the sapsolve flag and the experiment δ-sweeps.)
+func TestPartitionOverflowBoundary(t *testing.T) {
+	in := &model.Instance{
+		Capacity: []int64{model.MaxMagnitude},
+		Tasks: []model.Task{
+			// d = b: product form 2^40·2^24 wraps to 0 ≤ b ⇒ "small";
+			// truth: d > b/2 ⇒ large.
+			{ID: 0, Start: 0, End: 1, Demand: model.MaxMagnitude, Weight: 1},
+			// d = b/2: medium either way at small DeltaDen, but the product
+			// 2^39·2^24 = 2^63 wraps negative ⇒ "small" pre-fix.
+			{ID: 1, Start: 0, End: 1, Demand: model.MaxMagnitude / 2, Weight: 1},
+			// Genuinely small at δ = 2^-24: d = b/2^24 exactly.
+			{ID: 2, Start: 0, End: 1, Demand: model.MaxMagnitude >> 24, Weight: 1},
+			// One above the δ threshold: smallest medium task.
+			{ID: 3, Start: 0, End: 1, Demand: (model.MaxMagnitude >> 24) + 1, Weight: 1},
+		},
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatalf("boundary instance must be admissible: %v", err)
+	}
+	small, medium, large := Partition(in, 1<<24)
+	ids := func(ts []model.Task) []int {
+		out := make([]int, len(ts))
+		for i, tk := range ts {
+			out[i] = tk.ID
+		}
+		return out
+	}
+	if len(small) != 1 || small[0].ID != 2 {
+		t.Errorf("small = %v, want [2]", ids(small))
+	}
+	if len(medium) != 2 || medium[0].ID != 1 || medium[1].ID != 3 {
+		t.Errorf("medium = %v, want [1 3]", ids(medium))
+	}
+	if len(large) != 1 || large[0].ID != 0 {
+		t.Errorf("large = %v, want [0]", ids(large))
+	}
+	// The same boundary through the model-level rational classifier.
+	if in.IsDeltaSmall(in.Tasks[0], 1, 1<<24) {
+		t.Error("IsDeltaSmall(d=2^40, δ=2^-24) = true; cross product overflowed")
+	}
+	if !in.IsDeltaSmall(in.Tasks[2], 1, 1<<24) {
+		t.Error("IsDeltaSmall(d=2^16, δ=2^-24) = false at the exact threshold")
+	}
+}
+
 func TestPartitionCoversAll(t *testing.T) {
 	r := rand.New(rand.NewSource(2))
 	for trial := 0; trial < 20; trial++ {

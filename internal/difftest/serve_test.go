@@ -1,0 +1,164 @@
+package difftest
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"sapalloc/internal/model"
+	"sapalloc/internal/oracle"
+	"sapalloc/internal/serve"
+)
+
+// The serving layer joins the differential matrix here: for every case in
+// the generator matrix, the HTTP response must decode into a solution the
+// oracle accepts, the declared weight must match the placements, and a
+// repeated POST must be answered from the canonicalization cache with
+// byte-identical bytes. This pins the serving layer's core contract — a
+// cache hit is indistinguishable from a fresh solve.
+
+// serveResponse mirrors the wire format of internal/serve for decoding.
+type serveResponse struct {
+	Kind     string `json:"kind"`
+	Weight   int64  `json:"weight"`
+	Degraded bool   `json:"degraded"`
+	Items    []struct {
+		TaskID      int    `json:"task_id"`
+		Height      int64  `json:"height"`
+		Orientation string `json:"orientation"`
+	} `json:"items"`
+}
+
+func postInstance(t *testing.T, ts *httptest.Server, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/solve: %v", err)
+	}
+	got, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read response: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/solve: status %d, body %s", resp.StatusCode, got)
+	}
+	return resp, got
+}
+
+// solveTwice POSTs the body twice and pins the cache contract. A
+// non-degraded solve must be cached: the second POST is a hit with
+// byte-identical bytes. A degraded solve (an arm fell back to an
+// incumbent) is deliberately never cached — its bytes may depend on the
+// deadline — so there the contract is only that both POSTs succeed.
+func solveTwice(t *testing.T, ts *httptest.Server, body []byte) serveResponse {
+	t.Helper()
+	resp1, got1 := postInstance(t, ts, body)
+	if src := resp1.Header.Get("X-Sapalloc-Cache"); src != "miss" {
+		t.Errorf("first POST cache header = %q, want miss", src)
+	}
+	var doc serveResponse
+	if err := json.Unmarshal(got1, &doc); err != nil {
+		t.Fatalf("decode response: %v\n%s", err, got1)
+	}
+	resp2, got2 := postInstance(t, ts, body)
+	if doc.Degraded {
+		if src := resp2.Header.Get("X-Sapalloc-Cache"); src == "hit" {
+			t.Errorf("degraded solve was served from cache")
+		}
+		return doc
+	}
+	if src := resp2.Header.Get("X-Sapalloc-Cache"); src != "hit" {
+		t.Errorf("second POST cache header = %q, want hit", src)
+	}
+	if !bytes.Equal(got1, got2) {
+		t.Errorf("cached response differs from fresh response:\nfresh:  %s\ncached: %s", got1, got2)
+	}
+	return doc
+}
+
+func TestServeMatchesOraclePath(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full generator matrix over HTTP")
+	}
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	for _, c := range PathCases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			var body bytes.Buffer
+			if err := c.In.WriteJSON(&body); err != nil {
+				t.Fatal(err)
+			}
+			doc := solveTwice(t, ts, body.Bytes())
+			if doc.Kind != "path" {
+				t.Fatalf("kind = %q, want path (replay: %s)", doc.Kind, c.Replay)
+			}
+			sol := &model.Solution{}
+			for _, it := range doc.Items {
+				task, ok := c.In.TaskByID(it.TaskID)
+				if !ok {
+					t.Fatalf("response names unknown task %d (replay: %s)", it.TaskID, c.Replay)
+				}
+				sol.Items = append(sol.Items, model.Placement{Task: task, Height: it.Height})
+			}
+			if err := oracle.CheckSAP(c.In, sol); err != nil {
+				t.Errorf("oracle rejects served solution: %v (replay: %s)", err, c.Replay)
+			}
+			if got := sol.Weight(); got != doc.Weight {
+				t.Errorf("declared weight %d != placement weight %d (replay: %s)", doc.Weight, got, c.Replay)
+			}
+		})
+	}
+}
+
+func TestServeMatchesOracleRing(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full generator matrix over HTTP")
+	}
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	for _, c := range RingCases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			var body bytes.Buffer
+			if err := c.Ring.WriteJSON(&body); err != nil {
+				t.Fatal(err)
+			}
+			doc := solveTwice(t, ts, body.Bytes())
+			if doc.Kind != "ring" {
+				t.Fatalf("kind = %q, want ring (replay: %s)", doc.Kind, c.Replay)
+			}
+			byID := make(map[int]model.RingTask, len(c.Ring.Tasks))
+			for _, task := range c.Ring.Tasks {
+				byID[task.ID] = task
+			}
+			sol := &model.RingSolution{}
+			for _, it := range doc.Items {
+				task, ok := byID[it.TaskID]
+				if !ok {
+					t.Fatalf("response names unknown ring task %d (replay: %s)", it.TaskID, c.Replay)
+				}
+				var o model.Orientation
+				switch it.Orientation {
+				case model.Clockwise.String():
+					o = model.Clockwise
+				case model.CounterClockwise.String():
+					o = model.CounterClockwise
+				default:
+					t.Fatalf("bad orientation %q for task %d (replay: %s)", it.Orientation, it.TaskID, c.Replay)
+				}
+				sol.Items = append(sol.Items, model.RingPlacement{Task: task, Orientation: o, Height: it.Height})
+			}
+			if err := oracle.CheckRing(c.Ring, sol); err != nil {
+				t.Errorf("oracle rejects served ring solution: %v (replay: %s)", err, c.Replay)
+			}
+			if got := sol.Weight(); got != doc.Weight {
+				t.Errorf("declared weight %d != placement weight %d (replay: %s)", doc.Weight, got, c.Replay)
+			}
+		})
+	}
+}

@@ -166,3 +166,50 @@ func FuzzValidateHardened(f *testing.F) {
 		}
 	})
 }
+
+// FuzzReadSolutionJSON hardens the solution decoder at the trust boundary:
+// arbitrary bytes must never panic, every accepted solution binds only to
+// tasks of the instance with no task placed twice, and accepted solutions
+// survive a WriteJSON round trip.
+func FuzzReadSolutionJSON(f *testing.F) {
+	in := &Instance{
+		Capacity: []int64{8, 6, 8},
+		Tasks: []Task{
+			{ID: 0, Start: 0, End: 2, Demand: 3, Weight: 5},
+			{ID: 1, Start: 1, End: 3, Demand: 2, Weight: 4},
+			{ID: 7, Start: 0, End: 1, Demand: 1, Weight: 2},
+		},
+	}
+	f.Add([]byte(`{"items":[{"task_id":0,"height":0},{"task_id":1,"height":3}]}`))
+	f.Add([]byte(`{"items":[{"task_id":0,"height":0},{"task_id":0,"height":3}]}`))
+	f.Add([]byte(`{"items":[{"task_id":99,"height":0}]}`))
+	f.Add([]byte(`{"items":[]}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sol, err := ReadSolutionJSON(bytes.NewReader(data), in)
+		if err != nil {
+			return
+		}
+		seen := make(map[int]bool, len(sol.Items))
+		for _, p := range sol.Items {
+			if _, ok := in.TaskByID(p.Task.ID); !ok {
+				t.Fatalf("decoder bound unknown task id %d", p.Task.ID)
+			}
+			if seen[p.Task.ID] {
+				t.Fatalf("decoder accepted duplicate task id %d", p.Task.ID)
+			}
+			seen[p.Task.ID] = true
+		}
+		var buf bytes.Buffer
+		if err := sol.WriteJSON(&buf); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		back, err := ReadSolutionJSON(&buf, in)
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if back.Len() != sol.Len() || back.Weight() != sol.Weight() {
+			t.Fatalf("round trip changed the solution")
+		}
+	})
+}

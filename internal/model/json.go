@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+
+	"sapalloc/internal/saperr"
 )
 
 // instanceJSON is the on-disk representation of a path instance.
@@ -111,18 +113,27 @@ func (s *Solution) WriteJSON(w io.Writer) error {
 }
 
 // ReadSolutionJSON parses a solution written by Solution.WriteJSON, binding
-// task IDs to the tasks of the given instance.
+// task IDs to the tasks of the given instance. It is a trust boundary like
+// ReadInstanceJSON: unknown and duplicate task ids are rejected with typed
+// saperr.ErrInfeasibleInput errors — a duplicate would double-count the
+// task's weight and violate the schedule's disjointness invariant before
+// any validator runs.
 func ReadSolutionJSON(r io.Reader, in *Instance) (*Solution, error) {
 	var doc solutionJSON
 	if err := json.NewDecoder(r).Decode(&doc); err != nil {
 		return nil, fmt.Errorf("decode solution: %w", err)
 	}
 	s := &Solution{}
+	seen := make(map[int]bool, len(doc.Items))
 	for _, p := range doc.Items {
 		t, ok := in.TaskByID(p.TaskID)
 		if !ok {
-			return nil, fmt.Errorf("decode solution: task id %d not in instance", p.TaskID)
+			return nil, fmt.Errorf("decode solution: %w", saperr.Input("task id %d not in instance", p.TaskID))
 		}
+		if seen[p.TaskID] {
+			return nil, fmt.Errorf("decode solution: %w", saperr.Input("duplicate task id %d", p.TaskID))
+		}
+		seen[p.TaskID] = true
 		s.Items = append(s.Items, Placement{Task: t, Height: p.Height})
 	}
 	return s, nil

@@ -17,6 +17,7 @@ package model
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"sapalloc/internal/saperr"
@@ -241,10 +242,19 @@ func (in *Instance) MaxLoad(tasks []Task) int64 {
 }
 
 // IsDeltaSmall reports whether task t is δ-small, i.e. num/den ≥ d_j / b(j)
-// (d_j ≤ δ·b(j) with δ = num/den evaluated exactly in integers).
+// (d_j ≤ δ·b(j) with δ = num/den evaluated exactly in integers). The
+// comparison is exact for the full int64 range: the cross products are
+// formed in 128 bits, so magnitude-limit demands combined with huge
+// denominators cannot wrap (negative num or den would make the rational
+// meaningless and reports not-small).
 func (in *Instance) IsDeltaSmall(t Task, num, den int64) bool {
-	// d <= (num/den)*b  <=>  d*den <= num*b
-	return t.Demand*den <= num*in.Bottleneck(t)
+	if num < 0 || den <= 0 {
+		return false
+	}
+	// d <= (num/den)*b  <=>  d*den <= num*b, compared in 128 bits.
+	lhsHi, lhsLo := bits.Mul64(uint64(t.Demand), uint64(den))
+	rhsHi, rhsLo := bits.Mul64(uint64(num), uint64(in.Bottleneck(t)))
+	return lhsHi < rhsHi || (lhsHi == rhsHi && lhsLo <= rhsLo)
 }
 
 // IsDeltaLarge reports whether task t is δ-large: d_j > δ·b(j) with

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"sapalloc/internal/saperr"
 )
 
 // twoEdgePath builds a tiny instance used by several tests.
@@ -333,6 +335,26 @@ func TestJSONRejectsBadDocs(t *testing.T) {
 	}
 	if _, err := ReadSolutionJSON(bytes.NewBufferString(`{"items":[{"task_id":42,"height":0}]}`), twoEdgePath()); err == nil {
 		t.Errorf("solution with unknown task accepted")
+	}
+}
+
+// TestReadSolutionJSONRejectsDuplicates pins the trust-boundary fix: a
+// document repeating a task_id used to deserialize into a double-counted,
+// disjointness-violating Solution with no error. Both rejection paths must
+// carry the typed infeasible-input sentinel.
+func TestReadSolutionJSONRejectsDuplicates(t *testing.T) {
+	in := twoEdgePath()
+	doc := `{"items":[{"task_id":0,"height":0},{"task_id":1,"height":3},{"task_id":0,"height":5}]}`
+	s, err := ReadSolutionJSON(bytes.NewBufferString(doc), in)
+	if err == nil {
+		t.Fatalf("duplicate task_id accepted: %d items, weight %d", s.Len(), s.Weight())
+	}
+	if !errors.Is(err, saperr.ErrInfeasibleInput) {
+		t.Errorf("duplicate rejection lacks typed sentinel: %v", err)
+	}
+	_, err = ReadSolutionJSON(bytes.NewBufferString(`{"items":[{"task_id":42,"height":0}]}`), in)
+	if !errors.Is(err, saperr.ErrInfeasibleInput) {
+		t.Errorf("unknown-id rejection lacks typed sentinel: %v", err)
 	}
 }
 

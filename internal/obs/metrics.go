@@ -211,6 +211,24 @@ var (
 		NewHistogram("arm_medium_ns"),
 		NewHistogram("arm_large_ns"),
 	}
+
+	// Serving layer (internal/serve). Requests counts every /v1/solve that
+	// passed decoding; exactly one of hit/miss/dedup follows per request
+	// (hit = answered from cache, miss = ran the solver, dedup = shared a
+	// concurrent identical solve), and rejected counts load-shed 429s,
+	// which are none of the three.
+	ServeRequests   = NewCounter("serve_requests")
+	ServeCacheHits  = NewCounter("serve_cache_hits")
+	ServeCacheMiss  = NewCounter("serve_cache_misses")
+	ServeCacheDedup = NewCounter("serve_cache_dedup")
+	ServeRejected   = NewCounter("serve_rejected")
+
+	// Admission control: live queue depth (requests admitted to the work
+	// queue, waiting or solving), live in-flight solves, and the time each
+	// admitted request waited for a worker slot.
+	ServeQueueDepth  = NewGauge("serve_queue_depth")
+	ServeInFlight    = NewGauge("serve_inflight")
+	ServeQueueWaitNs = NewHistogram("serve_queue_wait_ns")
 )
 
 // Reset zeroes every registered series (counters, gauges, histogram counts

@@ -44,8 +44,20 @@ type Flags struct {
 // Register installs the observability flags on fs and returns the struct
 // their values land in after fs is parsed.
 func Register(fs *flag.FlagSet) *Flags {
+	return register(fs, false)
+}
+
+// RegisterServing is Register for long-running servers (sapserved):
+// identical flags, but -metrics defaults to on, because a server's
+// /metricsz endpoint and admission-control gauges are only live while the
+// registry records. Opting out remains possible with -metrics=false.
+func RegisterServing(fs *flag.FlagSet) *Flags {
+	return register(fs, true)
+}
+
+func register(fs *flag.FlagSet, metricsDefault bool) *Flags {
 	f := &Flags{}
-	fs.BoolVar(&f.Metrics, "metrics", false, "collect solver metrics and print a dump to stderr on exit")
+	fs.BoolVar(&f.Metrics, "metrics", metricsDefault, "collect solver metrics and print a dump to stderr on exit")
 	fs.StringVar(&f.MetricsJSON, "metrics-json", "", "also write the metrics dump as JSON to this file (implies -metrics)")
 	fs.StringVar(&f.Trace, "trace", "", "record solver spans and write Chrome trace_event JSON to this file (load in Perfetto or chrome://tracing)")
 	fs.IntVar(&f.TraceSpans, "trace-spans", 0, "span ring capacity for -trace (0 = default; oldest spans are dropped beyond it)")

@@ -1,0 +1,78 @@
+package sapcache
+
+import (
+	"fmt"
+	"sync"
+)
+
+// call is one in-flight singleflight execution.
+type call struct {
+	done    chan struct{}
+	val     any
+	err     error
+	waiters int // goroutines sharing this call, beyond the leader
+}
+
+// Group deduplicates concurrent work by key: while one goroutine runs fn
+// for a key, every other Do with the same key blocks and then shares the
+// first call's result instead of re-running fn. Distinct keys never block
+// each other. The zero Group is ready to use.
+//
+// This is the standard singleflight shape (hand-rolled: the module is
+// stdlib-only), with one deviation: a panicking fn releases its waiters
+// with a typed error before the panic propagates to fn's own caller, so a
+// contained solver bug cannot strand a herd of requests.
+type Group struct {
+	mu    sync.Mutex
+	calls map[Key]*call
+}
+
+// Do runs fn for key, deduplicating against concurrent calls with the
+// same key. It returns fn's results and whether they were shared from
+// another goroutine's execution (true for every caller that did not run
+// fn itself). Results are handed to callers by value and never retained;
+// a Do that starts after a previous call for the key completed runs fn
+// again (caching completed results is the Cache's job, not the Group's).
+func (g *Group) Do(key Key, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[Key]*call)
+	}
+	if c, ok := g.calls[key]; ok {
+		c.waiters++ // the commit point: this caller now shares c's result
+		g.mu.Unlock()
+		<-c.done
+		return c.val, c.err, true
+	}
+	c := &call{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	completed := false
+	defer func() {
+		if !completed {
+			// fn panicked: the panic propagates to our caller, but the
+			// waiters must not hang on a channel nobody will close.
+			c.err = fmt.Errorf("sapcache: singleflight leader panicked")
+		}
+		g.mu.Lock()
+		delete(g.calls, key)
+		g.mu.Unlock()
+		close(c.done)
+	}()
+	c.val, c.err = fn()
+	completed = true
+	return c.val, c.err, false
+}
+
+// numWaiters reports how many goroutines are sharing the in-flight call
+// for key (0 when none is in flight). Tests use it to sequence a herd
+// deterministically before releasing the leader.
+func (g *Group) numWaiters(key Key) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c, ok := g.calls[key]; ok {
+		return c.waiters
+	}
+	return 0
+}
