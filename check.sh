@@ -4,6 +4,7 @@
 #
 #   ./check.sh         full gate
 #   ./check.sh bench   pinned benchmark subset vs committed BENCH.json
+#   ./check.sh alloc   alloc-budget tests + allocs/op regression gate
 #   ./check.sh robust  fault-injection + cancellation suites under -race
 #   ./check.sh cover   coverage run with the ratcheted floor (COVER_FLOOR)
 #   ./check.sh fuzz    30s smoke of the pinned fuzz targets
@@ -17,8 +18,24 @@ COVER_FLOOR=80.2
 
 if [ "$1" = "bench" ]; then
     echo "== bench regression gate (BENCH.json) =="
-    go run ./cmd/sapbench -json -out BENCH.fresh.json -baseline BENCH.json -maxregress 0.30
+    go run ./cmd/sapbench -json -out BENCH.fresh.json -baseline BENCH.json -maxregress 0.30 -maxallocregress 0.10
     echo "BENCH GATE PASSED (fresh report in BENCH.fresh.json)"
+    exit 0
+fi
+
+if [ "$1" = "alloc" ]; then
+    # Two layers: explicit testing.AllocsPerRun budgets on the arena-backed
+    # hot paths (exact numbers, fail fast), then the allocs/op side of the
+    # BENCH.json gate (end-to-end counts on the pinned subset). Allocation
+    # counts are machine-independent, so the 10% threshold needs no
+    # calibration.
+    echo "== alloc budgets (testing.AllocsPerRun) =="
+    go test -count=1 -run 'TestAllocs' \
+        ./internal/intervals/ ./internal/exact/ ./internal/largesap/ \
+        ./internal/chendp/ ./internal/mediumsap/ ./internal/core/
+    echo "== allocs/op regression gate (BENCH.json) =="
+    go run ./cmd/sapbench -json -out BENCH.fresh.json -baseline BENCH.json -maxregress 1000 -maxallocregress 0.10
+    echo "ALLOC GATE PASSED (fresh report in BENCH.fresh.json)"
     exit 0
 fi
 
@@ -47,6 +64,7 @@ if [ "$1" = "fuzz" ]; then
     echo "== fuzz smoke (${fuzztime} per target) =="
     go test -run '^$' -fuzz '^FuzzSolveSmallSAP$' -fuzztime "$fuzztime" ./internal/smallsap/
     go test -run '^$' -fuzz '^FuzzCoreSolve$' -fuzztime "$fuzztime" ./internal/core/
+    go test -run '^$' -fuzz '^FuzzScratchReuse$' -fuzztime "$fuzztime" ./internal/exact/
     go test -run '^$' -fuzz '^FuzzValidateHardened$' -fuzztime "$fuzztime" ./internal/model/
     go test -run '^$' -fuzz '^FuzzReadInstanceJSON$' -fuzztime "$fuzztime" ./internal/model/
     go test -run '^$' -fuzz '^FuzzReadSolutionJSON$' -fuzztime "$fuzztime" ./internal/model/

@@ -107,6 +107,53 @@ func (r Regression) String() string {
 		r.Name, r.BaselineNs, r.FreshNs, r.Ratio)
 }
 
+// AllocRegression is one benchmark whose allocs/op grew beyond the gate.
+type AllocRegression struct {
+	Name                        string
+	BaselineAllocs, FreshAllocs int64
+}
+
+func (r AllocRegression) String() string {
+	return fmt.Sprintf("%s: %d allocs/op -> %d allocs/op (%.2fx)",
+		r.Name, r.BaselineAllocs, r.FreshAllocs,
+		float64(r.FreshAllocs)/float64(r.BaselineAllocs))
+}
+
+// allocSlack is the absolute allocs/op headroom of CompareAllocs: entries
+// with tiny counts (a report struct more or less) jitter by a handful of
+// allocations run to run, which a purely fractional threshold would flag.
+const allocSlack = 32
+
+// CompareAllocs reports every benchmark present in both reports whose
+// allocs/op grew by more than maxRegress (0.10 = +10%) plus an absolute
+// slack of allocSlack allocations. Unlike ns/op, allocation counts are
+// machine-independent — no calibration applies and the threshold can be an
+// order of magnitude tighter. The gate is the ratchet that keeps the
+// arena-backed hot path allocation-free: reintroducing per-state or
+// per-node allocations multiplies these counts, it does not nudge them.
+func CompareAllocs(baseline, fresh *Report, maxRegress float64) []AllocRegression {
+	var out []AllocRegression
+	for _, b := range baseline.Entries {
+		if b.Name == CalibrationName {
+			continue
+		}
+		f, ok := fresh.Entry(b.Name)
+		if !ok {
+			continue
+		}
+		limit := int64(float64(b.AllocsPerOp)*(1+maxRegress)) + allocSlack
+		if f.AllocsPerOp > limit {
+			out = append(out, AllocRegression{Name: b.Name, BaselineAllocs: b.AllocsPerOp, FreshAllocs: f.AllocsPerOp})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ri := float64(out[i].FreshAllocs) / float64(out[i].BaselineAllocs+1)
+		rj := float64(out[j].FreshAllocs) / float64(out[j].BaselineAllocs+1)
+		return ri > rj
+	})
+	return out
+}
+
 // Compare reports every benchmark present in both reports whose calibrated
 // cost grew by more than maxRegress (0.30 = +30%). Benchmarks only present
 // on one side are ignored — adding or retiring a benchmark is not a

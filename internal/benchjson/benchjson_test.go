@@ -80,3 +80,29 @@ func TestCompareSortsWorstFirst(t *testing.T) {
 		t.Fatalf("want b (3x) first, got %v", regs)
 	}
 }
+
+func TestCompareAllocsGate(t *testing.T) {
+	// Within the 10% + absolute-slack envelope: small counts may jitter by
+	// a few allocations without tripping the gate.
+	base := report(0, Entry{Name: "a", AllocsPerOp: 100}, Entry{Name: "b", AllocsPerOp: 10000})
+	ok := report(0, Entry{Name: "a", AllocsPerOp: 130}, Entry{Name: "b", AllocsPerOp: 10500})
+	if regs := CompareAllocs(base, ok, 0.10); len(regs) != 0 {
+		t.Fatalf("within-envelope growth flagged: %v", regs)
+	}
+	// A hot path regressing to per-state allocation multiplies the count.
+	bad := report(0, Entry{Name: "a", AllocsPerOp: 500}, Entry{Name: "b", AllocsPerOp: 12000})
+	regs := CompareAllocs(base, bad, 0.10)
+	if len(regs) != 2 || regs[0].Name != "a" {
+		t.Fatalf("want both flagged, worst (a, 5x) first, got %v", regs)
+	}
+}
+
+func TestCompareAllocsIgnoresCalibrationAndMissing(t *testing.T) {
+	base := report(0, Entry{Name: "retired", AllocsPerOp: 1})
+	base.Entries = append(base.Entries, Entry{Name: CalibrationName, AllocsPerOp: 0})
+	fresh := report(0, Entry{Name: "new", AllocsPerOp: 1000000})
+	fresh.Entries = append(fresh.Entries, Entry{Name: CalibrationName, AllocsPerOp: 1000})
+	if regs := CompareAllocs(base, fresh, 0.10); len(regs) != 0 {
+		t.Fatalf("calibration/disjoint entries should not regress: %v", regs)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"testing"
 
+	"sapalloc/internal/chendp"
 	"sapalloc/internal/core"
 	"sapalloc/internal/gen"
 	"sapalloc/internal/largesap"
@@ -11,6 +12,7 @@ import (
 	"sapalloc/internal/par"
 	"sapalloc/internal/ringsap"
 	"sapalloc/internal/smallsap"
+	"sapalloc/internal/ufppfull"
 )
 
 // The pinned quick subset. Workloads are fixed-seed so every run measures
@@ -112,6 +114,28 @@ func Run(verbose func(string)) (*Report, error) {
 	if w4.NsPerOp > 0 {
 		rep.Speedups["E11Combined/workers=4"] = w1.NsPerOp / w4.NsPerOp
 	}
+
+	// Regression anchors for the slab-backed DP loops: the Chen DP keeps
+	// its states, placements and keys in arena slabs, and the UFPP pipeline
+	// reuses per-arm arenas across its class fan-outs. Their allocs/op are
+	// pinned here so CompareAllocs catches a return to per-state maps.
+	e18 := gen.Random(gen.Config{Seed: 15, Edges: 10, Tasks: 20, CapLo: 16, CapHi: 17, Class: gen.Large})
+	run("E18ChenDP", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, err := chendp.Solve(e18, chendp.Options{})
+			check(err)
+		}
+	})
+
+	e22 := gen.Random(gen.Config{Seed: 23, Edges: 8, Tasks: 36, CapLo: 64, CapHi: 257, Class: gen.Mixed})
+	run("E22UFPPFull", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, err := ufppfull.Solve(e22, ufppfull.Params{})
+			check(err)
+		}
+	})
 
 	ring := gen.Ring(11, 8, 10, 64, 257)
 	run("E12Ring", func(b *testing.B) {

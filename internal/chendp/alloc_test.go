@@ -1,0 +1,38 @@
+package chendp_test
+
+import (
+	"context"
+	"testing"
+
+	"sapalloc/internal/chendp"
+	"sapalloc/internal/gen"
+	"sapalloc/internal/scratch"
+)
+
+// TestAllocsSolveChenDP pins the allocation cost of the uniform-capacity DP:
+// states, placement blocks and encoded keys all live in arena-backed slabs,
+// with only the deduplication map inserting per *distinct* state key. The
+// budget is far below the per-state/per-placement allocation count of the
+// pre-slab implementation, so reintroducing either fails here.
+func TestAllocsSolveChenDP(t *testing.T) {
+	if scratch.RaceEnabled {
+		t.Skip("alloc counts are inflated under -race")
+	}
+	in := gen.Random(gen.Config{Seed: 17, Edges: 8, Tasks: 16, CapLo: 8, CapHi: 9, Class: gen.Large})
+	a := scratch.Get()
+	defer scratch.Put(a)
+	ctx := scratch.With(context.Background(), a)
+	f := func() {
+		a.Reset()
+		if _, err := chendp.SolveCtx(ctx, in, chendp.Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f() // warm arena chunks and size the state slab
+	got := testing.AllocsPerRun(20, f)
+	const budget = 400
+	t.Logf("chendp.SolveCtx/16tasks: %.1f allocs/op (budget %d)", got, budget)
+	if got > budget {
+		t.Errorf("chendp.SolveCtx/16tasks: %.1f allocs/op exceeds budget %d", got, budget)
+	}
+}

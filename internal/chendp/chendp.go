@@ -24,6 +24,7 @@ import (
 
 	"sapalloc/internal/model"
 	"sapalloc/internal/saperr"
+	"sapalloc/internal/scratch"
 )
 
 // MaxCapacity bounds the uniform capacity the DP accepts; beyond this the
@@ -50,21 +51,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// placement is an in-flight (task, height) pair, encoded per state.
+// placement is an in-flight (task, height) pair, encoded per state. Both
+// coordinates fit int32: SolveCtx rejects ≥ 2^23 tasks and heights are
+// bounded by MaxCapacity.
 type placement struct {
-	task   int // index into in.Tasks
-	height int64
-}
-
-// stateKey canonically encodes a set of placements (sorted by task index).
-func stateKey(ps []placement) string {
-	buf := make([]byte, 0, len(ps)*6)
-	for _, p := range ps {
-		buf = append(buf,
-			byte(p.task), byte(p.task>>8), byte(p.task>>16),
-			byte(p.height), byte(p.height>>8), byte(p.height>>16))
-	}
-	return string(buf)
+	task   int32 // index into in.Tasks
+	height int32
 }
 
 // Solve computes an optimal SAP solution for a uniform-capacity instance
@@ -91,98 +83,184 @@ func SolveCtx(ctx context.Context, in *model.Instance, opts Options) (*model.Sol
 	if len(in.Tasks) >= 1<<23 {
 		return nil, fmt.Errorf("%w: too many tasks", ErrUnsupported)
 	}
+	return solveDP(ctx, in, opts)
+}
 
-	startAt := make([][]int, in.Edges())
-	for i, t := range in.Tasks {
-		if t.Demand > k {
-			continue // can never be scheduled
+// dpState is one DP state in the append-only slab: accumulated weight, a
+// link to the predecessor state at the previous edge (-1 for the virtual
+// root) and this state's placements as a window into the shared placement
+// slab. Replacing the per-edge trace maps with the slab removes the DP's
+// per-edge allocations; reconstruction is a predecessor walk.
+type dpState struct {
+	weight  int64
+	prevIdx int32
+	psOff   int32
+	psCount int32
+}
+
+// solveDP is the shared DP engine behind SolveCtx and SolveNonUniformCtx
+// (uniform capacity is the special case where the per-edge crossing check
+// never fires). Callers have validated capacity and task-count bounds.
+//
+// The sweep is allocation-lean: the mask→state map is cleared per edge, not
+// reallocated; states grow in one slab; each terminal of the insertion
+// enumeration sorts its placements into a reused buffer by insertion sort
+// (task indices are unique, so the order is deterministic) and encodes the
+// key into a reused byte buffer. Equal-weight ties keep the first state
+// emitted — now a deterministic insertion order, where the former map
+// iteration was arbitrary.
+func solveDP(ctx context.Context, in *model.Instance, opts Options) (*model.Solution, error) {
+	edges := in.Edges()
+	a, release := scratch.Acquire(ctx)
+	defer release()
+	bot := in.BottleneckFunc()
+	// CSR layout of schedulable tasks by start edge (index order per edge,
+	// matching the former append order).
+	startOff := a.IntsZero(edges + 1)
+	eligible := 0
+	for _, t := range in.Tasks {
+		if t.Demand <= bot(t) {
+			startOff[t.Start+1]++
+			eligible++
 		}
-		startAt[t.Start] = append(startAt[t.Start], i)
 	}
-
-	type entry struct {
-		weight  int64
-		prevKey string
-		ps      []placement // the state's own placements (for reconstruction)
+	for e := 0; e < edges; e++ {
+		startOff[e+1] += startOff[e]
 	}
-	cur := map[string]entry{"": {}}
-	// trace[e] holds the state maps per edge for reconstruction.
-	trace := make([]map[string]entry, in.Edges())
-
-	for e := 0; e < in.Edges(); e++ {
+	startFlat := a.Ints(eligible)
+	fill := a.Ints(edges)
+	copy(fill, startOff[:edges])
+	for i, t := range in.Tasks {
+		if t.Demand <= bot(t) {
+			startFlat[fill[t.Start]] = i
+			fill[t.Start]++
+		}
+	}
+	// Every placement occupies at least one of an edge's ≤ MaxCapacity
+	// cells, so a state never holds more than maxK placements.
+	maxK := int(in.MaxCapacity())
+	psBuf := make([]placement, 0, maxK)
+	sortBuf := make([]placement, maxK)
+	keyBuf := make([]byte, 0, maxK*6)
+	states := make([]dpState, 1, 256)
+	states[0] = dpState{prevIdx: -1} // virtual root before edge 0
+	var psSlab []placement
+	idx := make(map[string]int32, 64)
+	// State under expansion, hoisted so the recursive closure is allocated
+	// once per solve instead of once per state.
+	var (
+		stStarters []int
+		stWeight   int64
+		stPrev     int32
+		ce         int64 // capacity of the edge being swept
+	)
+	emit := func(ps []placement, addW int64) {
+		sorted := sortBuf[:len(ps)]
+		copy(sorted, ps)
+		for i := 1; i < len(sorted); i++ {
+			v := sorted[i]
+			j := i - 1
+			for j >= 0 && sorted[j].task > v.task {
+				sorted[j+1] = sorted[j]
+				j--
+			}
+			sorted[j+1] = v
+		}
+		keyBuf = keyBuf[:0]
+		for _, p := range sorted {
+			keyBuf = append(keyBuf,
+				byte(p.task), byte(p.task>>8), byte(p.task>>16),
+				byte(p.height), byte(p.height>>8), byte(p.height>>16))
+		}
+		w := stWeight + addW
+		if j, ok := idx[string(keyBuf)]; ok {
+			// Same key ⇒ same placement set; only the route differs.
+			if w > states[j].weight {
+				states[j].weight = w
+				states[j].prevIdx = stPrev
+			}
+			return
+		}
+		off := int32(len(psSlab))
+		psSlab = append(psSlab, sorted...)
+		idx[string(keyBuf)] = int32(len(states))
+		states = append(states, dpState{weight: w, prevIdx: stPrev, psOff: off, psCount: int32(len(sorted))})
+	}
+	var insert func(si int, ps []placement, occNow uint32, addW int64)
+	insert = func(si int, ps []placement, occNow uint32, addW int64) {
+		if si == len(stStarters) {
+			emit(ps, addW)
+			return
+		}
+		// Skip this starter.
+		insert(si+1, ps, occNow, addW)
+		// Place it at every free height.
+		ti := stStarters[si]
+		d := in.Tasks[ti].Demand
+		var block uint32 = (1 << uint(d)) - 1
+		for h := int64(0); h+d <= ce; h++ {
+			if occNow&(block<<uint(h)) == 0 {
+				insert(si+1, append(ps, placement{task: int32(ti), height: int32(h)}),
+					occNow|(block<<uint(h)), addW+in.Tasks[ti].Weight)
+			}
+		}
+	}
+	curLo, curHi := 0, 1
+	for e := 0; e < edges; e++ {
 		if err := saperr.FromContext(ctx); err != nil {
 			return nil, err
 		}
-		next := make(map[string]entry, len(cur))
-		for key, ent := range cur {
-			// Drop tasks ending at vertex e.
-			kept := make([]placement, 0, len(ent.ps))
-			for _, p := range ent.ps {
-				if in.Tasks[p.task].End > e {
-					kept = append(kept, p)
-				}
-			}
-			// Free-cell mask of the kept placements.
+		ce = in.Capacity[e]
+		stStarters = startFlat[startOff[e]:startOff[e+1]]
+		clear(idx)
+		for si := curLo; si < curHi; si++ {
+			ent := states[si]
+			// Drop tasks ending at vertex e; crossing tasks must fit under
+			// this edge's capacity too (vacuous on uniform instances).
+			kept := psBuf[:0]
 			var occ uint32
-			for _, p := range kept {
-				for c := p.height; c < p.height+in.Tasks[p.task].Demand; c++ {
+			ok := true
+			for _, p := range psSlab[ent.psOff : ent.psOff+ent.psCount] {
+				t := in.Tasks[p.task]
+				if t.End <= e {
+					continue
+				}
+				if int64(p.height)+t.Demand > ce {
+					ok = false
+					break
+				}
+				kept = append(kept, p)
+				for c := p.height; c < p.height+int32(t.Demand); c++ {
 					occ |= 1 << uint(c)
 				}
 			}
-			// Enumerate insertions of tasks starting at vertex e.
-			var insert func(idx int, ps []placement, occNow uint32, addW int64)
-			insert = func(idx int, ps []placement, occNow uint32, addW int64) {
-				if idx == len(startAt[e]) {
-					sorted := append([]placement(nil), ps...)
-					sort.Slice(sorted, func(a, b int) bool { return sorted[a].task < sorted[b].task })
-					nk := stateKey(sorted)
-					w := ent.weight + addW
-					if old, ok := next[nk]; !ok || w > old.weight {
-						next[nk] = entry{weight: w, prevKey: key, ps: sorted}
-					}
-					return
-				}
-				// Skip this starter.
-				insert(idx+1, ps, occNow, addW)
-				// Place it at every free height.
-				ti := startAt[e][idx]
-				d := in.Tasks[ti].Demand
-				var block uint32 = (1 << uint(d)) - 1
-				for h := int64(0); h+d <= k; h++ {
-					if occNow&(block<<uint(h)) == 0 {
-						insert(idx+1, append(ps, placement{task: ti, height: h}),
-							occNow|(block<<uint(h)), addW+in.Tasks[ti].Weight)
-					}
-				}
+			if !ok {
+				continue
 			}
+			stWeight, stPrev = ent.weight, int32(si)
 			insert(0, kept, occ, 0)
-			if len(next) > opts.MaxStates {
+			if len(idx) > opts.MaxStates {
 				return nil, fmt.Errorf("%w: more than %d states at edge %d", ErrTooManyStates, opts.MaxStates, e)
 			}
 		}
-		trace[e] = next
-		cur = next
+		curLo, curHi = curHi, len(states)
 	}
-
-	// Best final state; walk the trace back collecting placements. A task
-	// appears in the state of every edge it crosses with the same height,
-	// so collecting (task, height) pairs into a set suffices.
-	var bestKey string
+	// Best final state; walk the predecessor chain collecting placements. A
+	// task appears in the state of every edge it crosses with the same
+	// height, so collecting (task, height) pairs into a set suffices.
+	bestIdx := 0
 	var bestW int64 = -1
-	for key, ent := range cur {
-		if ent.weight > bestW {
-			bestW = ent.weight
-			bestKey = key
+	for i := curLo; i < curHi; i++ {
+		if states[i].weight > bestW {
+			bestW = states[i].weight
+			bestIdx = i
 		}
 	}
 	chosen := map[int]int64{}
-	key := bestKey
-	for e := in.Edges() - 1; e >= 0; e-- {
-		ent := trace[e][key]
-		for _, p := range ent.ps {
-			chosen[p.task] = p.height
+	for i := bestIdx; i >= 0; i = int(states[i].prevIdx) {
+		for _, p := range psSlab[states[i].psOff : states[i].psOff+states[i].psCount] {
+			chosen[int(p.task)] = int64(p.height)
 		}
-		key = ent.prevKey
 	}
 	sol := &model.Solution{}
 	ids := make([]int, 0, len(chosen))
@@ -218,103 +296,5 @@ func SolveNonUniformCtx(ctx context.Context, in *model.Instance, opts Options) (
 	if len(in.Tasks) >= 1<<23 {
 		return nil, fmt.Errorf("%w: too many tasks", ErrUnsupported)
 	}
-	startAt := make([][]int, in.Edges())
-	for i, t := range in.Tasks {
-		if t.Demand > in.Bottleneck(t) {
-			continue
-		}
-		startAt[t.Start] = append(startAt[t.Start], i)
-	}
-	type entry struct {
-		weight  int64
-		prevKey string
-		ps      []placement
-	}
-	cur := map[string]entry{"": {}}
-	trace := make([]map[string]entry, in.Edges())
-	for e := 0; e < in.Edges(); e++ {
-		if err := saperr.FromContext(ctx); err != nil {
-			return nil, err
-		}
-		ce := in.Capacity[e]
-		next := make(map[string]entry, len(cur))
-		for key, ent := range cur {
-			kept := make([]placement, 0, len(ent.ps))
-			ok := true
-			var occ uint32
-			for _, p := range ent.ps {
-				if in.Tasks[p.task].End <= e {
-					continue
-				}
-				// Crossing task must fit under this edge's capacity too.
-				if p.height+in.Tasks[p.task].Demand > ce {
-					ok = false
-					break
-				}
-				kept = append(kept, p)
-				for c := p.height; c < p.height+in.Tasks[p.task].Demand; c++ {
-					occ |= 1 << uint(c)
-				}
-			}
-			if !ok {
-				continue
-			}
-			var insert func(idx int, ps []placement, occNow uint32, addW int64)
-			insert = func(idx int, ps []placement, occNow uint32, addW int64) {
-				if idx == len(startAt[e]) {
-					sorted := append([]placement(nil), ps...)
-					sort.Slice(sorted, func(a, b int) bool { return sorted[a].task < sorted[b].task })
-					nk := stateKey(sorted)
-					w := ent.weight + addW
-					if old, exists := next[nk]; !exists || w > old.weight {
-						next[nk] = entry{weight: w, prevKey: key, ps: sorted}
-					}
-					return
-				}
-				insert(idx+1, ps, occNow, addW)
-				ti := startAt[e][idx]
-				d := in.Tasks[ti].Demand
-				var block uint32 = (1 << uint(d)) - 1
-				for h := int64(0); h+d <= ce; h++ {
-					if occNow&(block<<uint(h)) == 0 {
-						insert(idx+1, append(ps, placement{task: ti, height: h}),
-							occNow|(block<<uint(h)), addW+in.Tasks[ti].Weight)
-					}
-				}
-			}
-			insert(0, kept, occ, 0)
-			if len(next) > opts.MaxStates {
-				return nil, fmt.Errorf("%w: more than %d states at edge %d", ErrTooManyStates, opts.MaxStates, e)
-			}
-		}
-		trace[e] = next
-		cur = next
-	}
-	var bestKey string
-	var bestW int64 = -1
-	for key, ent := range cur {
-		if ent.weight > bestW {
-			bestW = ent.weight
-			bestKey = key
-		}
-	}
-	chosen := map[int]int64{}
-	key := bestKey
-	for e := in.Edges() - 1; e >= 0; e-- {
-		ent := trace[e][key]
-		for _, p := range ent.ps {
-			chosen[p.task] = p.height
-		}
-		key = ent.prevKey
-	}
-	sol := &model.Solution{}
-	ids := make([]int, 0, len(chosen))
-	for ti := range chosen {
-		ids = append(ids, ti)
-	}
-	sort.Ints(ids)
-	for _, ti := range ids {
-		sol.Items = append(sol.Items, model.Placement{Task: in.Tasks[ti], Height: chosen[ti]})
-	}
-	return sol, nil
+	return solveDP(ctx, in, opts)
 }

@@ -27,6 +27,7 @@ import (
 	"sapalloc/internal/obs"
 	"sapalloc/internal/par"
 	"sapalloc/internal/saperr"
+	"sapalloc/internal/scratch"
 	"sapalloc/internal/smallsap"
 )
 
@@ -219,9 +220,13 @@ func SolveCtx(ctx context.Context, in *model.Instance, p Params) (res *Result, e
 	// bug or corrupt sub-instance degrades that arm instead of the solve.
 	runArm := func(i int) (sol *model.Solution, degraded bool, err error) {
 		defer saperr.Contain(&err)
-		// Each arm gets its own trace track: the arms run concurrently, so
-		// sharing the parent's track would interleave their spans.
-		armCtx, endArm := obs.StartSpanTrack(ctx, armSpanNames[i])
+		// Each arm gets its own scratch arena (arenas are single-goroutine;
+		// the class fan-outs below shadow it again per worker) and its own
+		// trace track: the arms run concurrently, so sharing the parent's
+		// track would interleave their spans.
+		a := scratch.Get()
+		defer scratch.Put(a)
+		armCtx, endArm := obs.StartSpanTrack(scratch.With(ctx, a), armSpanNames[i])
 		defer endArm()
 		switch Arm(i) {
 		case ArmSmall:
@@ -261,7 +266,7 @@ func SolveCtx(ctx context.Context, in *model.Instance, p Params) (res *Result, e
 		elapsed  time.Duration
 		ran      bool
 	}
-	outs := make([]armOut, 3)
+	var outs [3]armOut
 	// Arm errors are collected in the slots, never returned through
 	// ForEachCtx: one arm failing must not abort its siblings.
 	_ = par.ForEachCtx(ctx, len(outs), p.Workers, func(i int) error {

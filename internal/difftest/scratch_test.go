@@ -1,0 +1,118 @@
+package difftest
+
+import (
+	"reflect"
+	"testing"
+
+	"sapalloc/internal/core"
+	"sapalloc/internal/ringsap"
+	"sapalloc/internal/scratch"
+)
+
+// dirtyArenaPool cycles a batch of arenas through the scratch pool, growing
+// chunks in every slab and filling them with garbage before Put (which, with
+// poisoning on, overwrites them with the sentinel pattern). Solves that
+// follow draw these dirtied arenas from the pool, so any code that assumes
+// zeroed or previous-run scratch contents produces a wrong answer instead of
+// silently passing on fresh memory.
+func dirtyArenaPool() {
+	arenas := make([]*scratch.Arena, 8)
+	for i := range arenas {
+		a := scratch.Get()
+		for _, n := range []int{64, 4096} {
+			s64 := a.Int64s(n)
+			for j := range s64 {
+				s64[j] = int64(j)*2654435761 + 40503
+			}
+			s32 := a.Int32s(n)
+			for j := range s32 {
+				s32[j] = int32(j*40503 + 7)
+			}
+			si := a.Ints(n)
+			for j := range si {
+				si[j] = j*65599 + 3
+			}
+			sb := a.Bools(n)
+			for j := range sb {
+				sb[j] = j%3 != 0
+			}
+			su := a.Uint64s(n)
+			for j := range su {
+				su[j] = uint64(j)*0x9E3779B97F4A7C15 + 1
+			}
+		}
+		arenas[i] = a
+	}
+	for _, a := range arenas {
+		scratch.Put(a)
+	}
+}
+
+// TestScratchReusePoisoning pins the scratch ownership contract end to end:
+// every path case is solved twice per Workers value through pooled solver
+// state, with the arena pool dirtied and poisoned between runs. Both runs
+// must be byte-identical to a fresh-state baseline solved with poisoning
+// off. A solver that reads scratch memory it never initialised (assuming
+// zeroed chunks), or that retains arena-backed memory across a Put, diverges
+// from the baseline here; with `go test -race` the matrix doubles as the
+// cross-goroutine-arena probe.
+func TestScratchReusePoisoning(t *testing.T) {
+	defer scratch.SetPoison(false)
+	for _, c := range PathCases() {
+		t.Run(c.Name, func(t *testing.T) {
+			scratch.SetPoison(false)
+			base, err := core.Solve(c.In, core.Params{Workers: 1})
+			if err != nil {
+				t.Fatalf("baseline: %v (replay: %s)", err, c.Replay)
+			}
+			stripTimings(base)
+			scratch.SetPoison(true)
+			for _, w := range []int{1, 2, 8} {
+				for run := 0; run < 2; run++ {
+					dirtyArenaPool()
+					got, err := core.Solve(c.In, core.Params{Workers: w})
+					if err != nil {
+						t.Fatalf("workers=%d run=%d: %v (replay: %s)", w, run, err, c.Replay)
+					}
+					stripTimings(got)
+					if !reflect.DeepEqual(got, base) {
+						t.Errorf("workers=%d run=%d: Result differs from fresh-state baseline (replay: %s)\n got: %+v\nwant: %+v",
+							w, run, c.Replay, got, base)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestScratchReusePoisoningRing is the ring-side twin of the poisoning
+// matrix: both reduction arms (cut-path and knapsack) of every ring case
+// must survive dirtied pooled arenas at every Workers value.
+func TestScratchReusePoisoningRing(t *testing.T) {
+	defer scratch.SetPoison(false)
+	for _, c := range RingCases() {
+		t.Run(c.Name, func(t *testing.T) {
+			scratch.SetPoison(false)
+			base, err := ringsap.Solve(c.Ring, ringsap.Params{Workers: 1})
+			if err != nil {
+				t.Fatalf("baseline: %v (replay: %s)", err, c.Replay)
+			}
+			stripTimings(base.PathDetail)
+			scratch.SetPoison(true)
+			for _, w := range []int{1, 2, 8} {
+				for run := 0; run < 2; run++ {
+					dirtyArenaPool()
+					got, err := ringsap.Solve(c.Ring, ringsap.Params{Workers: w})
+					if err != nil {
+						t.Fatalf("workers=%d run=%d: %v (replay: %s)", w, run, err, c.Replay)
+					}
+					stripTimings(got.PathDetail)
+					if !reflect.DeepEqual(got, base) {
+						t.Errorf("workers=%d run=%d: Result differs from fresh-state baseline (replay: %s)\n got: %+v\nwant: %+v",
+							w, run, c.Replay, got, base)
+					}
+				}
+			}
+		})
+	}
+}

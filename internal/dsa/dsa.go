@@ -70,24 +70,50 @@ type placed struct {
 	top        int64
 }
 
+// packer holds a first-fit packing in progress. The overlap and candidate
+// buffers are reused across placements so the per-task hot path does not
+// allocate; the former per-call sort.Slice is an insertion sort over plain
+// int64 heights (same order for any sort).
+type packer struct {
+	rects []placed
+	ov    []placed
+	cand  []int64
+}
+
+func newPacker(capHint int) *packer {
+	return &packer{rects: make([]placed, 0, capHint)}
+}
+
+func (p *packer) place(start, end int, bottom, top int64) {
+	p.rects = append(p.rects, placed{start: start, end: end, bottom: bottom, top: top})
+}
+
 // lowestFreeSlot returns the lowest height h ≥ 0 such that [h, h+demand)
 // does not intersect any placed rectangle whose interval overlaps
 // [start, end). Candidate heights are 0 and the tops of overlapping
 // rectangles, which is sufficient: the lowest feasible height is always one
 // of them.
-func lowestFreeSlot(rects []placed, start, end int, demand int64) int64 {
-	var overlapping []placed
-	for _, r := range rects {
+func (p *packer) lowestFreeSlot(start, end int, demand int64) int64 {
+	overlapping := p.ov[:0]
+	for _, r := range p.rects {
 		if r.start < end && start < r.end {
 			overlapping = append(overlapping, r)
 		}
 	}
-	candidates := make([]int64, 0, len(overlapping)+1)
-	candidates = append(candidates, 0)
+	candidates := append(p.cand[:0], 0)
 	for _, r := range overlapping {
 		candidates = append(candidates, r.top)
 	}
-	sort.Slice(candidates, func(i, j int) bool { return candidates[i] < candidates[j] })
+	for i := 1; i < len(candidates); i++ {
+		v := candidates[i]
+		j := i - 1
+		for j >= 0 && candidates[j] > v {
+			candidates[j+1] = candidates[j]
+			j--
+		}
+		candidates[j+1] = v
+	}
+	p.ov, p.cand = overlapping[:0], candidates[:0]
 	for _, h := range candidates {
 		ok := true
 		for _, r := range overlapping {
@@ -118,7 +144,7 @@ func PackStrip(tasks []model.Task, ceiling int64, ord Order) (sol *model.Solutio
 // partial packing is a feasible strip solution in its own right.
 func PackStripCtx(ctx context.Context, tasks []model.Task, ceiling int64, ord Order) (sol *model.Solution, dropped []model.Task) {
 	sol = &model.Solution{}
-	var rects []placed
+	pk := newPacker(len(tasks))
 	done := ctx.Done()
 	ordered := orderTasks(tasks, ord)
 	for i, t := range ordered {
@@ -130,12 +156,12 @@ func PackStripCtx(ctx context.Context, tasks []model.Task, ceiling int64, ord Or
 			dropped = append(dropped, t)
 			continue
 		}
-		h := lowestFreeSlot(rects, t.Start, t.End, t.Demand)
+		h := pk.lowestFreeSlot(t.Start, t.End, t.Demand)
 		if h+t.Demand > ceiling {
 			dropped = append(dropped, t)
 			continue
 		}
-		rects = append(rects, placed{start: t.Start, end: t.End, bottom: h, top: h + t.Demand})
+		pk.place(t.Start, t.End, h, h+t.Demand)
 		sol.Items = append(sol.Items, model.Placement{Task: t, Height: h})
 	}
 	return sol, dropped
@@ -146,11 +172,11 @@ func PackStripCtx(ctx context.Context, tasks []model.Task, ceiling int64, ord Or
 // objective). No task is ever dropped.
 func PackStripUnbounded(tasks []model.Task, ord Order) (*model.Solution, int64) {
 	sol := &model.Solution{}
-	var rects []placed
+	pk := newPacker(len(tasks))
 	var makespan int64
 	for _, t := range orderTasks(tasks, ord) {
-		h := lowestFreeSlot(rects, t.Start, t.End, t.Demand)
-		rects = append(rects, placed{start: t.Start, end: t.End, bottom: h, top: h + t.Demand})
+		h := pk.lowestFreeSlot(t.Start, t.End, t.Demand)
+		pk.place(t.Start, t.End, h, h+t.Demand)
 		sol.Items = append(sol.Items, model.Placement{Task: t, Height: h})
 		if h+t.Demand > makespan {
 			makespan = h + t.Demand
@@ -217,15 +243,15 @@ func Gravity(sol *model.Solution) *model.Solution {
 		return items[i].Task.ID < items[j].Task.ID
 	})
 	out := &model.Solution{Items: make([]model.Placement, 0, len(items))}
-	var rects []placed
+	pk := newPacker(len(items))
 	for _, p := range items {
-		h := lowestFreeSlot(rects, p.Task.Start, p.Task.End, p.Task.Demand)
+		h := pk.lowestFreeSlot(p.Task.Start, p.Task.End, p.Task.Demand)
 		if h > p.Height {
 			// Cannot happen (see package tests): keep the original height
 			// to preserve feasibility in the presence of ties.
 			h = p.Height
 		}
-		rects = append(rects, placed{start: p.Task.Start, end: p.Task.End, bottom: h, top: h + p.Task.Demand})
+		pk.place(p.Task.Start, p.Task.End, h, h+p.Task.Demand)
 		out.Items = append(out.Items, model.Placement{Task: p.Task, Height: h})
 	}
 	return out

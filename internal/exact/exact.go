@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 	"time"
 
@@ -24,6 +25,7 @@ import (
 	"sapalloc/internal/model"
 	"sapalloc/internal/par"
 	"sapalloc/internal/saperr"
+	"sapalloc/internal/scratch"
 )
 
 // ErrTooLarge is returned when an instance exceeds the exact solvers' size
@@ -57,17 +59,22 @@ func (a item) overlaps(b item) bool {
 	return false
 }
 
+// rect is a committed placement on the search stack. MaxTasks (62) keeps
+// itemIdx comfortably inside int32, shrinking the stack's footprint.
 type rect struct {
-	itemIdx int
+	itemIdx int32
 	bottom  int64
 	top     int64
 }
 
-// searcher is the shared branch-and-bound core.
+// searcher is the shared branch-and-bound core. All working buffers come
+// from a scratch.Arena owned by the enclosing solve, so steady-state
+// searches allocate nothing per node (and near-nothing per search).
 type searcher struct {
 	ctx     context.Context
 	items   []item
-	overlap [][]bool // precomputed pairwise path intersection
+	n       int
+	overlap []bool // n×n row-major pairwise path intersection
 
 	bestWeight  int64
 	bestHeights []int64 // per item, -1 = not scheduled
@@ -77,48 +84,64 @@ type searcher struct {
 	cancelled   bool
 
 	heights []int64 // working heights, -1 = unplaced
+	cand    []int64 // lowestSlot candidate buffer, cap n+1
+	placed  []rect  // shared placement stack, cap n
 }
 
-func newSearcher(ctx context.Context, items []item, maxNodes int64) *searcher {
+func newSearcher(ctx context.Context, items []item, maxNodes int64, a *scratch.Arena) *searcher {
 	n := len(items)
-	s := &searcher{ctx: ctx, items: items, maxNodes: maxNodes}
-	s.overlap = make([][]bool, n)
-	for i := range s.overlap {
-		s.overlap[i] = make([]bool, n)
-		for j := range s.overlap[i] {
+	s := &searcher{ctx: ctx, items: items, n: n, maxNodes: maxNodes}
+	s.overlap = a.BoolsZero(n * n)
+	for i := 0; i < n; i++ {
+		row := s.overlap[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
 			if i != j {
-				s.overlap[i][j] = items[i].overlaps(items[j])
+				row[j] = items[i].overlaps(items[j])
 			}
 		}
 	}
-	s.heights = make([]int64, n)
-	s.bestHeights = make([]int64, n)
+	s.heights = a.Int64s(n)
+	s.bestHeights = a.Int64s(n)
 	for i := range s.heights {
 		s.heights[i] = -1
 		s.bestHeights[i] = -1
 	}
+	s.cand = a.Int64s(n + 1)
+	s.placed = make([]rect, 0, n)
 	return s
 }
 
 // lowestSlot returns the lowest feasible height for item j given the placed
 // rectangles, or -1 when none exists. Candidates are 0 and the tops of
-// placed items whose paths intersect j's.
+// placed items whose paths intersect j's. This is the innermost hot path:
+// it runs once per (node, item) and must not allocate — candidates go into
+// the searcher's reusable buffer and are ordered by insertion sort (the
+// keys are plain int64 values, so any sort yields the same sequence).
 func (s *searcher) lowestSlot(j int, placed []rect) int64 {
 	it := s.items[j]
-	candidates := []int64{0}
+	row := s.overlap[j*s.n : (j+1)*s.n]
+	cand := append(s.cand[:0], 0)
 	for _, r := range placed {
-		if s.overlap[j][r.itemIdx] {
-			candidates = append(candidates, r.top)
+		if row[r.itemIdx] {
+			cand = append(cand, r.top)
 		}
 	}
-	sort.Slice(candidates, func(a, b int) bool { return candidates[a] < candidates[b] })
-	for _, h := range candidates {
+	for i := 1; i < len(cand); i++ {
+		v := cand[i]
+		k := i - 1
+		for k >= 0 && cand[k] > v {
+			cand[k+1] = cand[k]
+			k--
+		}
+		cand[k+1] = v
+	}
+	for _, h := range cand {
 		if h+it.demand > it.cap {
 			continue // candidates are ascending; later ones are worse
 		}
 		ok := true
 		for _, r := range placed {
-			if s.overlap[j][r.itemIdx] && h < r.top && r.bottom < h+it.demand {
+			if row[r.itemIdx] && h < r.top && r.bottom < h+it.demand {
 				ok = false
 				break
 			}
@@ -139,8 +162,7 @@ func (s *searcher) run() {
 	// Seed the incumbent with a greedy packing (weight-descending first
 	// fit) so the bound prunes early.
 	s.greedySeed()
-	var placed []rect
-	s.rec(full, placed, 0)
+	s.rec(full, s.placed[:0], 0)
 }
 
 func (s *searcher) greedySeed() {
@@ -149,22 +171,22 @@ func (s *searcher) greedySeed() {
 	for i := range order {
 		order[i] = i
 	}
+	// sort.Slice stays here deliberately: the comparator is not a total
+	// order (equal weights tie arbitrarily) and budget-truncated searches
+	// make the seed's tie order output-affecting, so swapping in a
+	// different sort would silently change pinned outputs. It runs once
+	// per search, not per node.
 	sort.Slice(order, func(a, b int) bool { return s.items[order[a]].weight > s.items[order[b]].weight })
-	var placed []rect
+	placed := s.placed[:0]
 	var w int64
-	heights := make([]int64, n)
-	for i := range heights {
-		heights[i] = -1
-	}
 	for _, j := range order {
 		if h := s.lowestSlot(j, placed); h >= 0 {
-			placed = append(placed, rect{itemIdx: j, bottom: h, top: h + s.items[j].demand})
-			heights[j] = h
+			placed = append(placed, rect{itemIdx: int32(j), bottom: h, top: h + s.items[j].demand})
+			s.bestHeights[j] = h
 			w += s.items[j].weight
 		}
 	}
 	s.bestWeight = w
-	copy(s.bestHeights, heights)
 }
 
 // rec explores placements. remaining is the bitmask of items not yet placed
@@ -198,7 +220,7 @@ func (s *searcher) rec(remaining uint64, placed []rect, cur int64) {
 	// Upper bound: current + everything remaining.
 	var rem int64
 	for m := remaining; m != 0; m &= m - 1 {
-		j := trailingZeros(m)
+		j := bits.TrailingZeros64(m)
 		rem += s.items[j].weight
 	}
 	if cur+rem <= s.bestWeight {
@@ -207,7 +229,7 @@ func (s *searcher) rec(remaining uint64, placed []rect, cur int64) {
 	// Branch on which remaining item is placed next, at its lowest slot.
 	// The nondecreasing-height exchange argument makes this complete.
 	for m := remaining; m != 0; m &= m - 1 {
-		j := trailingZeros(m)
+		j := bits.TrailingZeros64(m)
 		if s.exhausted || s.cancelled {
 			return
 		}
@@ -223,20 +245,11 @@ func (s *searcher) rec(remaining uint64, placed []rect, cur int64) {
 			continue
 		}
 		s.heights[j] = h
-		placed = append(placed, rect{itemIdx: j, bottom: h, top: h + s.items[j].demand})
+		placed = append(placed, rect{itemIdx: int32(j), bottom: h, top: h + s.items[j].demand})
 		s.rec(remaining&^(1<<uint(j)), placed, cur+s.items[j].weight)
 		placed = placed[:len(placed)-1]
 		s.heights[j] = -1
 	}
-}
-
-func trailingZeros(m uint64) int {
-	n := 0
-	for m&1 == 0 {
-		m >>= 1
-		n++
-	}
-	return n
 }
 
 // Options configures the exact solvers.
@@ -257,13 +270,12 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// edgeBits builds an edge bitset for the half-open range [start, end).
-func edgeBits(words, start, end int) []uint64 {
-	bits := make([]uint64, words)
+// edgeBits fills an edge bitset (assumed zeroed) for the half-open range
+// [start, end). Callers hand it a scratch-backed word slice.
+func edgeBits(dst []uint64, start, end int) {
 	for e := start; e < end; e++ {
-		bits[e/64] |= 1 << (uint(e) % 64)
+		dst[e/64] |= 1 << (uint(e) % 64)
 	}
-	return bits
 }
 
 // SolveSAP computes an optimal SAP solution by branch and bound. Instances
@@ -288,17 +300,22 @@ func SolveSAPCtx(ctx context.Context, in *model.Instance, opts Options) (*model.
 	if n > MaxTasks {
 		return nil, fmt.Errorf("%w: %d tasks (max %d)", ErrTooLarge, n, MaxTasks)
 	}
+	a, release := scratch.Acquire(ctx)
+	defer release()
 	words := in.Edges()/64 + 1
+	backing := a.Uint64sZero(n * words)
 	items := make([]item, n)
 	for i, t := range in.Tasks {
+		bits := backing[i*words : (i+1)*words]
+		edgeBits(bits, t.Start, t.End)
 		items[i] = item{
-			edges:  edgeBits(words, t.Start, t.End),
+			edges:  bits,
 			demand: t.Demand,
 			weight: t.Weight,
 			cap:    in.Bottleneck(t),
 		}
 	}
-	s := newSearcher(ctx, items, opts.MaxNodes)
+	s := newSearcher(ctx, items, opts.MaxNodes, a)
 	s.run()
 	sol := &model.Solution{}
 	for i, h := range s.bestHeights {
@@ -334,19 +351,23 @@ func SolveUFPPCtx(ctx context.Context, in *model.Instance, opts Options) ([]mode
 	if n > MaxTasks {
 		return nil, fmt.Errorf("%w: %d tasks (max %d)", ErrTooLarge, n, MaxTasks)
 	}
-	// Order by weight descending for good incumbents early.
-	order := make([]int, n)
+	sc, release := scratch.Acquire(ctx)
+	defer release()
+	// Order by weight descending for good incumbents early. As in
+	// greedySeed, sort.Slice stays: the comparator ties arbitrarily on
+	// equal weights and budget-truncated searches expose that order.
+	order := sc.Ints(n)
 	for i := range order {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool { return in.Tasks[order[a]].Weight > in.Tasks[order[b]].Weight })
-	suffix := make([]int64, n+1)
+	suffix := sc.Int64sZero(n + 1)
 	for i := n - 1; i >= 0; i-- {
 		suffix[i] = suffix[i+1] + in.Tasks[order[i]].Weight
 	}
-	load := make([]int64, in.Edges())
-	taken := make([]bool, n)
-	bestTaken := make([]bool, n)
+	load := sc.Int64sZero(in.Edges())
+	taken := sc.BoolsZero(n)
+	bestTaken := sc.BoolsZero(n)
 	var best int64 = -1
 	var nodes int64
 	exhausted := false
@@ -452,6 +473,12 @@ func SolveRingSAPCtx(ctx context.Context, r *model.RingInstance, opts Options) (
 	// completed before a cancellation.
 	outs := make([]maskOut, 1<<uint(n))
 	err := par.ForEachCtx(ctx, 1<<uint(n), 0, func(mask int) error {
+		// Arenas are single-goroutine: each orientation mask runs on a
+		// pool worker, so it takes its own pooled arena rather than any
+		// arena attached to the shared ctx.
+		a := scratch.Get()
+		defer scratch.Put(a)
+		backing := a.Uint64sZero(n * words)
 		items := make([]item, n)
 		orients := make([]model.Orientation, n)
 		for i, t := range r.Tasks {
@@ -460,7 +487,7 @@ func SolveRingSAPCtx(ctx context.Context, r *model.RingInstance, opts Options) (
 				o = model.CounterClockwise
 			}
 			orients[i] = o
-			bits := make([]uint64, words)
+			bits := backing[i*words : (i+1)*words]
 			r.ForEachArcEdge(t, o, func(e int) bool {
 				bits[e/64] |= 1 << (uint(e) % 64)
 				return true
@@ -468,7 +495,7 @@ func SolveRingSAPCtx(ctx context.Context, r *model.RingInstance, opts Options) (
 			from, to := t.ArcEndpoints(o)
 			items[i] = item{edges: bits, demand: t.Demand, weight: t.Weight, cap: capIx.ArcMin(from, to)}
 		}
-		s := newSearcher(ctx, items, opts.MaxNodes/int64(1<<uint(n))+1)
+		s := newSearcher(ctx, items, opts.MaxNodes/int64(1<<uint(n))+1, a)
 		s.run()
 		sol := &model.RingSolution{}
 		for i, h := range s.bestHeights {

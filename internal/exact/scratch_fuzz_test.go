@@ -1,0 +1,86 @@
+package exact_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"sapalloc/internal/exact"
+	"sapalloc/internal/gen"
+	"sapalloc/internal/oracle"
+	"sapalloc/internal/scratch"
+)
+
+// FuzzScratchReuse solves two independently generated instances
+// back-to-back through ONE scratch arena — the ctx-attached form every
+// fan-out worker hands down — with poisoning on, and oracle-checks both
+// solutions. Each solve must also be byte-identical to a fresh-state
+// reference computed before the arena was ever touched. Pool-contamination
+// bugs — stale DP state, un-reset bitmask backing, arena memory escaping
+// into a returned Solution — surface here and in the CI fuzz-smoke job.
+func FuzzScratchReuse(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint8(4), uint8(7))
+	f.Add(uint64(3), uint64(3), uint8(1), uint8(1))
+	f.Add(uint64(31337), uint64(99), uint8(8), uint8(10))
+	f.Add(uint64(987654321), uint64(123456789), uint8(6), uint8(5))
+	f.Fuzz(func(t *testing.T, seedA, seedB uint64, edgesRaw, tasksRaw uint8) {
+		cfgA := gen.Config{
+			Seed:  int64(seedA % (1 << 62)),
+			Edges: int(edgesRaw%8) + 1,
+			Tasks: int(tasksRaw%10) + 1,
+			CapLo: 8, CapHi: 129,
+			Class: gen.Class(seedA % 4),
+		}
+		cfgB := gen.Config{
+			Seed:  int64(seedB % (1 << 62)),
+			Edges: int(edgesRaw%6) + 1,
+			Tasks: int(tasksRaw%8) + 1,
+			CapLo: 8, CapHi: 129,
+			Class: gen.Class(seedB % 4),
+		}
+		inA, inB := gen.Random(cfgA), gen.Random(cfgB)
+
+		// Fresh-state references, solved before the shared arena exists and
+		// with poisoning off.
+		wantA, err := exact.SolveSAP(inA, exact.Options{})
+		if err != nil {
+			t.Fatalf("[replay: %s] reference solve A: %v", cfgA.Replay(), err)
+		}
+		wantB, err := exact.SolveSAP(inB, exact.Options{})
+		if err != nil {
+			t.Fatalf("[replay: %s] reference solve B: %v", cfgB.Replay(), err)
+		}
+
+		scratch.SetPoison(true)
+		defer scratch.SetPoison(false)
+		a := scratch.Get()
+		defer scratch.Put(a)
+		ctx := scratch.With(context.Background(), a)
+
+		// No Reset between the two solves: the second bumps past the first
+		// one's live slices, the worst case for stale-read assumptions.
+		solA, err := exact.SolveSAPCtx(ctx, inA, exact.Options{})
+		if err != nil {
+			t.Fatalf("[replay: %s] arena solve A: %v", cfgA.Replay(), err)
+		}
+		if err := oracle.CheckSAP(inA, solA); err != nil {
+			t.Fatalf("[replay: %s] arena solve A: %v", cfgA.Replay(), err)
+		}
+		solB, err := exact.SolveSAPCtx(ctx, inB, exact.Options{})
+		if err != nil {
+			t.Fatalf("[replay: %s] arena solve B: %v", cfgB.Replay(), err)
+		}
+		if err := oracle.CheckSAP(inB, solB); err != nil {
+			t.Fatalf("[replay: %s] arena solve B: %v", cfgB.Replay(), err)
+		}
+
+		if !reflect.DeepEqual(solA, wantA) {
+			t.Fatalf("[replay: %s] arena solve A differs from fresh-state reference\n got: %+v\nwant: %+v",
+				cfgA.Replay(), solA, wantA)
+		}
+		if !reflect.DeepEqual(solB, wantB) {
+			t.Fatalf("[replay: %s] arena solve B differs from fresh-state reference\n got: %+v\nwant: %+v",
+				cfgB.Replay(), solB, wantB)
+		}
+	})
+}

@@ -1,0 +1,55 @@
+package intervals_test
+
+import (
+	"testing"
+
+	"sapalloc/internal/intervals"
+	"sapalloc/internal/scratch"
+)
+
+// Alloc budgets for the segment-tree hot path. The tree is rebuilt from a
+// scratch arena every solve, so the build must cost exactly one allocation
+// (the SegTree header) once the arena's chunks are warm, and the
+// update/query sweep must cost none. Budgets are exact: a regression that
+// reintroduces per-call slice or node allocations fails here before it
+// shows up in the benchmark gate.
+
+func TestAllocsSegTreeBuild(t *testing.T) {
+	if scratch.RaceEnabled {
+		t.Skip("alloc counts are inflated under -race")
+	}
+	a := scratch.Get()
+	defer scratch.Put(a)
+	const n = 1024
+	a.Reset()
+	intervals.NewSegTreeIn(a, n) // warm the arena chunks
+	got := testing.AllocsPerRun(100, func() {
+		a.Reset()
+		intervals.NewSegTreeIn(a, n)
+	})
+	if got > 1 {
+		t.Errorf("NewSegTreeIn(a, %d): %.1f allocs/op, budget 1 (the SegTree header)", n, got)
+	}
+}
+
+func TestAllocsSegTreeSweep(t *testing.T) {
+	if scratch.RaceEnabled {
+		t.Skip("alloc counts are inflated under -race")
+	}
+	a := scratch.Get()
+	defer scratch.Put(a)
+	const n = 1024
+	tree := intervals.NewSegTreeIn(a, n)
+	got := testing.AllocsPerRun(100, func() {
+		for i := 0; i < n-8; i += 7 {
+			tree.Add(i, i+8, int64(i))
+			if tree.Max(i, i+8) < 0 {
+				t.Fatal("unreachable")
+			}
+			tree.Assign(i, i+4, int64(i))
+		}
+	})
+	if got > 0 {
+		t.Errorf("segtree Add/Assign/Max sweep: %.1f allocs/op, budget 0", got)
+	}
+}

@@ -6,7 +6,9 @@
 package intervals
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -50,11 +52,13 @@ func MaxOverlap(ivs []Interval) int {
 	for _, iv := range ivs {
 		events = append(events, ev{iv.Start, +1}, ev{iv.End, -1})
 	}
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].x != events[j].x {
-			return events[i].x < events[j].x
+	// The generic sort avoids sort.Slice's reflection allocation; events
+	// with equal (x, delta) are interchangeable, so instability is fine.
+	slices.SortFunc(events, func(p, q ev) int {
+		if p.x != q.x {
+			return cmp.Compare(p.x, q.x)
 		}
-		return events[i].delta < events[j].delta // close before open at same x
+		return cmp.Compare(p.delta, q.delta) // close before open at same x
 	})
 	cur, best := 0, 0
 	for _, e := range events {
@@ -77,11 +81,11 @@ func WeightedMaxOverlap(ivs []Interval, weights []int64) int64 {
 	for i, iv := range ivs {
 		events = append(events, ev{iv.Start, weights[i]}, ev{iv.End, -weights[i]})
 	}
-	sort.Slice(events, func(i, j int) bool {
-		if events[i].x != events[j].x {
-			return events[i].x < events[j].x
+	slices.SortFunc(events, func(p, q ev) int {
+		if p.x != q.x {
+			return cmp.Compare(p.x, q.x)
 		}
-		return events[i].delta < events[j].delta
+		return cmp.Compare(p.delta, q.delta)
 	})
 	var cur, best int64
 	for _, e := range events {

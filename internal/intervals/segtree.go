@@ -4,6 +4,7 @@ import (
 	"errors"
 
 	"sapalloc/internal/obs"
+	"sapalloc/internal/scratch"
 )
 
 // ErrBounds is the sentinel behind every bounds panic of this package.
@@ -85,6 +86,33 @@ func NewSegTree(n int) *SegTree {
 		addv: make([]int64, 2*size),
 		setv: make([]int64, 2*size),
 		has:  make([]bool, 2*size),
+	}
+}
+
+// NewSegTreeIn is NewSegTree with the node arrays grabbed from the given
+// scratch arena instead of the heap, for per-solve trees on hot paths. The
+// tree is only valid until the arena is reset or released; nil arena falls
+// back to NewSegTree.
+func NewSegTreeIn(a *scratch.Arena, n int) *SegTree {
+	if a == nil {
+		return NewSegTree(n)
+	}
+	if n < 0 {
+		panic(&BoundsError{Op: "NewSegTree", Lo: n, Hi: n, N: n})
+	}
+	size := 1
+	for size < n {
+		size <<= 1
+	}
+	if n == 0 {
+		size = 1
+	}
+	return &SegTree{
+		n:    n,
+		mx:   a.Int64sZero(2 * size),
+		addv: a.Int64sZero(2 * size),
+		setv: a.Int64sZero(2 * size),
+		has:  a.BoolsZero(2 * size),
 	}
 }
 

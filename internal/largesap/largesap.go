@@ -21,12 +21,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"sapalloc/internal/faultinject"
 	"sapalloc/internal/model"
 	"sapalloc/internal/obs"
 	"sapalloc/internal/saperr"
+	"sapalloc/internal/scratch"
 )
 
 // Rect is the fixed rectangle R(j) = [s_j, t_j) × [ℓ(j), b(j)] of a task.
@@ -150,44 +152,122 @@ func maxWeightIndependentSetCtx(ctx context.Context, rects []Rect, edges int, op
 	return mwisBranchBound(ctx, rects, opts)
 }
 
+// dpEntry is one DP state: the crossing-set mask at its edge, the subset
+// added at that edge, the accumulated weight, and a link to the predecessor
+// state at the previous edge (-1 for the virtual root). States live in one
+// append-only slab, so the full trace needs no per-edge maps and
+// reconstruction is a pointer walk.
+type dpEntry struct {
+	mask    uint64
+	added   uint64
+	weight  int64
+	prevIdx int32
+}
+
 // mwisPathDP is the path-decomposition DP. Returns ok=false if the state
 // cap was exceeded or the context was cancelled (the DP has no usable
 // partial answer: interior layers do not reach the right end of the path).
+//
+// All per-edge structures are reused: the mask→slab-index map is cleared
+// (not reallocated) each edge, the starter list and conflict matrix come
+// from the solve's scratch arena, and ties are broken by the same total
+// order as before — max weight, then smallest (prevMask, added) — which is
+// iteration-order independent, so outputs are unchanged.
 func mwisPathDP(ctx context.Context, rects []Rect, edges int, maxStates int) ([]int, bool) {
 	n := len(rects)
-	startAt := make([][]int, edges)
-	for i, r := range rects {
-		startAt[r.Task.Start] = append(startAt[r.Task.Start], i)
+	a, release := scratch.Acquire(ctx)
+	defer release()
+	// CSR layout of "rectangles starting at edge e" (same per-edge order as
+	// appending in index order).
+	startOff := a.IntsZero(edges + 1)
+	for _, r := range rects {
+		startOff[r.Task.Start+1]++
 	}
-	conflict := make([][]bool, n)
-	for i := range conflict {
-		conflict[i] = make([]bool, n)
-		for j := range conflict[i] {
+	for e := 0; e < edges; e++ {
+		startOff[e+1] += startOff[e]
+	}
+	startFlat := a.Ints(n)
+	fill := a.Ints(edges)
+	copy(fill, startOff[:edges])
+	for i, r := range rects {
+		s := r.Task.Start
+		startFlat[fill[s]] = i
+		fill[s]++
+	}
+	conflict := a.BoolsZero(n * n)
+	for i := 0; i < n; i++ {
+		row := conflict[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
 			if i != j {
-				conflict[i][j] = rects[i].Intersects(rects[j])
+				row[j] = rects[i].Intersects(rects[j])
 			}
 		}
 	}
-	type entry struct {
-		weight   int64
-		prevMask uint64 // state at the previous edge this one came from
-		added    uint64 // rectangles added at this edge
+	entries := make([]dpEntry, 1, 256)
+	entries[0] = dpEntry{prevIdx: -1} // virtual root before edge 0
+	idx := make(map[uint64]int32, 64)
+	starterBuf := a.Ints(n)
+	// State under expansion, hoisted so the recursive closure is allocated
+	// once per call instead of once per state.
+	var (
+		stStarters []int
+		stKept     uint64
+		stMask     uint64
+		stWeight   int64
+		stPrev     int32
+	)
+	emit := func(added uint64, addW int64) {
+		newMask := stKept | added
+		w := stWeight + addW
+		if j, ok := idx[newMask]; ok {
+			old := &entries[j]
+			oldPrev := uint64(0)
+			if old.prevIdx >= 0 {
+				oldPrev = entries[old.prevIdx].mask
+			}
+			// Equal-weight ties keep the lexicographically smallest
+			// (prevMask, added), making the winner independent of the
+			// order states are expanded in.
+			if w > old.weight ||
+				(w == old.weight && (stMask < oldPrev || (stMask == oldPrev && added < old.added))) {
+				*old = dpEntry{mask: newMask, added: added, weight: w, prevIdx: stPrev}
+			}
+			return
+		}
+		idx[newMask] = int32(len(entries))
+		entries = append(entries, dpEntry{mask: newMask, added: added, weight: w, prevIdx: stPrev})
 	}
-	// trace[e] records the best entry per state mask at edge e.
-	trace := make([]map[uint64]entry, edges)
-	cur := map[uint64]entry{0: {}}
+	var extend func(k int, added uint64, addW int64)
+	extend = func(k int, added uint64, addW int64) {
+		if k == len(stStarters) {
+			emit(added, addW)
+			return
+		}
+		// Skip starter k.
+		extend(k+1, added, addW)
+		// Take starter k if disjoint from added so far.
+		i := stStarters[k]
+		for m := added; m != 0; m &= m - 1 {
+			if conflict[i*n+bits.TrailingZeros64(m)] {
+				return // cannot take; but siblings after skip are done
+			}
+		}
+		extend(k+1, added|1<<uint(i), addW+rects[i].Task.Weight)
+	}
 	done := ctx.Done()
+	curLo, curHi := 0, 1
 	for e := 0; e < edges; e++ {
 		if done != nil && e&63 == 0 && ctx.Err() != nil {
 			return nil, false
 		}
-		next := make(map[uint64]entry, len(cur))
-		for mask, ent := range cur {
+		clear(idx)
+		for si := curLo; si < curHi; si++ {
+			ent := entries[si]
 			// Rectangles leaving after edge e-1 (End == e) are dropped.
-			kept := mask
+			kept := ent.mask
 			if e > 0 {
-				for m := mask; m != 0; m &= m - 1 {
-					i := tz(m)
+				for m := ent.mask; m != 0; m &= m - 1 {
+					i := bits.TrailingZeros64(m)
 					if rects[i].Task.End == e {
 						kept &^= 1 << uint(i)
 					}
@@ -195,11 +275,11 @@ func mwisPathDP(ctx context.Context, rects []Rect, edges int, maxStates int) ([]
 			}
 			// Enumerate disjoint subsets of rectangles starting at e that
 			// are compatible with kept.
-			var starters []int
-			for _, i := range startAt[e] {
+			starters := starterBuf[:0]
+			for _, i := range startFlat[startOff[e]:startOff[e+1]] {
 				okToAdd := true
 				for m := kept; m != 0; m &= m - 1 {
-					if conflict[i][tz(m)] {
+					if conflict[i*n+bits.TrailingZeros64(m)] {
 						okToAdd = false
 						break
 					}
@@ -208,62 +288,34 @@ func mwisPathDP(ctx context.Context, rects []Rect, edges int, maxStates int) ([]
 					starters = append(starters, i)
 				}
 			}
-			var extend func(idx int, added uint64, addW int64)
-			extend = func(idx int, added uint64, addW int64) {
-				if idx == len(starters) {
-					newMask := kept | added
-					w := ent.weight + addW
-					// Equal-weight ties keep the lexicographically smallest
-					// (prevMask, added): the map is iterated in arbitrary
-					// order, and without a total tie order the reconstructed
-					// solution would vary run to run.
-					old, exists := next[newMask]
-					if !exists || w > old.weight ||
-						(w == old.weight && (mask < old.prevMask || (mask == old.prevMask && added < old.added))) {
-						next[newMask] = entry{weight: w, prevMask: mask, added: added}
-					}
-					return
-				}
-				// Skip starter idx.
-				extend(idx+1, added, addW)
-				// Take starter idx if disjoint from added so far.
-				i := starters[idx]
-				for m := added; m != 0; m &= m - 1 {
-					if conflict[i][tz(m)] {
-						return // cannot take; but siblings after skip are done
-					}
-				}
-				extend(idx+1, added|1<<uint(i), addW+rects[i].Task.Weight)
-			}
+			stStarters, stKept, stMask, stWeight, stPrev = starters, kept, ent.mask, ent.weight, int32(si)
 			extend(0, 0, 0)
-			if len(next) > maxStates {
+			if len(idx) > maxStates {
 				return nil, false
 			}
 		}
-		trace[e] = next
-		cur = next
-		obs.DPStates.Add(int64(len(next)))
+		curLo, curHi = curHi, len(entries)
+		obs.DPStates.Add(int64(curHi - curLo))
 	}
 	// Best final state; ties go to the smallest mask for determinism.
+	bestIdx := -1
 	var bestMask uint64
 	var bestW int64 = -1
-	for mask, ent := range cur {
-		if ent.weight > bestW || (ent.weight == bestW && mask < bestMask) {
-			bestW = ent.weight
-			bestMask = mask
+	for i := curLo; i < curHi; i++ {
+		if entries[i].weight > bestW || (entries[i].weight == bestW && entries[i].mask < bestMask) {
+			bestW = entries[i].weight
+			bestMask = entries[i].mask
+			bestIdx = i
 		}
 	}
-	// Reconstruct.
+	// Reconstruct by walking the predecessor chain.
 	var chosenMask uint64
-	mask := bestMask
-	for e := edges - 1; e >= 0; e-- {
-		ent := trace[e][mask]
-		chosenMask |= ent.added
-		mask = ent.prevMask
+	for i := bestIdx; i >= 0; i = int(entries[i].prevIdx) {
+		chosenMask |= entries[i].added
 	}
 	var chosen []int
 	for m := chosenMask; m != 0; m &= m - 1 {
-		chosen = append(chosen, tz(m))
+		chosen = append(chosen, bits.TrailingZeros64(m))
 	}
 	sort.Ints(chosen)
 	return chosen, true
@@ -343,15 +395,6 @@ func mwisBranchBound(ctx context.Context, rects []Rect, opts Options) ([]int, er
 	return out, nil
 }
 
-func tz(m uint64) int {
-	n := 0
-	for m&1 == 0 {
-		m >>= 1
-		n++
-	}
-	return n
-}
-
 // SmallestLastColoring colors the rectangle intersection graph by the
 // smallest-last (degeneracy) ordering of Matula and Beck, the procedure in
 // the proof of Theorem 3. It returns the color classes (0-based per rect),
@@ -399,13 +442,16 @@ func SmallestLastColoring(rects []Rect) (colors []int, numColors, degeneracy int
 			}
 		}
 	}
-	// Color in reverse removal order with the smallest available color.
+	// Color in reverse removal order with the smallest available color. A
+	// vertex has at most n-1 neighbours, so colors fit [0, n); one shared
+	// mark buffer (cleared per vertex by un-marking the same neighbours)
+	// replaces the per-vertex map.
 	for i := range colors {
 		colors[i] = -1
 	}
+	used := make([]bool, n+1)
 	for i := n - 1; i >= 0; i-- {
 		v := orderRev[i]
-		used := map[int]bool{}
 		for _, u := range adj[v] {
 			if colors[u] >= 0 {
 				used[colors[u]] = true
@@ -414,6 +460,11 @@ func SmallestLastColoring(rects []Rect) (colors []int, numColors, degeneracy int
 		c := 0
 		for used[c] {
 			c++
+		}
+		for _, u := range adj[v] {
+			if colors[u] >= 0 {
+				used[colors[u]] = false
+			}
 		}
 		colors[v] = c
 		if c+1 > numColors {

@@ -1,0 +1,35 @@
+package mediumsap_test
+
+import (
+	"testing"
+
+	"sapalloc/internal/gen"
+	"sapalloc/internal/mediumsap"
+	"sapalloc/internal/scratch"
+)
+
+// TestAllocsSolveMedium pins the allocation cost of Algorithm AlmostUniform
+// end to end: class partitioning, the per-class exact elevator (whose
+// branch-and-bound scratch comes out of the per-class arena) and the
+// residue-stacking merge, which appends placements without a defensive
+// Clone. The budget covers result construction and fan-out machinery; a
+// return to per-node or per-class-copy allocation overshoots it by orders
+// of magnitude.
+func TestAllocsSolveMedium(t *testing.T) {
+	if scratch.RaceEnabled {
+		t.Skip("alloc counts are inflated under -race")
+	}
+	in := gen.Random(gen.Config{Seed: 19, Edges: 8, Tasks: 24, CapLo: 8, CapHi: 129, Class: gen.Medium})
+	f := func() {
+		if _, err := mediumsap.Solve(in, mediumsap.Params{Workers: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f() // warm the arena pool
+	got := testing.AllocsPerRun(10, f)
+	const budget = 500
+	t.Logf("mediumsap.Solve/24tasks: %.1f allocs/op (budget %d)", got, budget)
+	if got > budget {
+		t.Errorf("mediumsap.Solve/24tasks: %.1f allocs/op exceeds budget %d", got, budget)
+	}
+}

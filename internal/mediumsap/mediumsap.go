@@ -22,6 +22,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"sapalloc/internal/exact"
@@ -30,6 +31,7 @@ import (
 	"sapalloc/internal/obs"
 	"sapalloc/internal/par"
 	"sapalloc/internal/saperr"
+	"sapalloc/internal/scratch"
 )
 
 // Params configures Algorithm AlmostUniform.
@@ -159,7 +161,11 @@ func SolveCtx(ctx context.Context, in *model.Instance, p Params) (*Result, error
 		k := ks[i]
 		sol, degraded, err := func() (sol *model.Solution, degraded bool, err error) {
 			defer saperr.Contain(&err)
-			classCtx, endClass := obs.StartSpanTrack(ctx, "mediumsap/class")
+			// Per-class worker: own arena (classes run concurrently and the
+			// exact search below grabs all its buffers from it).
+			a := scratch.Get()
+			defer scratch.Put(a)
+			classCtx, endClass := obs.StartSpanTrack(scratch.With(ctx, a), "mediumsap/class")
 			defer endClass()
 			faultinject.Fire(classCtx, "mediumsap/class")
 			return ElevatorCtx(classCtx, in, classTasks[k], k, ell, p)
@@ -209,7 +215,9 @@ func SolveCtx(ctx context.Context, in *model.Instance, p Params) (*Result, error
 		merged := &model.Solution{}
 		for _, k := range ks {
 			if ((k-r)%period+period)%period == 0 {
-				merged.Merge(classSols[k].Clone())
+				// Merge copies placement values; the class solution is not
+				// retained or mutated, so no defensive Clone is needed.
+				merged.Merge(classSols[k])
 			}
 		}
 		if best == nil || merged.Weight() > best.Weight() {
@@ -309,12 +317,10 @@ func IsElevated(sol *model.Solution, k int, betaNum, betaDen int64) bool {
 	return true
 }
 
-// floorLog2 returns ⌊log2 v⌋ for v ≥ 1.
+// floorLog2 returns ⌊log2 v⌋ for v ≥ 1 (-1 for v ≤ 0).
 func floorLog2(v int64) int {
-	l := -1
-	for v > 0 {
-		v >>= 1
-		l++
+	if v <= 0 {
+		return -1
 	}
-	return l
+	return bits.Len64(uint64(v)) - 1
 }

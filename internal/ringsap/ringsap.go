@@ -21,6 +21,7 @@ import (
 	"sapalloc/internal/obs"
 	"sapalloc/internal/par"
 	"sapalloc/internal/saperr"
+	"sapalloc/internal/scratch"
 )
 
 // Params configures the ring solver.
@@ -121,7 +122,11 @@ func SolveCtx(ctx context.Context, r *model.RingInstance, p Params) (res *Result
 	arms := []func() error{
 		func() (err error) {
 			defer saperr.Contain(&err)
-			armCtx, endArm := obs.StartSpanTrack(ctx, "ringsap/arm/path")
+			// Per-arm arena: the arms run concurrently and arenas are
+			// single-goroutine. Inner fan-outs shadow it per worker.
+			a := scratch.Get()
+			defer scratch.Put(a)
+			armCtx, endArm := obs.StartSpanTrack(scratch.With(ctx, a), "ringsap/arm/path")
 			defer endArm()
 			faultinject.Fire(armCtx, "ringsap/arm/path")
 			// Arm 1: path solution on the cut ring; tasks are routed on the
@@ -147,7 +152,9 @@ func SolveCtx(ctx context.Context, r *model.RingInstance, p Params) (res *Result
 		},
 		func() (err error) {
 			defer saperr.Contain(&err)
-			armCtx, endArm := obs.StartSpanTrack(ctx, "ringsap/arm/knapsack")
+			a := scratch.Get()
+			defer scratch.Put(a)
+			armCtx, endArm := obs.StartSpanTrack(scratch.With(ctx, a), "ringsap/arm/knapsack")
 			defer endArm()
 			faultinject.Fire(armCtx, "ringsap/arm/knapsack")
 			// Arm 2: knapsack over all tasks routed through the cut edge,

@@ -1,0 +1,8 @@
+//go:build !race
+
+package scratch
+
+// RaceEnabled reports whether the binary was built with -race. The
+// alloc-budget tests skip themselves under the race detector, whose
+// instrumentation changes allocation counts.
+const RaceEnabled = false

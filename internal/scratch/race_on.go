@@ -1,0 +1,6 @@
+//go:build race
+
+package scratch
+
+// RaceEnabled reports whether the binary was built with -race.
+const RaceEnabled = true

@@ -1,0 +1,168 @@
+package scratch
+
+import (
+	"context"
+	"testing"
+)
+
+func TestGrabLenCapAndDisjoint(t *testing.T) {
+	var a Arena
+	x := a.Int64s(10)
+	y := a.Int64s(20)
+	if len(x) != 10 || cap(x) != 10 {
+		t.Fatalf("len/cap = %d/%d, want 10/10", len(x), cap(x))
+	}
+	if len(y) != 20 || cap(y) != 20 {
+		t.Fatalf("len/cap = %d/%d, want 20/20", len(y), cap(y))
+	}
+	for i := range x {
+		x[i] = 1
+	}
+	for i := range y {
+		y[i] = 2
+	}
+	for i, v := range x {
+		if v != 1 {
+			t.Fatalf("x[%d] = %d after writing y; grabs overlap", i, v)
+		}
+	}
+	// Appending past a grabbed slice's capacity must not clobber the
+	// neighbouring grab (three-index slicing pins the cap).
+	x = append(x, 99)
+	if y[0] != 2 {
+		t.Fatalf("append to x overwrote y[0] = %d", y[0])
+	}
+}
+
+func TestResetReusesMemory(t *testing.T) {
+	var a Arena
+	x := a.Int64s(32)
+	x[0] = 7
+	a.Reset()
+	y := a.Int64s(32)
+	if &x[0] != &y[0] {
+		t.Fatalf("Reset did not recycle the chunk")
+	}
+}
+
+func TestZeroVariantsClear(t *testing.T) {
+	var a Arena
+	x := a.Int64s(16)
+	for i := range x {
+		x[i] = -1
+	}
+	a.Reset()
+	for i, v := range a.Int64sZero(16) {
+		if v != 0 {
+			t.Fatalf("Int64sZero[%d] = %d, want 0", i, v)
+		}
+	}
+	b := a.BoolsZero(16)
+	for i, v := range b {
+		if v {
+			t.Fatalf("BoolsZero[%d] = true, want false", i)
+		}
+	}
+}
+
+func TestGrabLargerThanChunk(t *testing.T) {
+	var a Arena
+	big := a.Int64s(3 * minChunk)
+	if len(big) != 3*minChunk {
+		t.Fatalf("len = %d", len(big))
+	}
+	// Follow-up small grab still works and is disjoint.
+	small := a.Int64s(4)
+	small[0] = 1
+	big[len(big)-1] = 2
+	if small[0] != 1 {
+		t.Fatal("small grab overlaps big grab")
+	}
+}
+
+func TestGrabZeroLength(t *testing.T) {
+	var a Arena
+	if s := a.Int64s(0); s != nil {
+		t.Fatalf("zero-length grab = %v, want nil", s)
+	}
+}
+
+func TestPoisonFillsRetainedChunks(t *testing.T) {
+	var a Arena
+	x := a.Int64s(8)
+	for i := range x {
+		x[i] = 0
+	}
+	a.Poison()
+	for i, v := range x {
+		if v == 0 {
+			t.Fatalf("x[%d] still 0 after Poison", i)
+		}
+	}
+}
+
+func TestGetPutPoisonMode(t *testing.T) {
+	SetPoison(true)
+	defer SetPoison(false)
+	a := Get()
+	x := a.Int64s(4)
+	for i := range x {
+		x[i] = int64(i)
+	}
+	Put(a)
+	// Use-after-Put must observe the sentinel, not the stored values.
+	for i, v := range x {
+		if v == int64(i) {
+			t.Fatalf("x[%d] survived Put under poisoning", i)
+		}
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := From(ctx); ok {
+		t.Fatal("From(Background) found an arena")
+	}
+	a, release := Acquire(ctx)
+	if a == nil {
+		t.Fatal("Acquire returned nil arena")
+	}
+	release()
+
+	own := Get()
+	defer Put(own)
+	ctx = With(ctx, own)
+	got, ok := From(ctx)
+	if !ok || got != own {
+		t.Fatalf("From = %p, want attached %p", got, own)
+	}
+	got2, release2 := Acquire(ctx)
+	if got2 != own {
+		t.Fatalf("Acquire = %p, want attached %p", got2, own)
+	}
+	release2() // no-op for attached arenas; own stays usable
+	if s := own.Int64s(1); len(s) != 1 {
+		t.Fatal("attached arena unusable after no-op release")
+	}
+}
+
+// TestSteadyStateAllocFree pins the arena's whole point: after warm-up,
+// grabbing within the retained footprint allocates nothing.
+func TestSteadyStateAllocFree(t *testing.T) {
+	if RaceEnabled {
+		t.Skip("allocation counts differ under -race")
+	}
+	a := Get()
+	defer Put(a)
+	a.Int64s(1024)
+	a.Bools(4096)
+	a.Reset()
+	avg := testing.AllocsPerRun(100, func() {
+		a.Reset()
+		_ = a.Int64s(1024)
+		_ = a.Bools(4096)
+	})
+	if avg != 0 {
+		t.Fatalf("steady-state grabs allocate %.1f times per run, want 0", avg)
+	}
+}

@@ -15,6 +15,7 @@ package smallsap
 import (
 	"context"
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"sapalloc/internal/dsa"
@@ -23,6 +24,7 @@ import (
 	"sapalloc/internal/obs"
 	"sapalloc/internal/par"
 	"sapalloc/internal/saperr"
+	"sapalloc/internal/scratch"
 	"sapalloc/internal/ufpp"
 )
 
@@ -128,7 +130,11 @@ func SolveCtx(ctx context.Context, in *model.Instance, p Params) (*Result, error
 		}
 		report, sol, err := func() (report ClassReport, sol *model.Solution, err error) {
 			defer saperr.Contain(&err)
-			classCtx, endClass := obs.StartSpanTrack(ctx, "smallsap/class")
+			// Per-class worker: own arena (classes run concurrently and the
+			// LP-rounding greedy below grabs its segment tree from it).
+			a := scratch.Get()
+			defer scratch.Put(a)
+			classCtx, endClass := obs.StartSpanTrack(scratch.With(ctx, a), "smallsap/class")
 			defer endClass()
 			faultinject.Fire(classCtx, "smallsap/class")
 			return solveClass(classCtx, in, classes[t], t, p)
@@ -202,12 +208,10 @@ func solveClass(ctx context.Context, in *model.Instance, tasks []model.Task, t i
 	return report, sol, nil
 }
 
-// floorLog2 returns ⌊log2 v⌋ for v ≥ 1.
+// floorLog2 returns ⌊log2 v⌋ for v ≥ 1 (-1 for v ≤ 0).
 func floorLog2(v int64) int {
-	l := -1
-	for v > 0 {
-		v >>= 1
-		l++
+	if v <= 0 {
+		return -1
 	}
-	return l
+	return bits.Len64(uint64(v)) - 1
 }

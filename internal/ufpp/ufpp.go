@@ -14,10 +14,12 @@
 package ufpp
 
 import (
+	"cmp"
 	"context"
 	"errors"
 	"fmt"
 	"math/rand"
+	"slices"
 	"sort"
 
 	"sapalloc/internal/faultinject"
@@ -26,6 +28,7 @@ import (
 	"sapalloc/internal/model"
 	"sapalloc/internal/par"
 	"sapalloc/internal/saperr"
+	"sapalloc/internal/scratch"
 )
 
 // RoundOptions tunes the randomized LP rounding.
@@ -85,7 +88,7 @@ func HalfPackableCtx(ctx context.Context, in *model.Instance, b int64, opts Roun
 		scaled[j] = x[j] / 4
 	}
 
-	best := greedyByLPDensity(in, scaled, budget)
+	best := greedyByLPDensity(ctx, in, scaled, budget)
 	bestW := model.WeightOf(best)
 
 	// Independent rounding trials, each with its own deterministic RNG, run
@@ -117,8 +120,9 @@ func HalfPackableCtx(ctx context.Context, in *model.Instance, b int64, opts Roun
 }
 
 // greedyByLPDensity adds tasks in decreasing w_j·x_j/d_j order while the
-// load stays within the budget on every edge.
-func greedyByLPDensity(in *model.Instance, x []float64, budget int64) []model.Task {
+// load stays within the budget on every edge. The load profile is a
+// scratch-backed segment tree, so per-class calls reuse the solve's arena.
+func greedyByLPDensity(ctx context.Context, in *model.Instance, x []float64, budget int64) []model.Task {
 	type cand struct {
 		idx   int
 		score float64
@@ -130,13 +134,18 @@ func greedyByLPDensity(in *model.Instance, x []float64, budget int64) []model.Ta
 		}
 		cands = append(cands, cand{idx: j, score: float64(t.Weight) * x[j] / float64(t.Demand)})
 	}
-	sort.Slice(cands, func(a, b int) bool {
-		if cands[a].score != cands[b].score {
-			return cands[a].score > cands[b].score
+	// The (score desc, ID asc) comparator is a total order, so the generic
+	// unstable sort yields the same sequence sort.Slice did, without the
+	// reflection allocation.
+	slices.SortFunc(cands, func(p, q cand) int {
+		if p.score != q.score {
+			return cmp.Compare(q.score, p.score)
 		}
-		return in.Tasks[cands[a].idx].ID < in.Tasks[cands[b].idx].ID
+		return cmp.Compare(in.Tasks[p.idx].ID, in.Tasks[q.idx].ID)
 	})
-	tree := intervals.NewSegTree(in.Edges())
+	a, release := scratch.Acquire(ctx)
+	defer release()
+	tree := intervals.NewSegTreeIn(a, in.Edges())
 	var out []model.Task
 	for _, c := range cands {
 		t := in.Tasks[c.idx]

@@ -31,6 +31,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"math/bits"
 	"sort"
 
 	"sapalloc/internal/exact"
@@ -40,6 +41,7 @@ import (
 	"sapalloc/internal/obs"
 	"sapalloc/internal/par"
 	"sapalloc/internal/saperr"
+	"sapalloc/internal/scratch"
 	"sapalloc/internal/ufpp"
 )
 
@@ -137,7 +139,11 @@ func SolveCtx(ctx context.Context, in *model.Instance, p Params) (res *Result, e
 	var outs [3]armOut
 	runArm := func(i int) (sel []model.Task, err error) {
 		defer saperr.Contain(&err)
-		armCtx, endArm := obs.StartSpanTrack(ctx, armSpanNames[i])
+		// Arenas are single-goroutine: each arm takes its own pooled arena
+		// and shadows the shared ctx with it for the layers below.
+		a := scratch.Get()
+		defer scratch.Put(a)
+		armCtx, endArm := obs.StartSpanTrack(scratch.With(ctx, a), armSpanNames[i])
 		defer endArm()
 		switch Arm(i) {
 		case ArmSmall:
@@ -239,10 +245,14 @@ func solveSmall(ctx context.Context, in *model.Instance, p Params) ([]model.Task
 	}
 	sort.Ints(ts)
 	sels, err := par.MapCtx(ctx, len(ts), p.Workers, func(i int) ([]model.Task, error) {
+		// Per-class worker: own arena, never the caller's (the class solves
+		// run concurrently and arenas are single-goroutine).
+		a := scratch.Get()
+		defer scratch.Put(a)
 		t := ts[i]
 		b := int64(1) << uint(t)
 		classIn := in.Restrict(classes[t]).ClipCapacities(2 * b)
-		sel, _, err := ufpp.HalfPackableCtx(ctx, classIn, b, p.Round)
+		sel, _, err := ufpp.HalfPackableCtx(scratch.With(ctx, a), classIn, b, p.Round)
 		return sel, err
 	})
 	if err != nil {
@@ -307,7 +317,9 @@ func solveMedium(ctx context.Context, in *model.Instance, p Params) ([]model.Tas
 			}
 		}
 		classIn = &model.Instance{Capacity: caps, Tasks: classIn.Tasks}
-		sel, err := exact.SolveUFPPCtx(ctx, classIn, p.Exact)
+		a := scratch.Get()
+		defer scratch.Put(a)
+		sel, err := exact.SolveUFPPCtx(scratch.With(ctx, a), classIn, p.Exact)
 		if errors.Is(err, exact.ErrBudget) || (saperr.IsCancelled(err) && sel != nil) {
 			err = nil // incumbent is feasible; guarantee degrades gracefully
 		}
@@ -319,8 +331,11 @@ func solveMedium(ctx context.Context, in *model.Instance, p Params) ([]model.Tas
 	period := ell + 1
 	var best []model.Task
 	var bestW int64 = -1
+	// One ID-dedup map for all residues, cleared between them, instead of a
+	// fresh allocation per residue.
+	seen := make(map[int]bool, len(in.Tasks))
 	for r := 0; r < period; r++ {
-		seen := map[int]bool{}
+		clear(seen)
 		var union []model.Task
 		for i, k := range ks {
 			if ((k-r)%period+period)%period != 0 {
@@ -388,10 +403,8 @@ func repairToFeasible(in *model.Instance, tasks []model.Task) []model.Task {
 }
 
 func floorLog2(v int64) int {
-	l := -1
-	for v > 0 {
-		v >>= 1
-		l++
+	if v <= 0 {
+		return -1
 	}
-	return l
+	return bits.Len64(uint64(v)) - 1
 }
