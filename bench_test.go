@@ -179,6 +179,30 @@ func BenchmarkE11CombinedWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkE30Shard measures the shard scatter's speedup: an archipelago
+// decomposes at its zero-load gaps into twelve independent sub-instances,
+// so the workers fan out over whole combined solves — the coarsest
+// parallelism in the pipeline. Same instance and byte-identical Result at
+// both worker counts (the shard determinism contract); only wall clock
+// differs. The machine-readable twin lives in the internal/benchjson
+// pinned subset, and CI gates workers=4 at ≥2x via sapbench -minspeedup.
+func BenchmarkE30Shard(b *testing.B) {
+	in := gen.Archipelago(gen.ArchipelagoConfig{
+		Seed: 31, Islands: 12, IslandEdges: 8, GapEdges: 2,
+		TasksPerIsland: 18, CapLo: 64, CapHi: 257, Class: gen.Mixed,
+	})
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "workers1", 4: "workers4"}[workers], func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Solve(in, core.Params{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 func BenchmarkE11CombinedMemTrace(b *testing.B) {
 	in := gen.MemTrace(gen.MemTraceConfig{Seed: 10, Slots: 48, Objects: 100})
 	b.ReportAllocs()

@@ -9,6 +9,8 @@
 #   ./check.sh cover   coverage run with the ratcheted floor (COVER_FLOOR)
 #   ./check.sh fuzz    30s smoke of the pinned fuzz targets
 #   ./check.sh serve   serving-layer suites (cache/singleflight/admission) under -race
+#   ./check.sh shard   shard decomposition matrix (fall-through, determinism,
+#                      component equivalence, cancel) under -race
 set -e
 
 # Ratcheted coverage floor (percentage points). CI fails when total
@@ -17,8 +19,12 @@ set -e
 COVER_FLOOR=80.2
 
 if [ "$1" = "bench" ]; then
+    # The -minspeedup requirement gates the shard scatter's parallel scaling
+    # on the fresh report; it self-skips on machines with <4 processors,
+    # where the ratio is unmeasurable.
     echo "== bench regression gate (BENCH.json) =="
-    go run ./cmd/sapbench -json -out BENCH.fresh.json -baseline BENCH.json -maxregress 0.30 -maxallocregress 0.10
+    go run ./cmd/sapbench -json -out BENCH.fresh.json -baseline BENCH.json \
+        -maxregress 0.30 -maxallocregress 0.10 -minspeedup 'E30Shard/workers=4=2.0'
     echo "BENCH GATE PASSED (fresh report in BENCH.fresh.json)"
     exit 0
 fi
@@ -68,6 +74,7 @@ if [ "$1" = "fuzz" ]; then
     go test -run '^$' -fuzz '^FuzzValidateHardened$' -fuzztime "$fuzztime" ./internal/model/
     go test -run '^$' -fuzz '^FuzzReadInstanceJSON$' -fuzztime "$fuzztime" ./internal/model/
     go test -run '^$' -fuzz '^FuzzReadSolutionJSON$' -fuzztime "$fuzztime" ./internal/model/
+    go test -run '^$' -fuzz '^FuzzShardStitch$' -fuzztime "$fuzztime" ./internal/shard/
     echo "FUZZ SMOKE PASSED"
     exit 0
 fi
@@ -81,6 +88,21 @@ if [ "$1" = "serve" ]; then
     go test -race -timeout 15m -count=1 -run 'TestServeMatches' ./internal/difftest/
     go build ./cmd/sapserved
     echo "SERVE GATE PASSED"
+    exit 0
+fi
+
+if [ "$1" = "shard" ]; then
+    # The decomposition's correctness matrix: byte-identical fall-through
+    # on undecomposable instances, workers-determinism and per-shard
+    # component equivalence on archipelagos, cancel-mid-scatter partials,
+    # and the copy-on-write capacity contract — all under the race
+    # detector, since the scatter is the coarsest concurrency in the
+    # pipeline. The parallel-determinism matrix rides along: sharding is on
+    # by default, so it now covers the fall-through dispatch too.
+    echo "== shard decomposition matrix (-race, workers 1/2/8) =="
+    go test -race -timeout 15m -count=1 -run 'TestShard|TestParallelDeterminism' ./internal/difftest/
+    go test -race -timeout 10m -count=1 ./internal/shard/ ./internal/gen/
+    echo "SHARD GATE PASSED"
     exit 0
 fi
 

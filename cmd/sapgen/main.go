@@ -21,14 +21,16 @@ import (
 
 func main() {
 	var (
-		family = flag.String("family", "random", "workload family: random | uniform | memtrace | banner | spectrum | knapsack | nba | staircase | ring | fig1a | fig1b | fig2a | fig2b | fig8 | gapchain | window")
-		seed   = flag.Int64("seed", 1, "generator seed")
-		edges  = flag.Int("edges", 16, "number of path/ring edges")
-		tasks  = flag.Int("tasks", 32, "number of tasks")
-		capLo  = flag.Int64("caplo", 64, "minimum edge capacity")
-		capHi  = flag.Int64("caphi", 257, "edge capacity upper bound (exclusive)")
-		class  = flag.String("class", "mixed", "demand class: mixed | small | medium | large")
-		slack  = flag.Int("slack", 2, "window slack for -family window")
+		family  = flag.String("family", "random", "workload family: random | uniform | memtrace | banner | spectrum | knapsack | nba | staircase | archipelago | ring | fig1a | fig1b | fig2a | fig2b | fig8 | gapchain | window")
+		islands = flag.Int("islands", 8, "island count for -family archipelago (tasks/edges flags size each island)")
+		gap     = flag.Int("gap", 2, "zero-load gap edges between islands for -family archipelago")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		edges   = flag.Int("edges", 16, "number of path/ring edges")
+		tasks   = flag.Int("tasks", 32, "number of tasks")
+		capLo   = flag.Int64("caplo", 64, "minimum edge capacity")
+		capHi   = flag.Int64("caphi", 257, "edge capacity upper bound (exclusive)")
+		class   = flag.String("class", "mixed", "demand class: mixed | small | medium | large")
+		slack   = flag.Int("slack", 2, "window slack for -family window")
 	)
 	flag.Parse()
 
@@ -58,6 +60,11 @@ func main() {
 		in = gen.NBA(*seed, *edges, *tasks)
 	case "staircase":
 		in = gen.Staircase(*seed, *edges, *tasks, 16, cls)
+	case "archipelago":
+		in = gen.Archipelago(gen.ArchipelagoConfig{
+			Seed: *seed, Islands: *islands, IslandEdges: *edges, GapEdges: *gap,
+			TasksPerIsland: *tasks, CapLo: *capLo, CapHi: *capHi, Class: cls,
+		})
 	case "fig1a":
 		in = gen.Fig1a()
 	case "fig1b":

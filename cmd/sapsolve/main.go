@@ -33,6 +33,7 @@ import (
 	"sapalloc/internal/obscli"
 	"sapalloc/internal/ringsap"
 	"sapalloc/internal/saperr"
+	"sapalloc/internal/shard"
 	"sapalloc/internal/smallsap"
 	"sapalloc/internal/stretch"
 	"sapalloc/internal/ufppfull"
@@ -50,6 +51,7 @@ func main() {
 		improve = flag.Bool("improve", false, "post-optimise the schedule (gravity + greedy insertion)")
 		diag    = flag.Bool("diag", false, "print per-arm and per-class diagnostics (combined algorithm only)")
 		workers = flag.Int("workers", 0, "goroutine bound for the parallel solvers (0 = GOMAXPROCS, 1 = sequential; output is identical either way)")
+		shards  = flag.Bool("shards", true, "decompose at zero-load cut edges and solve the shards in parallel (combined algorithm only; falls through when no cut exists)")
 		timeout = flag.Duration("timeout", 0, "wall-clock budget for the solve (0 = none); on expiry the best solution among completed arms is returned, or a typed error and exit 1 when nothing completed")
 	)
 	obsFlags := obscli.Register(flag.CommandLine)
@@ -146,7 +148,10 @@ func main() {
 	var label string
 	switch *algo {
 	case "combined":
-		res, err := core.SolveCtx(ctx, in, core.Params{Eps: *eps, Workers: *workers, Deadline: *timeout})
+		res, err := core.SolveCtx(ctx, in, core.Params{
+			Eps: *eps, Workers: *workers, Deadline: *timeout,
+			Shard: shard.Options{Disable: !*shards},
+		})
 		if err != nil {
 			fatalf("%v", err)
 		}
@@ -171,6 +176,9 @@ func main() {
 				res.NumSmall, res.NumMedium, res.NumLarge)
 			if res.Report != nil {
 				fmt.Printf("report: %s\n", res.Report)
+			}
+			if res.Shards != nil {
+				fmt.Printf("shards: %s\n", res.Shards)
 			}
 			if res.SmallDetail != nil {
 				for _, c := range res.SmallDetail.Classes {

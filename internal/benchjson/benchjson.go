@@ -18,6 +18,8 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // CalibrationName is the reserved entry name of the calibration spin.
@@ -90,6 +92,62 @@ func ReadFile(path string) (*Report, error) {
 	}
 	defer f.Close()
 	return Read(f)
+}
+
+// MinSpeedupProcs is the GOMAXPROCS floor below which speedup gates are
+// vacuous: a machine that cannot run the workers in parallel cannot
+// demonstrate a wall-clock ratio, so GateSpeedups skips (with a note)
+// rather than failing. CI runners provide at least this many vCPUs.
+const MinSpeedupProcs = 4
+
+// SpeedupReq is one "name=min" speedup requirement (e.g. the CI gate's
+// E30Shard/workers=4 ≥ 2.0).
+type SpeedupReq struct {
+	Name string
+	Min  float64
+}
+
+// ParseSpeedupReqs parses a comma-separated list of name=min requirements,
+// e.g. "E30Shard/workers=4=2.0". The minimum is whatever follows the LAST
+// '=' — benchmark names themselves contain '='.
+func ParseSpeedupReqs(s string) ([]SpeedupReq, error) {
+	var reqs []SpeedupReq
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		i := strings.LastIndex(part, "=")
+		if i <= 0 || i == len(part)-1 {
+			return nil, fmt.Errorf("benchjson: malformed speedup requirement %q (want name=min)", part)
+		}
+		min, err := strconv.ParseFloat(part[i+1:], 64)
+		if err != nil || min <= 0 {
+			return nil, fmt.Errorf("benchjson: bad speedup minimum in %q", part)
+		}
+		reqs = append(reqs, SpeedupReq{Name: part[:i], Min: min})
+	}
+	return reqs, nil
+}
+
+// GateSpeedups checks the fresh report's measured speedups against the
+// requirements. It returns the failures (missing figure, or measured below
+// the minimum) and whether the whole gate was skipped because the report
+// was taken with fewer than MinSpeedupProcs processors.
+func GateSpeedups(fresh *Report, reqs []SpeedupReq) (failures []string, skipped bool) {
+	if fresh.GoMaxProcs < MinSpeedupProcs {
+		return nil, true
+	}
+	for _, req := range reqs {
+		got, ok := fresh.Speedups[req.Name]
+		switch {
+		case !ok:
+			failures = append(failures, fmt.Sprintf("%s: no speedup figure in the fresh report", req.Name))
+		case got < req.Min:
+			failures = append(failures, fmt.Sprintf("%s: speedup %.2fx below the required %.2fx", req.Name, got, req.Min))
+		}
+	}
+	return failures, false
 }
 
 // Regression is one benchmark that got slower than the gate allows.

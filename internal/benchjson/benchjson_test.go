@@ -97,6 +97,61 @@ func TestCompareAllocsGate(t *testing.T) {
 	}
 }
 
+func TestParseSpeedupReqs(t *testing.T) {
+	reqs, err := ParseSpeedupReqs("E30Shard/workers=4=2.0, E11Combined/workers=4=1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []SpeedupReq{
+		{Name: "E30Shard/workers=4", Min: 2.0},
+		{Name: "E11Combined/workers=4", Min: 1.5},
+	}
+	if len(reqs) != 2 || reqs[0] != want[0] || reqs[1] != want[1] {
+		t.Fatalf("reqs = %+v, want %+v", reqs, want)
+	}
+	if reqs, err := ParseSpeedupReqs(""); err != nil || len(reqs) != 0 {
+		t.Fatalf("empty spec: reqs=%v err=%v, want none", reqs, err)
+	}
+	for _, bad := range []string{"noequals", "=2.0", "name=", "name=zero", "name=-1"} {
+		if _, err := ParseSpeedupReqs(bad); err == nil {
+			t.Errorf("ParseSpeedupReqs(%q) accepted a malformed requirement", bad)
+		}
+	}
+}
+
+func TestGateSpeedups(t *testing.T) {
+	reqs := []SpeedupReq{{Name: "E30Shard/workers=4", Min: 2.0}}
+
+	pass := report(0)
+	pass.GoMaxProcs = MinSpeedupProcs
+	pass.Speedups["E30Shard/workers=4"] = 2.7
+	if fails, skipped := GateSpeedups(pass, reqs); skipped || len(fails) != 0 {
+		t.Fatalf("passing report: fails=%v skipped=%v", fails, skipped)
+	}
+
+	slow := report(0)
+	slow.GoMaxProcs = MinSpeedupProcs
+	slow.Speedups["E30Shard/workers=4"] = 1.4
+	if fails, skipped := GateSpeedups(slow, reqs); skipped || len(fails) != 1 {
+		t.Fatalf("below-minimum speedup not flagged: fails=%v skipped=%v", fails, skipped)
+	}
+
+	missing := report(0)
+	missing.GoMaxProcs = MinSpeedupProcs
+	if fails, skipped := GateSpeedups(missing, reqs); skipped || len(fails) != 1 {
+		t.Fatalf("missing figure not flagged: fails=%v skipped=%v", fails, skipped)
+	}
+
+	// A single-core machine cannot demonstrate parallel speedup; the gate
+	// must skip, not fail, so local runs of the CI script stay green.
+	uni := report(0)
+	uni.GoMaxProcs = 1
+	uni.Speedups["E30Shard/workers=4"] = 0.98
+	if fails, skipped := GateSpeedups(uni, reqs); !skipped || len(fails) != 0 {
+		t.Fatalf("GoMaxProcs=1 report: fails=%v skipped=%v, want a clean skip", fails, skipped)
+	}
+}
+
 func TestCompareAllocsIgnoresCalibrationAndMissing(t *testing.T) {
 	base := report(0, Entry{Name: "retired", AllocsPerOp: 1})
 	base.Entries = append(base.Entries, Entry{Name: CalibrationName, AllocsPerOp: 0})

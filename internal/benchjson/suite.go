@@ -115,6 +115,36 @@ func Run(verbose func(string)) (*Report, error) {
 		rep.Speedups["E11Combined/workers=4"] = w1.NsPerOp / w4.NsPerOp
 	}
 
+	// The shard speedup probe: an archipelago decomposes into as many
+	// independent sub-instances as it has islands, so the scatter is the
+	// coarsest — and best-scaling — parallelism in the pipeline. Twelve
+	// islands of non-trivial combined solves leave CI's four workers nearly
+	// always busy; the ≥2x gate on this figure is what keeps the scatter
+	// actually parallel. Same instance both runs; the Result is
+	// byte-identical by the shard determinism contract.
+	e30 := gen.Archipelago(gen.ArchipelagoConfig{
+		Seed: 31, Islands: 12, IslandEdges: 8, GapEdges: 2,
+		TasksPerIsland: 18, CapLo: 64, CapHi: 257, Class: gen.Mixed,
+	})
+	var s1, s4 Entry
+	for _, workers := range []int{1, 4} {
+		e := run(fmt.Sprintf("E30Shard/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := core.Solve(e30, core.Params{Workers: workers})
+				check(err)
+			}
+		})
+		if workers == 1 {
+			s1 = e
+		} else {
+			s4 = e
+		}
+	}
+	if s4.NsPerOp > 0 {
+		rep.Speedups["E30Shard/workers=4"] = s1.NsPerOp / s4.NsPerOp
+	}
+
 	// Regression anchors for the slab-backed DP loops: the Chen DP keeps
 	// its states, placements and keys in arena slabs, and the UFPP pipeline
 	// reuses per-arm arenas across its class fan-outs. Their allocs/op are

@@ -28,6 +28,7 @@ import (
 	"sapalloc/internal/par"
 	"sapalloc/internal/saperr"
 	"sapalloc/internal/scratch"
+	"sapalloc/internal/shard"
 	"sapalloc/internal/smallsap"
 )
 
@@ -62,7 +63,18 @@ type Params struct {
 	// unset. 0 ⇒ GOMAXPROCS; 1 recovers the fully sequential pipeline.
 	// Output is deterministic for every value: arm results land in fixed
 	// slots and the best-of tie-break stays small < medium < large.
+	//
+	// When the instance decomposes at zero-load cut edges (see Shard), the
+	// same knob bounds the shard fan-out instead — parallelism moves to the
+	// coarsest granularity available, and each shard solves its arms
+	// sequentially. Output stays deterministic for every value.
 	Workers int
+	// Shard configures the zero-load-cut decomposition layer that runs
+	// before the monolithic pipeline (internal/shard; docs/PERFORMANCE.md,
+	// "Sharding"). The zero value enables sharding with per-shard
+	// verification off; decomposition preserves feasibility and every
+	// per-theorem factor, since OPT separates across the cuts.
+	Shard shard.Options
 }
 
 func (p Params) withDefaults() Params {
@@ -124,6 +136,13 @@ type Result struct {
 	// Report records per-arm outcomes and timings; consult it whenever a
 	// deadline or cancellation may have degraded the solve.
 	Report *SolveReport
+	// Shards reports the decomposition when the solve took the sharded
+	// path; nil for monolithic solves (no zero-load cut edge, or sharding
+	// disabled). For sharded solves the per-arm fields above are sums over
+	// the completed shards, Winner is the heaviest aggregated arm (each
+	// shard keeps its own best arm, so Solution.Weight() can exceed the
+	// winner's summed weight), and SmallDetail/MediumDetail are nil.
+	Shards *shard.Report
 }
 
 // Partition splits the tasks per Theorem 4 (k = 2, β = ¼): δ-small tasks,
@@ -167,8 +186,15 @@ func Solve(in *model.Instance, p Params) (*Result, error) {
 	return SolveCtx(context.Background(), in, p)
 }
 
-// SolveCtx is Solve under a context and optional Params.Deadline. The three
-// arms are each wrapped in panic containment and classified independently:
+// SolveCtx is Solve under a context and optional Params.Deadline.
+//
+// Unless Params.Shard.Disable is set, the instance is first scanned for
+// zero-load cut edges; when it decomposes, the independent sub-instances
+// are solved concurrently and stitched (see Result.Shards and
+// internal/shard), with each shard running the monolithic pipeline below.
+//
+// Within the monolithic pipeline the three arms are each wrapped in panic
+// containment and classified independently:
 // an arm that panics or errors degrades to ArmFailed instead of killing the
 // solve, an arm whose exact searches ran out of budget or time contributes
 // its feasible incumbent as ArmDegraded, and the best solution among the
@@ -208,6 +234,27 @@ func SolveCtx(ctx context.Context, in *model.Instance, p Params) (res *Result, e
 		return nil, err
 	}
 	faultinject.Fire(ctx, "core/solve")
+	if !p.Shard.Disable {
+		// The decomposition layer: an instance with a zero-load cut edge
+		// splits into fully independent sub-instances, solved concurrently
+		// and stitched (internal/shard). Instances with no cut — the
+		// common dense case — fall through to the monolithic pipeline
+		// after one O(tasks+edges) scan.
+		if plan := shard.Compute(ctx, in); plan.Decomposes() {
+			return solveSharded(ctx, start, in, plan, p)
+		}
+	}
+	return solveMono(ctx, start, in, p)
+}
+
+// solveMono is the monolithic three-arm pipeline: partition per Theorem 4,
+// solve the arms concurrently, best-of. It runs under SolveCtx's prologue
+// (containment, deadline, obs accounting) — either directly when the
+// instance has no zero-load cut, or once per shard from solveSharded.
+func solveMono(ctx context.Context, start time.Time, in *model.Instance, p Params) (res *Result, err error) {
+	if err := saperr.FromContext(ctx); err != nil {
+		return nil, err
+	}
 	_, endPartition := obs.StartSpan(ctx, "core/partition")
 	small, medium, large := Partition(in, p.DeltaDen)
 	endPartition()
@@ -342,6 +389,89 @@ func SolveCtx(ctx context.Context, in *model.Instance, p Params) (res *Result, e
 		}
 		return nil, fmt.Errorf("core: no arm completed: %w", first)
 	}
+	return res, nil
+}
+
+// solveSharded scatters the decomposition plan: each shard runs the
+// monolithic pipeline on its sub-instance (sequentially — the parallelism
+// budget is spent at the shard level, the coarsest granularity available),
+// and the per-shard solutions are stitched back into one solution with the
+// per-arm diagnostics summed across shards.
+//
+// A shard that fails or is skipped under cancellation degrades the solve
+// rather than killing it: the stitched solution covers the completed
+// shards and the Report (and Result.Shards) says which were lost. An error
+// is returned only when no shard completed, matching the monolithic "no
+// arm completed" contract.
+func solveSharded(ctx context.Context, start time.Time, in *model.Instance, plan *shard.Plan, p Params) (*Result, error) {
+	inner := p
+	inner.Workers = 1
+	inner.Small.Workers = 1
+	inner.Shard.Disable = true // shards have no interior cut by construction
+	inner.Deadline = 0         // SolveCtx's prologue already armed the deadline on ctx
+	subResults := make([]*Result, plan.Len())
+	sol, srep, err := plan.Scatter(ctx, p.Workers, p.Shard, func(ctx context.Context, i int, sub *model.Instance) (*model.Solution, error) {
+		r, err := solveMono(ctx, time.Now(), sub, inner)
+		if err != nil {
+			return nil, err
+		}
+		subResults[i] = r
+		return r.Solution, nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: sharded solve: %w", err)
+	}
+
+	res := &Result{Solution: sol, Shards: srep}
+	report := &SolveReport{Deadline: p.Deadline, Degraded: srep.Degraded()}
+	for i := range report.Arms {
+		report.Arms[i].Arm = Arm(i)
+	}
+	for _, r := range subResults {
+		if r == nil {
+			continue // failed or skipped shard; srep already counts it
+		}
+		res.NumSmall += r.NumSmall
+		res.NumMedium += r.NumMedium
+		res.NumLarge += r.NumLarge
+		res.SmallWeight += r.SmallWeight
+		res.MediumWeight += r.MediumWeight
+		res.LargeWeight += r.LargeWeight
+		if r.Report == nil {
+			continue
+		}
+		if r.Report.Degraded {
+			report.Degraded = true
+		}
+		for i := range report.Arms {
+			ar, sub := &report.Arms[i], r.Report.Arms[i]
+			ar.Weight += sub.Weight
+			ar.Elapsed += sub.Elapsed
+			if sub.State > ar.State {
+				ar.State = sub.State // worst state across shards, per arm
+			}
+			if ar.Err == nil {
+				ar.Err = sub.Err
+			}
+		}
+	}
+	// Winner is the heaviest aggregated arm, with the same deterministic
+	// small < medium < large tie-break as the monolithic best-of. The
+	// stitched solution itself is the per-shard best-of union, so its
+	// weight is ≥ the winner's sum.
+	weights := [3]int64{res.SmallWeight, res.MediumWeight, res.LargeWeight}
+	for i := 1; i < len(weights); i++ {
+		if weights[i] > weights[res.Winner] {
+			res.Winner = Arm(i)
+		}
+	}
+	for i := range report.Arms {
+		if report.Arms[i].State != ArmCompleted {
+			report.Degraded = true
+		}
+	}
+	report.Elapsed = time.Since(start)
+	res.Report = report
 	return res, nil
 }
 

@@ -39,16 +39,25 @@ func TestParallelDeterminism(t *testing.T) {
 	}
 }
 
-// stripTimings zeroes the wall-clock fields of the SolveReport so the
-// DeepEqual below compares only the logical result: arm states, weights,
-// winner, task sets, heights. Elapsed times legitimately differ run to run.
+// stripTimings zeroes the wall-clock fields of the SolveReport (and of the
+// shard report, when the solve took the sharded path) so the DeepEqual
+// below compares only the logical result: arm states, weights, winner,
+// task sets, heights. Elapsed times legitimately differ run to run.
 func stripTimings(r *core.Result) {
-	if r == nil || r.Report == nil {
+	if r == nil {
 		return
 	}
-	r.Report.Elapsed = 0
-	for i := range r.Report.Arms {
-		r.Report.Arms[i].Elapsed = 0
+	if r.Report != nil {
+		r.Report.Elapsed = 0
+		for i := range r.Report.Arms {
+			r.Report.Arms[i].Elapsed = 0
+		}
+	}
+	if r.Shards != nil {
+		r.Shards.Scan, r.Shards.Solve, r.Shards.Stitch = 0, 0, 0
+		for i := range r.Shards.Outcomes {
+			r.Shards.Outcomes[i].Elapsed = 0
+		}
 	}
 }
 

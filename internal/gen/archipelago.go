@@ -1,0 +1,106 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sapalloc/internal/model"
+)
+
+// ArchipelagoConfig parameterises the archipelago generator: many loosely
+// coupled task clusters ("islands") separated by capacitied but task-free
+// gap edges — the workload shape the shard-and-scatter decomposition
+// (internal/shard) splits at its zero-load cuts. Islands × TasksPerIsland
+// scales to model.MaxTasks (~4M), so million-task instances are in reach of
+// a single Archipelago call.
+type ArchipelagoConfig struct {
+	Seed int64
+	// Islands is the cluster count (default 8).
+	Islands int
+	// IslandEdges is the path length of each island (default 10).
+	IslandEdges int
+	// GapEdges is the number of zero-load edges between consecutive
+	// islands (default 2). Gap edges carry random capacities like any
+	// other edge — the decomposition keys on load, not capacity — but no
+	// task ever touches them.
+	GapEdges int
+	// TasksPerIsland is the task count of each island (default 24).
+	TasksPerIsland int
+	// CapLo and CapHi bound the per-edge capacities (inclusive lo,
+	// exclusive hi). Defaults: 64, 257.
+	CapLo, CapHi int64
+	// Class selects the demand regime within each island.
+	Class Class
+	// MaxWeight bounds task weights (default 100).
+	MaxWeight int64
+}
+
+func (c ArchipelagoConfig) withDefaults() ArchipelagoConfig {
+	if c.Islands <= 0 {
+		c.Islands = 8
+	}
+	if c.IslandEdges <= 0 {
+		c.IslandEdges = 10
+	}
+	if c.GapEdges < 0 {
+		c.GapEdges = 0
+	}
+	if c.TasksPerIsland <= 0 {
+		c.TasksPerIsland = 24
+	}
+	if c.CapLo <= 0 {
+		c.CapLo = 64
+	}
+	if c.CapHi <= c.CapLo {
+		c.CapHi = 4*c.CapLo + 1
+	}
+	if c.MaxWeight <= 0 {
+		c.MaxWeight = 100
+	}
+	return c
+}
+
+// Replay renders the Go one-liner that regenerates exactly this instance.
+func (c ArchipelagoConfig) Replay() string {
+	c = c.withDefaults()
+	return fmt.Sprintf(
+		"gen.Archipelago(gen.ArchipelagoConfig{Seed: %d, Islands: %d, IslandEdges: %d, GapEdges: %d, TasksPerIsland: %d, CapLo: %d, CapHi: %d, Class: gen.%s, MaxWeight: %d})",
+		c.Seed, c.Islands, c.IslandEdges, c.GapEdges, c.TasksPerIsland, c.CapLo, c.CapHi, c.Class.GoName(), c.MaxWeight)
+}
+
+// Archipelago generates a deterministic instance of Islands independent
+// clusters: every task of island k lives inside island k's edge window, so
+// each gap run is a zero-load cut and the instance decomposes into (at
+// least) Islands shards. Task IDs are globally sequential in generation
+// order, island by island.
+func Archipelago(cfg ArchipelagoConfig) *model.Instance {
+	cfg = cfg.withDefaults()
+	r := rand.New(rand.NewSource(cfg.Seed))
+	stride := cfg.IslandEdges + cfg.GapEdges
+	edges := cfg.Islands*stride - cfg.GapEdges // no trailing gap
+	in := &model.Instance{Capacity: make([]int64, edges)}
+	for e := range in.Capacity {
+		in.Capacity[e] = cfg.CapLo + r.Int63n(cfg.CapHi-cfg.CapLo)
+	}
+	id := 0
+	for k := 0; k < cfg.Islands; k++ {
+		off := k * stride
+		for i := 0; i < cfg.TasksPerIsland; i++ {
+			s := off + r.Intn(cfg.IslandEdges)
+			span := 1 + r.Intn(cfg.IslandEdges)
+			e := s + span
+			if e > off+cfg.IslandEdges {
+				e = off + cfg.IslandEdges
+			}
+			probe := model.Task{Start: s, End: e, Demand: 1}
+			b := in.Bottleneck(probe)
+			in.Tasks = append(in.Tasks, model.Task{
+				ID: id, Start: s, End: e,
+				Demand: demandFor(r, cfg.Class, b),
+				Weight: 1 + r.Int63n(cfg.MaxWeight),
+			})
+			id++
+		}
+	}
+	return in
+}

@@ -1,0 +1,84 @@
+package gen
+
+import (
+	"context"
+	"testing"
+
+	"sapalloc/internal/shard"
+)
+
+func TestArchipelagoDeterministicAndValid(t *testing.T) {
+	cfg := ArchipelagoConfig{Seed: 11, Islands: 4, IslandEdges: 6, GapEdges: 2, TasksPerIsland: 9, CapLo: 32, CapHi: 129, Class: Mixed}
+	a := Archipelago(cfg)
+	b := Archipelago(cfg)
+	if got, want := a.Edges(), 4*(6+2)-2; got != want {
+		t.Fatalf("edges = %d, want %d", got, want)
+	}
+	if got, want := len(a.Tasks), 4*9; got != want {
+		t.Fatalf("tasks = %d, want %d", got, want)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatalf("invalid instance: %v (replay: %s)", err, cfg.Replay())
+	}
+	for i := range a.Tasks {
+		if a.Tasks[i] != b.Tasks[i] {
+			t.Fatalf("generator not deterministic at task %d", i)
+		}
+		if a.Tasks[i].ID != i {
+			t.Errorf("task %d has ID %d, want globally sequential IDs", i, a.Tasks[i].ID)
+		}
+	}
+}
+
+// TestArchipelagoZeroLoadGaps pins the generator's contract with the shard
+// layer: every gap edge carries zero load (while still having a random
+// capacity like any other edge), every task stays inside its island's edge
+// window, and the decomposition therefore finds at least Islands shards.
+func TestArchipelagoZeroLoadGaps(t *testing.T) {
+	cfg := ArchipelagoConfig{Seed: 13, Islands: 5, IslandEdges: 7, GapEdges: 3, TasksPerIsland: 12, CapLo: 16, CapHi: 65, Class: Mixed}
+	in := Archipelago(cfg)
+	stride := cfg.IslandEdges + cfg.GapEdges
+	load := make([]int64, in.Edges())
+	for _, task := range in.Tasks {
+		k := task.Start / stride
+		off := k * stride
+		if task.Start < off || task.End > off+cfg.IslandEdges {
+			t.Fatalf("task %d [%d,%d) escapes island %d's window [%d,%d) (replay: %s)",
+				task.ID, task.Start, task.End, k, off, off+cfg.IslandEdges, cfg.Replay())
+		}
+		for e := task.Start; e < task.End; e++ {
+			load[e] += task.Demand
+		}
+	}
+	for e, l := range load {
+		if e%stride >= cfg.IslandEdges && l != 0 {
+			t.Errorf("gap edge %d has load %d, want 0 (replay: %s)", e, l, cfg.Replay())
+		}
+		if in.Capacity[e] < cfg.CapLo || in.Capacity[e] >= cfg.CapHi {
+			t.Errorf("edge %d capacity %d outside [%d,%d)", e, in.Capacity[e], cfg.CapLo, cfg.CapHi)
+		}
+	}
+	plan := shard.Compute(context.Background(), in)
+	if plan.Len() < cfg.Islands {
+		t.Errorf("decomposed into %d shards, want at least the %d islands (replay: %s)",
+			plan.Len(), cfg.Islands, cfg.Replay())
+	}
+}
+
+// TestArchipelagoMillionTasks exercises the generator and the cut scan at
+// the scale the config documents: ~1M tasks across 16384 islands. The scan
+// is O(n+m), so the whole test is generation-bound.
+func TestArchipelagoMillionTasks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("million-task generation in -short mode")
+	}
+	cfg := ArchipelagoConfig{Seed: 17, Islands: 16384, IslandEdges: 8, GapEdges: 2, TasksPerIsland: 64, CapLo: 64, CapHi: 257, Class: Mixed}
+	in := Archipelago(cfg)
+	if got, want := len(in.Tasks), 16384*64; got != want {
+		t.Fatalf("tasks = %d, want %d", got, want)
+	}
+	plan := shard.Compute(context.Background(), in)
+	if plan.Len() < cfg.Islands {
+		t.Fatalf("decomposed into %d shards, want at least %d", plan.Len(), cfg.Islands)
+	}
+}

@@ -290,14 +290,35 @@ func (in *Instance) Uniform() bool {
 // Restrict returns a new instance containing only the given tasks (same
 // path). The tasks must belong to the instance's path.
 //
-// The capacity slice is shared with the receiver, not copied: the combined
-// pipeline restricts the same instance once per arm and once per class, and
-// re-copying the profile each time dominated the partition cost. Capacity
-// slices are read-only throughout the library — code that needs to modify
-// capacities must go through ClipCapacities or Clone, which allocate fresh
-// slices.
+// The capacity slice is SHARED with the receiver, not copied — a copy-on-
+// write contract, not an implementation detail: the combined pipeline
+// restricts the same instance once per arm and once per class, the shard
+// decomposition layer windows it once per shard (SubPath), and re-copying
+// the profile each time dominated the partition cost. Capacity slices are
+// read-only throughout the library; code that needs to modify capacities
+// must go through ClipCapacities or Clone, which allocate fresh slices.
+// TestRestrictSharesCapacity and difftest's shard suite pin this contract:
+// a restricted or sharded solve must never mutate the parent's capacities.
 func (in *Instance) Restrict(tasks []Task) *Instance {
 	return &Instance{Capacity: in.Capacity, Tasks: append([]Task(nil), tasks...)}
+}
+
+// SubPath returns the sub-instance on the edge window [lo, hi): the
+// capacity window is shared with the receiver read-only (the same
+// copy-on-write contract as Restrict; the full slice expression keeps an
+// append on the sub-slice from spilling into the parent's backing array),
+// and the given tasks are copied with their intervals rebased by -lo so
+// they address the sub-path's own edges. Every task must satisfy
+// lo ≤ Start < End ≤ hi; the shard decomposition layer guarantees this by
+// cutting only at zero-load edges.
+func (in *Instance) SubPath(lo, hi int, tasks []Task) *Instance {
+	sub := &Instance{Capacity: in.Capacity[lo:hi:hi], Tasks: make([]Task, len(tasks))}
+	for i, t := range tasks {
+		t.Start -= lo
+		t.End -= lo
+		sub.Tasks[i] = t
+	}
+	return sub
 }
 
 // ClipCapacities returns a copy of the instance whose edge capacities are

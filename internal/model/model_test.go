@@ -590,3 +590,56 @@ func TestRingJSONRoundTrip(t *testing.T) {
 		t.Errorf("invalid ring accepted")
 	}
 }
+
+// TestRestrictSharesCapacity pins Restrict's copy-on-write contract: the
+// restricted instance aliases the parent's capacity slice (no copy), while
+// the task slice is an independent copy. The shard decomposition layer
+// leans on the same contract through SubPath.
+func TestRestrictSharesCapacity(t *testing.T) {
+	in := &Instance{
+		Capacity: []int64{5, 6, 7},
+		Tasks:    []Task{{ID: 0, Start: 0, End: 2, Demand: 1, Weight: 1}},
+	}
+	r := in.Restrict(in.Tasks)
+	if &r.Capacity[0] != &in.Capacity[0] {
+		t.Error("Restrict copied the capacity slice; the contract is read-only sharing")
+	}
+	r.Tasks[0].Weight = 99
+	if in.Tasks[0].Weight != 1 {
+		t.Error("Restrict aliased the task slice; tasks must be copied")
+	}
+	// The mutating escape hatches allocate fresh slices.
+	if c := in.ClipCapacities(6); &c.Capacity[0] == &in.Capacity[0] {
+		t.Error("ClipCapacities aliased the parent capacity slice")
+	}
+	if c := in.Clone(); &c.Capacity[0] == &in.Capacity[0] {
+		t.Error("Clone aliased the parent capacity slice")
+	}
+}
+
+// TestSubPath checks the windowing twin of Restrict: shared capacity
+// window, rebased task copies, and append isolation via the full slice
+// expression.
+func TestSubPath(t *testing.T) {
+	in := &Instance{
+		Capacity: []int64{5, 6, 7, 8, 9},
+		Tasks:    []Task{{ID: 3, Start: 2, End: 4, Demand: 2, Weight: 4}},
+	}
+	sub := in.SubPath(1, 4, in.Tasks)
+	if len(sub.Capacity) != 3 || &sub.Capacity[0] != &in.Capacity[1] {
+		t.Fatalf("window = %v (shared=%v), want edges [1,4) shared with the parent",
+			sub.Capacity, len(sub.Capacity) > 0 && &sub.Capacity[0] == &in.Capacity[1])
+	}
+	want := Task{ID: 3, Start: 1, End: 3, Demand: 2, Weight: 4}
+	if len(sub.Tasks) != 1 || sub.Tasks[0] != want {
+		t.Fatalf("sub tasks = %+v, want [%+v]", sub.Tasks, want)
+	}
+	if in.Tasks[0].Start != 2 {
+		t.Error("SubPath mutated the parent's task slice")
+	}
+	// Appending to the window must not spill into the parent's edge 4.
+	sub.Capacity = append(sub.Capacity, 999)
+	if in.Capacity[4] != 9 {
+		t.Errorf("append on the sub window clobbered the parent: %v", in.Capacity)
+	}
+}

@@ -204,6 +204,18 @@ var (
 	RatioPermille     = NewHistogram("ratio_vs_lp_permille")
 	LastRatioPermille = NewGauge("last_ratio_vs_lp_permille")
 
+	// Shard-and-scatter decomposition (internal/shard). ShardSolves counts
+	// solves that took the sharded path; shard_count/shard_tasks record the
+	// decomposition shape per sharded solve, and the _ns histograms time
+	// the scan and stitch stages (the solve stage lands in solve_ns /
+	// arm_*_ns as usual). shard_scan_ns is recorded on every scan, not just
+	// the ones that decompose, so it prices the fall-through overhead too.
+	ShardSolves   = NewCounter("shard_solves")
+	ShardCount    = NewHistogram("shard_count")
+	ShardTasks    = NewHistogram("shard_tasks")
+	ShardScanNs   = NewHistogram("shard_scan_ns")
+	ShardStitchNs = NewHistogram("shard_stitch_ns")
+
 	// Wall time, nanoseconds. ArmNs is indexed by core.Arm.
 	SolveNs = NewHistogram("solve_ns")
 	ArmNs   = [3]*Histogram{

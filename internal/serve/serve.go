@@ -383,6 +383,9 @@ func (s *Server) solvePath(in *model.Instance, timeout time.Duration) (*cachedRe
 		Tasks:     len(in.Tasks),
 		Degraded:  res.Report != nil && res.Report.Degraded,
 	}
+	if res.Shards != nil {
+		doc.Shards = res.Shards.Shards
+	}
 	for _, pl := range sol.Items {
 		doc.Items = append(doc.Items, solveItemDoc{TaskID: pl.Task.ID, Height: pl.Height})
 	}
@@ -425,13 +428,17 @@ func (s *Server) solveRing(ring *model.RingInstance, timeout time.Duration) (*ca
 // the (task_id, height) shape of model.Solution.WriteJSON, extended with
 // the orientation for ring placements.
 type solveResponseDoc struct {
-	Kind      string         `json:"kind"`
-	Weight    int64          `json:"weight"`
-	Winner    string         `json:"winner"`
-	Scheduled int            `json:"scheduled"`
-	Tasks     int            `json:"tasks"`
-	Degraded  bool           `json:"degraded,omitempty"`
-	Items     []solveItemDoc `json:"items"`
+	Kind      string `json:"kind"`
+	Weight    int64  `json:"weight"`
+	Winner    string `json:"winner"`
+	Scheduled int    `json:"scheduled"`
+	Tasks     int    `json:"tasks"`
+	Degraded  bool   `json:"degraded,omitempty"`
+	// Shards is the number of independent sub-instances the solve
+	// decomposed into at zero-load cut edges; omitted for monolithic
+	// solves (no cut) and for ring instances.
+	Shards int            `json:"shards,omitempty"`
+	Items  []solveItemDoc `json:"items"`
 }
 
 type solveItemDoc struct {

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"sapalloc/internal/faultinject"
+	"sapalloc/internal/gen"
 	"sapalloc/internal/model"
 	"sapalloc/internal/obs"
 )
@@ -453,5 +454,38 @@ func TestServeBodyLimit(t *testing.T) {
 	resp, got := postJSON(t, ts, "/v1/solve", bytes.Repeat([]byte("x"), 200))
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Errorf("oversized body: status %d, body %s", resp.StatusCode, got)
+	}
+}
+
+// TestServeShardsField pins the shard count in the wire format: a
+// decomposable instance reports how many sub-instances the solve split
+// into, and a monolithic solve omits the field entirely.
+func TestServeShardsField(t *testing.T) {
+	ts := newTestServer(t, Config{})
+
+	arch := gen.Archipelago(gen.ArchipelagoConfig{
+		Seed: 901, Islands: 3, IslandEdges: 4, GapEdges: 2,
+		TasksPerIsland: 5, CapLo: 16, CapHi: 65, Class: gen.Mixed,
+	})
+	resp, got := postJSON(t, ts, "/v1/solve", encodeInstance(t, arch))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("archipelago solve: status %d, body %s", resp.StatusCode, got)
+	}
+	var doc struct {
+		Shards int `json:"shards"`
+	}
+	if err := json.Unmarshal(got, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Shards != 3 {
+		t.Errorf("shards = %d, want 3 (body %s)", doc.Shards, got)
+	}
+
+	resp2, got2 := postJSON(t, ts, "/v1/solve", encodeInstance(t, testInstance(0)))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("monolithic solve: status %d, body %s", resp2.StatusCode, got2)
+	}
+	if bytes.Contains(got2, []byte(`"shards"`)) {
+		t.Errorf("monolithic response carries a shards field: %s", got2)
 	}
 }
