@@ -11,6 +11,8 @@
 #   ./check.sh serve   serving-layer suites (cache/singleflight/admission) under -race
 #   ./check.sh shard   shard decomposition matrix (fall-through, determinism,
 #                      component equivalence, cancel) under -race
+#   ./check.sh dist    distributed fan-out: envelope unit suites + the
+#                      distributed-vs-local matrix over live backends, -race
 set -e
 
 # Ratcheted coverage floor (percentage points). CI fails when total
@@ -75,7 +77,24 @@ if [ "$1" = "fuzz" ]; then
     go test -run '^$' -fuzz '^FuzzReadInstanceJSON$' -fuzztime "$fuzztime" ./internal/model/
     go test -run '^$' -fuzz '^FuzzReadSolutionJSON$' -fuzztime "$fuzztime" ./internal/model/
     go test -run '^$' -fuzz '^FuzzShardStitch$' -fuzztime "$fuzztime" ./internal/shard/
+    go test -run '^$' -fuzz '^FuzzShardWire$' -fuzztime "$fuzztime" ./internal/shard/
     echo "FUZZ SMOKE PASSED"
+    exit 0
+fi
+
+if [ "$1" = "dist" ]; then
+    # The distributed fan-out is concurrency all the way down (hedging
+    # races, breaker state machines, the scatter itself), so everything
+    # here runs -race: the envelope's unit suites, then the
+    # distributed-vs-local byte-identity matrix against live in-process
+    # backends — healthy pools, dead pools, mid-scatter backend death,
+    # forced hedging, open breakers, and the transport fault sites.
+    echo "== dist envelope: routing + retry/hedge/breaker units (-race) =="
+    go test -race -timeout 10m -count=1 ./internal/dist/
+    echo "== dist matrix: distributed-vs-local byte identity (-race, workers 1/2/8) =="
+    go test -race -timeout 15m -count=1 -run 'TestDist' ./internal/difftest/
+    go build ./cmd/sapserved ./cmd/sapstress
+    echo "DIST GATE PASSED"
     exit 0
 fi
 

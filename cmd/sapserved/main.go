@@ -20,6 +20,14 @@
 // On SIGINT/SIGTERM the server drains: health flips to 503, new solves
 // are refused with Retry-After, and in-flight requests get -grace to
 // finish before the listener closes.
+//
+// With -peers, decomposable solves scatter their shards over the named
+// sapserved backends (POST /v1/shard) through internal/dist's robustness
+// envelope — retries, hedging, circuit breakers, and local fallback — so a
+// sick or absent pool degrades to the single-node behaviour rather than
+// failing requests:
+//
+//	sapserved -addr :8080 -peers http://node1:8080,http://node2:8080
 package main
 
 import (
@@ -30,10 +38,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"sapalloc/internal/core"
+	"sapalloc/internal/dist"
 	"sapalloc/internal/obscli"
 	"sapalloc/internal/serve"
 )
@@ -52,6 +62,16 @@ func main() {
 		cacheTasks  = flag.Int64("cache-tasks", 1<<20, "canonicalization cache: max total tasks across cached instances")
 		maxBody     = flag.Int64("max-body-bytes", 32<<20, "request body size cap")
 		grace       = flag.Duration("grace", 30*time.Second, "drain window for in-flight requests on shutdown")
+
+		peers           = flag.String("peers", "", "comma-separated backend base URLs for distributed shard fan-out (empty = solve everything locally)")
+		rpcTimeout      = flag.Duration("rpc-timeout", 0, "per-attempt shard RPC deadline (0 = 2s, negative = parent deadline only)")
+		rpcRetries      = flag.Int("rpc-retries", 0, "remote attempts per shard (0 = 3, negative = no retries)")
+		hedgeAfter      = flag.Duration("hedge-after", 0, "hedge a shard RPC after this quiet period (0 = 50ms floor raised to the backend p95, negative = no hedging)")
+		breakerFails    = flag.Int("breaker-failures", 0, "consecutive failures that open a backend's breaker (0 = 5, negative = no breaker)")
+		breakerWindow   = flag.Duration("breaker-window", 0, "error-rate observation window (0 = 10s)")
+		breakerRate     = flag.Float64("breaker-rate", 0, "windowed error rate that opens the breaker (0 = 0.5)")
+		breakerCooldown = flag.Duration("breaker-cooldown", 0, "open-breaker cooldown before half-open probes (0 = 5s)")
+		healthInterval  = flag.Duration("health-interval", 5*time.Second, "active /healthz probe period for tripped breakers (0 = no prober)")
 	)
 	obsFlags := obscli.RegisterServing(flag.CommandLine)
 	flag.Parse()
@@ -61,8 +81,29 @@ func main() {
 	}
 	defer stopObs()
 
+	params := core.Params{Eps: *eps, Workers: *workers}
+	if list := splitPeers(*peers); len(list) > 0 {
+		pool, err := dist.New(dist.Config{
+			Peers:           list,
+			MaxAttempts:     *rpcRetries,
+			PerTryTimeout:   *rpcTimeout,
+			HedgeAfter:      *hedgeAfter,
+			BreakerFailures: *breakerFails,
+			BreakerWindow:   *breakerWindow,
+			BreakerRate:     *breakerRate,
+			BreakerCooldown: *breakerCooldown,
+			HealthInterval:  *healthInterval,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer pool.Close()
+		params.Distributor = pool.Distributor
+		fmt.Fprintf(os.Stderr, "sapserved: distributing shards over %d peers\n", pool.Backends())
+	}
+
 	srv := serve.New(serve.Config{
-		Params:         core.Params{Eps: *eps, Workers: *workers},
+		Params:         params,
 		MaxTimeout:     *maxTimeout,
 		DefaultTimeout: *defTimeout,
 		Concurrency:    *concurrency,
@@ -104,6 +145,18 @@ func main() {
 		fatalf("serve: %v", err)
 	}
 	fmt.Fprintln(os.Stderr, "sapserved: drained, exiting")
+}
+
+// splitPeers parses the -peers list, dropping empty elements so trailing
+// commas are harmless.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fatalf(format string, args ...any) {

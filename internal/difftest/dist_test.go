@@ -1,0 +1,377 @@
+package difftest
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sapalloc/internal/core"
+	"sapalloc/internal/dist"
+	"sapalloc/internal/faultinject"
+	"sapalloc/internal/oracle"
+	"sapalloc/internal/serve"
+	"sapalloc/internal/shard"
+)
+
+// The distributed matrix: every case runs twice — once purely locally, once
+// scattered over in-process sapserved backends through internal/dist — and
+// the two Results must be byte-identical after stripping timings and
+// routes. Routes are diagnostics and legitimately differ between the two
+// runs (that is their job); everything else — placements, weights, shard
+// states, winner labels, degradation flags — is covered by the contract
+// that a backend solves a shard with exactly the pipeline the local arm
+// runs.
+
+// newBackends starts n in-process sapserved instances and returns a pool
+// config whose remaining knobs are test-sized.
+func newBackends(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+func newDistPool(t *testing.T, cfg dist.Config) *dist.Pool {
+	t.Helper()
+	if cfg.BackoffBase == 0 {
+		cfg.BackoffBase = time.Millisecond
+	}
+	if cfg.BackoffCap == 0 {
+		cfg.BackoffCap = 2 * time.Millisecond
+	}
+	p, err := dist.New(cfg)
+	if err != nil {
+		t.Fatalf("dist.New: %v", err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// stripRoutes zeroes the per-shard route diagnostics before a
+// distributed-vs-local Result comparison.
+func stripRoutes(r *core.Result) {
+	if r == nil || r.Shards == nil {
+		return
+	}
+	for i := range r.Shards.Outcomes {
+		r.Shards.Outcomes[i].Route = shard.Route{}
+	}
+}
+
+// distParams is local params plus the pool's distributor.
+func distParams(w int, p *dist.Pool) core.Params {
+	return core.Params{Workers: w, Distributor: p.Distributor}
+}
+
+// TestDistMatchesLocal runs every path case and every archipelago case
+// through a healthy 3-backend pool at workers 1, 2 and 8 and requires the
+// distributed Result to be byte-identical to the local one. Decomposing
+// cases must actually have left the process: every completed shard's route
+// has to name a remote backend.
+func TestDistMatchesLocal(t *testing.T) {
+	pool := newDistPool(t, dist.Config{Peers: newBackends(t, 3), HedgeAfter: -1})
+	remoteShards := 0
+	for _, c := range append(PathCases(), shardCases()...) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			for _, w := range []int{1, 2, 8} {
+				local, err := core.Solve(c.In, core.Params{Workers: w})
+				if err != nil {
+					t.Fatalf("workers=%d local: %v (replay: %s)", w, err, c.Replay)
+				}
+				dres, err := core.Solve(c.In, distParams(w, pool))
+				if err != nil {
+					t.Fatalf("workers=%d distributed: %v (replay: %s)", w, err, c.Replay)
+				}
+				if dres.Shards != nil {
+					for _, oc := range dres.Shards.Outcomes {
+						if oc.State == shard.Completed && oc.Route.Origin == shard.OriginRemote {
+							remoteShards++
+						} else if oc.State == shard.Completed {
+							t.Errorf("workers=%d: healthy pool left shard %v local: %+v (replay: %s)",
+								w, oc.Span, oc.Route, c.Replay)
+						}
+					}
+				}
+				stripTimings(local)
+				stripTimings(dres)
+				stripRoutes(dres)
+				if !reflect.DeepEqual(dres, local) {
+					t.Errorf("workers=%d: distributed Result differs from local (replay: %s)\n got: %+v\nwant: %+v",
+						w, c.Replay, dres, local)
+				}
+			}
+		})
+	}
+	if remoteShards == 0 {
+		t.Error("no shard was ever solved remotely — the distributed path is untested")
+	}
+}
+
+// TestDistAllBackendsDown is the acceptance pin for the bottom of the
+// degradation ladder: with every peer unreachable, a distributed solve must
+// be byte-identical to the plain local sharded solve, with every shard
+// carrying a local-fallback route — full quality, no degraded flag, no
+// error.
+func TestDistAllBackendsDown(t *testing.T) {
+	dead := httptest.NewServer(http.NotFoundHandler())
+	deadURL := dead.URL
+	dead.Close() // connection refused from here on
+	pool := newDistPool(t, dist.Config{
+		Peers:         []string{deadURL},
+		MaxAttempts:   -1, // one attempt per shard keeps the matrix fast
+		PerTryTimeout: 200 * time.Millisecond,
+		HedgeAfter:    -1,
+	})
+	for _, c := range shardCases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			for _, w := range []int{1, 2, 8} {
+				local, err := core.Solve(c.In, core.Params{Workers: w})
+				if err != nil {
+					t.Fatalf("workers=%d local: %v (replay: %s)", w, err, c.Replay)
+				}
+				dres, err := core.Solve(c.In, distParams(w, pool))
+				if err != nil {
+					t.Fatalf("workers=%d distributed with dead pool: %v (replay: %s)", w, err, c.Replay)
+				}
+				if dres.Shards == nil {
+					t.Fatalf("workers=%d: no shard report (replay: %s)", w, c.Replay)
+				}
+				for _, oc := range dres.Shards.Outcomes {
+					if oc.Route.Origin != shard.OriginFallback {
+						t.Errorf("workers=%d: shard %v route %+v, want local-fallback (replay: %s)",
+							w, oc.Span, oc.Route, c.Replay)
+					}
+				}
+				if dres.Report != nil && dres.Report.Degraded {
+					t.Errorf("workers=%d: local fallback flagged the solve degraded (replay: %s)", w, c.Replay)
+				}
+				stripTimings(local)
+				stripTimings(dres)
+				stripRoutes(dres)
+				if !reflect.DeepEqual(dres, local) {
+					t.Errorf("workers=%d: dead-pool Result differs from local solve (replay: %s)\n got: %+v\nwant: %+v",
+						w, c.Replay, dres, local)
+				}
+			}
+		})
+	}
+}
+
+// TestDistBackendDiesMidScatter kills one of two backends after it has
+// served two shards (it starts answering 500) and requires the solve to
+// absorb the outage: byte-identical to local, every shard completed, via
+// the surviving backend or local fallback.
+func TestDistBackendDiesMidScatter(t *testing.T) {
+	healthyURLs := newBackends(t, 1)
+	var served atomic.Int64
+	flaky := serve.New(serve.Config{}).Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if served.Add(1) > 2 {
+			http.Error(w, "killed mid-scatter", http.StatusInternalServerError)
+			return
+		}
+		flaky.ServeHTTP(w, r)
+	}))
+	t.Cleanup(ts.Close)
+	pool := newDistPool(t, dist.Config{
+		Peers:       append(healthyURLs, ts.URL),
+		MaxAttempts: 2,
+		HedgeAfter:  -1,
+	})
+	for _, w := range []int{1, 2, 8} {
+		served.Store(0)
+		for _, c := range shardCases()[:2] {
+			local, err := core.Solve(c.In, core.Params{Workers: w})
+			if err != nil {
+				t.Fatalf("workers=%d local: %v (replay: %s)", w, err, c.Replay)
+			}
+			dres, err := core.Solve(c.In, distParams(w, pool))
+			if err != nil {
+				t.Fatalf("workers=%d distributed: %v (replay: %s)", w, err, c.Replay)
+			}
+			if err := oracle.CheckSAP(c.In, dres.Solution); err != nil {
+				t.Fatalf("workers=%d: solution under mid-scatter kill infeasible: %v (replay: %s)", w, err, c.Replay)
+			}
+			if dres.Shards == nil || dres.Shards.Completed != dres.Shards.Shards {
+				t.Errorf("workers=%d: shard report %+v, want all completed (replay: %s)", w, dres.Shards, c.Replay)
+			}
+			stripTimings(local)
+			stripTimings(dres)
+			stripRoutes(dres)
+			if !reflect.DeepEqual(dres, local) {
+				t.Errorf("workers=%d: mid-scatter-kill Result differs from local (replay: %s)", w, c.Replay)
+			}
+		}
+	}
+}
+
+// TestDistSlowBackendsHedge makes every backend sit on its response long
+// enough to cross the hedging trigger and pins that hedges fire (every
+// remotely-completed shard is marked Hedged) without disturbing the result
+// bytes.
+func TestDistSlowBackendsHedge(t *testing.T) {
+	slow := func() http.Handler {
+		real := serve.New(serve.Config{}).Handler()
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			time.Sleep(30 * time.Millisecond)
+			real.ServeHTTP(w, r)
+		})
+	}
+	ts1, ts2 := httptest.NewServer(slow()), httptest.NewServer(slow())
+	t.Cleanup(ts1.Close)
+	t.Cleanup(ts2.Close)
+	pool := newDistPool(t, dist.Config{
+		Peers:         []string{ts1.URL, ts2.URL},
+		HedgeAfter:    2 * time.Millisecond,
+		PerTryTimeout: 10 * time.Second,
+	})
+	c := shardCases()[0]
+	for _, w := range []int{1, 2, 8} {
+		local, err := core.Solve(c.In, core.Params{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d local: %v (replay: %s)", w, err, c.Replay)
+		}
+		dres, err := core.Solve(c.In, distParams(w, pool))
+		if err != nil {
+			t.Fatalf("workers=%d distributed: %v (replay: %s)", w, err, c.Replay)
+		}
+		for _, oc := range dres.Shards.Outcomes {
+			if oc.Route.Origin == shard.OriginRemote && !oc.Route.Hedged {
+				t.Errorf("workers=%d: slow-pool shard %v never hedged: %+v (replay: %s)",
+					w, oc.Span, oc.Route, c.Replay)
+			}
+		}
+		stripTimings(local)
+		stripTimings(dres)
+		stripRoutes(dres)
+		if !reflect.DeepEqual(dres, local) {
+			t.Errorf("workers=%d: hedged Result differs from local (replay: %s)", w, c.Replay)
+		}
+	}
+}
+
+// TestDistBreakersOpen trips every breaker with a poisoned pool, then pins
+// the short-circuit: subsequent solves skip the network entirely (zero
+// attempts, BreakerOpen routes) and still return the exact local Result.
+func TestDistBreakersOpen(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "poisoned", http.StatusInternalServerError)
+	}))
+	t.Cleanup(ts.Close)
+	pool := newDistPool(t, dist.Config{
+		Peers:           []string{ts.URL},
+		MaxAttempts:     2,
+		HedgeAfter:      -1,
+		BreakerFailures: 1,
+		BreakerCooldown: time.Hour, // never half-opens within the test
+	})
+	c := shardCases()[0]
+	if _, err := core.Solve(c.In, distParams(1, pool)); err != nil {
+		t.Fatalf("breaker-tripping solve: %v (replay: %s)", err, c.Replay)
+	}
+	for _, w := range []int{1, 2, 8} {
+		local, err := core.Solve(c.In, core.Params{Workers: w})
+		if err != nil {
+			t.Fatalf("workers=%d local: %v (replay: %s)", w, err, c.Replay)
+		}
+		dres, err := core.Solve(c.In, distParams(w, pool))
+		if err != nil {
+			t.Fatalf("workers=%d distributed: %v (replay: %s)", w, err, c.Replay)
+		}
+		for _, oc := range dres.Shards.Outcomes {
+			r := oc.Route
+			if r.Origin != shard.OriginFallback || !r.BreakerOpen || r.Attempts != 0 {
+				t.Errorf("workers=%d: shard %v route %+v, want zero-attempt breaker-open fallback (replay: %s)",
+					w, oc.Span, r, c.Replay)
+			}
+		}
+		stripTimings(local)
+		stripTimings(dres)
+		stripRoutes(dres)
+		if !reflect.DeepEqual(dres, local) {
+			t.Errorf("workers=%d: breaker-open Result differs from local (replay: %s)", w, c.Replay)
+		}
+	}
+}
+
+// TestDistFaultSites drives the dist transport fault sites under a healthy
+// pool and requires oracle-valid, byte-identical results throughout: dial
+// failures and 5xx bursts burn attempts into fallback, truncation is
+// caught by the codec and retried.
+func TestDistFaultSites(t *testing.T) {
+	peers := newBackends(t, 2)
+	c := shardCases()[1]
+	local, err := core.Solve(c.In, core.Params{Workers: 2})
+	if err != nil {
+		t.Fatalf("local: %v (replay: %s)", err, c.Replay)
+	}
+	stripTimings(local)
+	for _, site := range []string{"dist/dial", "dist/5xx", "dist/trunc"} {
+		t.Run(site, func(t *testing.T) {
+			// Fresh pool per site: the previous site's failures would
+			// otherwise leave breakers open and starve this site of traffic.
+			pool := newDistPool(t, dist.Config{
+				Peers:       peers,
+				MaxAttempts: 2,
+				HedgeAfter:  -1,
+			})
+			plan := faultinject.NewPlan(faultinject.Injection{Site: site, Kind: faultinject.KindError})
+			deactivate := faultinject.Activate(plan)
+			defer deactivate()
+			dres, err := core.Solve(c.In, distParams(2, pool))
+			if err != nil {
+				t.Fatalf("distributed under %s: %v (replay: %s)", site, err, c.Replay)
+			}
+			if hits := plan.Hits(site); hits == 0 {
+				t.Fatalf("fault site %s never fired", site)
+			}
+			if err := oracle.CheckSAP(c.In, dres.Solution); err != nil {
+				t.Fatalf("solution under %s infeasible: %v (replay: %s)", site, err, c.Replay)
+			}
+			stripTimings(dres)
+			stripRoutes(dres)
+			if !reflect.DeepEqual(dres, local) {
+				t.Errorf("Result under %s differs from local (replay: %s)", site, c.Replay)
+			}
+		})
+	}
+}
+
+// TestDistCancelMidScatter is the distributed twin of
+// TestShardCancelMidScatter: the parent context dies after two shards, and
+// the partial-result contract must hold identically with a pool attached.
+func TestDistCancelMidScatter(t *testing.T) {
+	pool := newDistPool(t, dist.Config{Peers: newBackends(t, 2), HedgeAfter: -1})
+	c := shardCases()[3]
+	plan := faultinject.NewPlan(faultinject.Injection{
+		Site: "shard/solve", Kind: faultinject.KindCancel, After: 2, Once: true,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	plan.SetCancel(cancel)
+	deactivate := faultinject.Activate(plan)
+	res, err := core.SolveCtx(ctx, c.In, distParams(1, pool))
+	deactivate()
+	if err != nil {
+		t.Fatalf("partial distributed solve errored: %v (replay: %s)", err, c.Replay)
+	}
+	if res.Shards == nil || res.Shards.Completed == 0 || res.Shards.Completed >= res.Shards.Shards {
+		t.Fatalf("shard report %+v, want a strict partial completion (replay: %s)", res.Shards, c.Replay)
+	}
+	if res.Report == nil || !res.Report.Degraded {
+		t.Errorf("SolveReport = %+v, want Degraded (replay: %s)", res.Report, c.Replay)
+	}
+	if err := oracle.CheckSAP(c.In, res.Solution); err != nil {
+		t.Errorf("partial solution infeasible: %v (replay: %s)", err, c.Replay)
+	}
+}

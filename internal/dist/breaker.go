@@ -1,0 +1,199 @@
+package dist
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker machine. Closed
+// passes traffic and watches for failure; Open rejects traffic until a
+// cooldown elapses; HalfOpen admits one probe at a time and closes again
+// only after a configured run of probe successes.
+type breakerState int
+
+const (
+	stateClosed breakerState = iota
+	stateOpen
+	stateHalfOpen
+)
+
+func (s breakerState) String() string {
+	switch s {
+	case stateClosed:
+		return "closed"
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breakerConfig is the resolved (post-default) breaker tuning.
+type breakerConfig struct {
+	disabled   bool          // pass everything, record nothing
+	failures   int           // consecutive failures that trip the breaker
+	window     time.Duration // error-rate observation window
+	rate       float64       // error rate within window that trips
+	minSamples int           // window samples required before rate applies
+	cooldown   time.Duration // open → half-open delay
+	probes     int           // half-open successes required to close
+}
+
+// sample is one request outcome inside the error-rate window.
+type sample struct {
+	at time.Time
+	ok bool
+}
+
+// breaker guards one backend. It is fed passively by RPC results and
+// actively by the health prober; both paths call Allow before a request and
+// done (or forgive) after. The clock is injected so the open → half-open →
+// closed walk is testable without sleeping.
+type breaker struct {
+	cfg     breakerConfig
+	now     func() time.Time
+	onTrip  func() // closed → open edge only
+	onClose func() // half-open → closed edge only
+
+	mu          sync.Mutex
+	st          breakerState
+	consecFails int
+	samples     []sample
+	openedAt    time.Time
+	probeBusy   bool // a half-open probe is in flight
+	probeOKs    int
+}
+
+func newBreaker(cfg breakerConfig, now func() time.Time, onTrip, onClose func()) *breaker {
+	return &breaker{cfg: cfg, now: now, onTrip: onTrip, onClose: onClose}
+}
+
+// state reports the current state, applying the cooldown transition first so
+// callers never observe a stale Open past its cooldown.
+func (b *breaker) state() breakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	return b.st
+}
+
+// Allow reports whether a request may be sent. In half-open state a true
+// return claims the single probe slot; the caller MUST balance it with done
+// or forgive, or the breaker wedges half-open.
+func (b *breaker) Allow() bool {
+	if b.cfg.disabled {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.maybeHalfOpen()
+	switch b.st {
+	case stateClosed:
+		return true
+	case stateHalfOpen:
+		if b.probeBusy {
+			return false
+		}
+		b.probeBusy = true
+		return true
+	}
+	return false
+}
+
+// maybeHalfOpen moves Open to HalfOpen once the cooldown has elapsed.
+// Callers hold b.mu.
+func (b *breaker) maybeHalfOpen() {
+	if b.st == stateOpen && b.now().Sub(b.openedAt) >= b.cfg.cooldown {
+		b.st = stateHalfOpen
+		b.probeBusy = false
+		b.probeOKs = 0
+	}
+}
+
+// done records the outcome of a request admitted by Allow.
+func (b *breaker) done(ok bool) {
+	if b.cfg.disabled {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.st {
+	case stateClosed:
+		b.record(ok)
+	case stateHalfOpen:
+		b.probeBusy = false
+		if !ok {
+			// The probe failed: the backend is still sick, restart the
+			// cooldown. No onTrip — the breaker never closed.
+			b.st = stateOpen
+			b.openedAt = b.now()
+			return
+		}
+		b.probeOKs++
+		if b.probeOKs >= b.cfg.probes {
+			b.st = stateClosed
+			b.consecFails = 0
+			b.samples = b.samples[:0]
+			if b.onClose != nil {
+				b.onClose()
+			}
+		}
+	case stateOpen:
+		// A result from a request admitted before the trip; stale, ignore.
+	}
+}
+
+// forgive releases a slot claimed by Allow without recording an outcome.
+// Used for requests that lost a hedging race or were cancelled by the
+// caller: the backend did nothing wrong, so it must not be penalised, but a
+// half-open probe slot must still be returned.
+func (b *breaker) forgive() {
+	if b.cfg.disabled {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.st == stateHalfOpen {
+		b.probeBusy = false
+	}
+}
+
+// record folds one closed-state outcome into both trip detectors: the
+// consecutive-failure counter and the windowed error rate. Callers hold
+// b.mu.
+func (b *breaker) record(ok bool) {
+	now := b.now()
+	b.samples = append(b.samples, sample{at: now, ok: ok})
+	cut := 0
+	for cut < len(b.samples) && now.Sub(b.samples[cut].at) > b.cfg.window {
+		cut++
+	}
+	if cut > 0 {
+		b.samples = append(b.samples[:0], b.samples[cut:]...)
+	}
+	if ok {
+		b.consecFails = 0
+		return
+	}
+	b.consecFails++
+	trip := b.consecFails >= b.cfg.failures
+	if !trip && len(b.samples) >= b.cfg.minSamples {
+		fails := 0
+		for _, s := range b.samples {
+			if !s.ok {
+				fails++
+			}
+		}
+		trip = float64(fails) >= b.cfg.rate*float64(len(b.samples))
+	}
+	if trip {
+		b.st = stateOpen
+		b.openedAt = now
+		b.consecFails = 0
+		b.samples = b.samples[:0]
+		if b.onTrip != nil {
+			b.onTrip()
+		}
+	}
+}

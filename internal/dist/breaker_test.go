@@ -1,0 +1,191 @@
+package dist
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for deterministic breaker tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func testBreakerConfig() breakerConfig {
+	return breakerConfig{
+		failures:   3,
+		window:     10 * time.Second,
+		rate:       0.5,
+		minSamples: 10,
+		cooldown:   5 * time.Second,
+		probes:     2,
+	}
+}
+
+// TestBreakerLifecycle walks the full closed → open → half-open → closed
+// circle on a fake clock: consecutive failures trip it, the cooldown gates
+// half-open, exactly one probe flies at a time, and the configured run of
+// probe successes closes it again.
+func TestBreakerLifecycle(t *testing.T) {
+	clock := newFakeClock()
+	trips, closes := 0, 0
+	b := newBreaker(testBreakerConfig(), clock.now, func() { trips++ }, func() { closes++ })
+
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker rejected request %d", i)
+		}
+		b.done(false)
+	}
+	if got := b.state(); got != stateOpen {
+		t.Fatalf("after 3 consecutive failures state = %v, want open", got)
+	}
+	if trips != 1 {
+		t.Fatalf("onTrip fired %d times, want 1", trips)
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+
+	clock.advance(5 * time.Second)
+	if got := b.state(); got != stateHalfOpen {
+		t.Fatalf("after cooldown state = %v, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the first probe")
+	}
+	if b.Allow() {
+		t.Fatal("half-open breaker admitted a second concurrent probe")
+	}
+	b.done(true)
+	if got := b.state(); got != stateHalfOpen {
+		t.Fatalf("after 1/2 probe successes state = %v, want half-open", got)
+	}
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the second probe")
+	}
+	b.done(true)
+	if got := b.state(); got != stateClosed {
+		t.Fatalf("after 2/2 probe successes state = %v, want closed", got)
+	}
+	if closes != 1 {
+		t.Fatalf("onClose fired %d times, want 1", closes)
+	}
+	if !b.Allow() {
+		t.Fatal("re-closed breaker rejected a request")
+	}
+	b.done(true)
+}
+
+// TestBreakerHalfOpenFailureReopens pins that a failed probe restarts the
+// cooldown without re-firing onTrip (the breaker never closed in between).
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	clock := newFakeClock()
+	trips := 0
+	b := newBreaker(testBreakerConfig(), clock.now, func() { trips++ }, nil)
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.done(false)
+	}
+	clock.advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	b.done(false)
+	if got := b.state(); got != stateOpen {
+		t.Fatalf("after failed probe state = %v, want open", got)
+	}
+	if trips != 1 {
+		t.Fatalf("onTrip fired %d times across re-open, want 1", trips)
+	}
+	clock.advance(4 * time.Second)
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a request before the fresh cooldown elapsed")
+	}
+	clock.advance(time.Second)
+	if !b.Allow() {
+		t.Fatal("re-opened breaker rejected the probe after the fresh cooldown")
+	}
+	b.forgive()
+}
+
+// TestBreakerErrorRateTrips drives a failure pattern that never reaches the
+// consecutive-failure threshold but exceeds the windowed error rate.
+func TestBreakerErrorRateTrips(t *testing.T) {
+	clock := newFakeClock()
+	b := newBreaker(testBreakerConfig(), clock.now, nil, nil)
+	// Alternate fail/ok: consecutive failures never exceed 1, but once the
+	// window holds minSamples results at a ≥50% failure rate, the next
+	// failure trips the breaker (the detector runs on failing samples).
+	for i := 0; i < 11; i++ {
+		if !b.Allow() {
+			t.Fatalf("breaker rejected request %d before the rate tripped", i)
+		}
+		b.done(i%2 == 1)
+		clock.advance(100 * time.Millisecond)
+	}
+	if got := b.state(); got != stateOpen {
+		t.Fatalf("state after 6/11 failures in window = %v, want open", got)
+	}
+}
+
+// TestBreakerWindowExpiry pins that stale samples age out: failures spread
+// wider than the window never accumulate into a rate trip.
+func TestBreakerWindowExpiry(t *testing.T) {
+	clock := newFakeClock()
+	b := newBreaker(testBreakerConfig(), clock.now, nil, nil)
+	for i := 0; i < 30; i++ {
+		if !b.Allow() {
+			t.Fatalf("breaker tripped at sample %d despite aged-out window", i)
+		}
+		b.done(i%2 == 1)
+		clock.advance(11 * time.Second) // every sample expires before the next
+	}
+	if got := b.state(); got != stateClosed {
+		t.Fatalf("state = %v, want closed", got)
+	}
+}
+
+// TestBreakerForgive pins that forgiven results neither trip a closed
+// breaker nor leak the half-open probe slot.
+func TestBreakerForgive(t *testing.T) {
+	clock := newFakeClock()
+	b := newBreaker(testBreakerConfig(), clock.now, nil, nil)
+	for i := 0; i < 100; i++ {
+		b.Allow()
+		b.forgive()
+	}
+	if got := b.state(); got != stateClosed {
+		t.Fatalf("forgiven results moved state to %v", got)
+	}
+	for i := 0; i < 3; i++ {
+		b.Allow()
+		b.done(false)
+	}
+	clock.advance(5 * time.Second)
+	if !b.Allow() {
+		t.Fatal("half-open breaker rejected the probe")
+	}
+	b.forgive()
+	if !b.Allow() {
+		t.Fatal("forgive did not release the half-open probe slot")
+	}
+	b.done(true)
+}
+
+// TestBreakerDisabled pins that a disabled breaker is a pure pass-through.
+func TestBreakerDisabled(t *testing.T) {
+	clock := newFakeClock()
+	cfg := testBreakerConfig()
+	cfg.disabled = true
+	b := newBreaker(cfg, clock.now, func() { t.Error("disabled breaker tripped") }, nil)
+	for i := 0; i < 50; i++ {
+		if !b.Allow() {
+			t.Fatal("disabled breaker rejected a request")
+		}
+		b.done(false)
+	}
+	if got := b.state(); got != stateClosed {
+		t.Fatalf("disabled breaker state = %v, want closed", got)
+	}
+}

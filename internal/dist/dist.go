@@ -1,0 +1,628 @@
+// Package dist is the distributed shard fan-out client: it turns the
+// in-process shard solver of internal/shard into a scatter over a pool of
+// sapserved backends, wrapped in a robustness envelope so a sick pool
+// degrades smoothly instead of failing the solve.
+//
+// Routing is rendezvous (highest-random-weight) hashing keyed on the
+// shard's canonical sapcache key: every client ranks every backend for
+// every shard the same way, so identical shards from different clients
+// land on the same backend and hit its exact-bytes response cache, and
+// removing a backend only reroutes the shards that were on it.
+//
+// The per-shard envelope, in escalation order:
+//
+//   - bounded retries with decorrelated-jitter exponential backoff, each
+//     retry rotating to the next-ranked backend; the jitter RNG is seeded
+//     from the shard key so a replayed solve retries on the same schedule;
+//   - one hedged request to the next-ranked healthy backend once the
+//     primary has been quiet for max(HedgeAfter, primary's recent p95);
+//     first success wins and the loser is cancelled;
+//   - per-backend circuit breakers (consecutive failures or windowed error
+//     rate trip them; cooldown, then probe-limited half-open; an optional
+//     active /healthz prober walks tripped breakers back without traffic);
+//   - local fallback: once remote attempts are exhausted — or every
+//     breaker is open — the shard is solved in-process by the same solver
+//     the non-distributed path uses. A full partition therefore degrades
+//     to exactly the local sharded solve, never to an error.
+//
+// Degradation never compromises the byte-identity contract: backends solve
+// shards with the same deterministic pipeline the local fallback runs, so
+// every path — remote, hedged, retried, fallen back — produces the same
+// bytes, and which path won is recorded only as diagnostics in
+// shard.Route.
+package dist
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sapalloc/internal/faultinject"
+	"sapalloc/internal/model"
+	"sapalloc/internal/obs"
+	"sapalloc/internal/sapcache"
+	"sapalloc/internal/saperr"
+	"sapalloc/internal/shard"
+)
+
+// maxShardResponseBytes caps how much of a backend response the client will
+// buffer; a response this large is corrupt, not big.
+const maxShardResponseBytes = 64 << 20
+
+// Config tunes a Pool. Durations and counts follow the repo convention:
+// zero means "use the default", negative means "disable the feature" where
+// disabling is meaningful.
+type Config struct {
+	// Peers are backend base URLs (e.g. http://10.0.0.2:8080). An empty
+	// pool distributes nothing: Distributor returns the local solver
+	// unchanged.
+	Peers []string
+	// MaxAttempts bounds remote attempts per shard, hedges excluded
+	// (default 3; negative → a single attempt, no retries).
+	MaxAttempts int
+	// PerTryTimeout bounds each attempt, carved from the parent solve
+	// context (default 2s; negative → attempts run to the parent
+	// deadline).
+	PerTryTimeout time.Duration
+	// HedgeAfter is the floor of the hedging trigger; the effective delay
+	// is max(HedgeAfter, primary backend's recent p95 latency). Default
+	// 50ms; negative disables hedging.
+	HedgeAfter time.Duration
+	// BackoffBase and BackoffCap bound the decorrelated-jitter retry
+	// backoff (defaults 5ms and 250ms).
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// BreakerFailures is the consecutive-failure trip threshold (default
+	// 5; negative disables circuit breaking entirely).
+	BreakerFailures int
+	// BreakerWindow, BreakerRate and BreakerMinSamples configure the
+	// second trip detector: the breaker also opens when at least
+	// BreakerMinSamples results landed inside BreakerWindow and the
+	// failing fraction reaches BreakerRate (defaults 10s, 0.5, 10).
+	BreakerWindow     time.Duration
+	BreakerRate       float64
+	BreakerMinSamples int
+	// BreakerCooldown holds an open breaker before it admits half-open
+	// probes (default 5s); BreakerProbes successes close it (default 2).
+	BreakerCooldown time.Duration
+	BreakerProbes   int
+	// HealthInterval enables the active /healthz prober at that period.
+	// Zero leaves it off: with no prober, tripped breakers recover only
+	// via half-open request probes.
+	HealthInterval time.Duration
+	// Client is the HTTP client to use (default: a fresh client with no
+	// overall timeout — per-try contexts bound each call).
+	Client *http.Client
+
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxAttempts == 0 {
+		c.MaxAttempts = 3
+	}
+	if c.MaxAttempts < 0 {
+		c.MaxAttempts = 1
+	}
+	if c.PerTryTimeout == 0 {
+		c.PerTryTimeout = 2 * time.Second
+	}
+	if c.HedgeAfter == 0 {
+		c.HedgeAfter = 50 * time.Millisecond
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 5 * time.Millisecond
+	}
+	if c.BackoffCap < c.BackoffBase {
+		c.BackoffCap = 250 * time.Millisecond
+	}
+	if c.BreakerFailures == 0 {
+		c.BreakerFailures = 5
+	}
+	if c.BreakerWindow <= 0 {
+		c.BreakerWindow = 10 * time.Second
+	}
+	if c.BreakerRate <= 0 {
+		c.BreakerRate = 0.5
+	}
+	if c.BreakerMinSamples <= 0 {
+		c.BreakerMinSamples = 10
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.BreakerProbes <= 0 {
+		c.BreakerProbes = 2
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// backend is one pool member: its URL, its breaker, and a window of recent
+// success latencies that feeds the hedging trigger.
+type backend struct {
+	url string
+	idx int // obs per-backend series index (clamped by obs)
+	br  *breaker
+	lat latWindow
+}
+
+// Pool is a distributed shard client. Construct with New; a Pool is safe
+// for concurrent use by any number of solves.
+type Pool struct {
+	cfg      Config
+	backends []*backend
+	open     atomic.Int64 // breakers currently not closed
+	stop     chan struct{}
+	wg       sync.WaitGroup
+}
+
+// New builds a pool over the given peers and, if HealthInterval is set,
+// starts the active health prober (stop it with Close).
+func New(cfg Config) (*Pool, error) {
+	cfg = cfg.withDefaults()
+	p := &Pool{cfg: cfg, stop: make(chan struct{})}
+	bcfg := breakerConfig{
+		disabled:   cfg.BreakerFailures < 0,
+		failures:   cfg.BreakerFailures,
+		window:     cfg.BreakerWindow,
+		rate:       cfg.BreakerRate,
+		minSamples: cfg.BreakerMinSamples,
+		cooldown:   cfg.BreakerCooldown,
+		probes:     cfg.BreakerProbes,
+	}
+	seen := make(map[string]bool)
+	for _, raw := range cfg.Peers {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		u, err := url.Parse(raw)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("dist: peer %q is not an http(s) base URL", raw)
+		}
+		base := strings.TrimRight(raw, "/")
+		if seen[base] {
+			return nil, fmt.Errorf("dist: duplicate peer %q", base)
+		}
+		seen[base] = true
+		p.backends = append(p.backends, &backend{
+			url: base,
+			idx: len(p.backends),
+			br:  newBreaker(bcfg, cfg.now, p.onTrip, p.onClose),
+		})
+	}
+	if cfg.HealthInterval > 0 && len(p.backends) > 0 {
+		p.wg.Add(1)
+		go p.prober()
+	}
+	return p, nil
+}
+
+// Close stops the health prober. In-flight solves are unaffected.
+func (p *Pool) Close() {
+	close(p.stop)
+	p.wg.Wait()
+}
+
+// Backends reports the pool size.
+func (p *Pool) Backends() int { return len(p.backends) }
+
+func (p *Pool) onTrip() {
+	obs.DistBreakerTrips.Inc()
+	obs.DistBreakerOpen.Set(p.open.Add(1))
+}
+
+func (p *Pool) onClose() {
+	obs.DistBreakerOpen.Set(p.open.Add(-1))
+}
+
+// Distributor adapts the pool to core.Params.Distributor: it wraps the
+// local shard solver with the remote scatter and exposes what each shard's
+// envelope did — the route taken plus, for remotely solved shards, the
+// backend-reported arm stats. With an empty pool it returns the local
+// solver unchanged.
+func (p *Pool) Distributor(shards int, local shard.Solver) (shard.Solver, func(int) shard.Remote) {
+	if len(p.backends) == 0 {
+		return local, nil
+	}
+	// Scatter gives each shard index to exactly one worker, so the
+	// per-index writes are race-free without a lock; the accessor is
+	// only called after the scatter completes.
+	remotes := make([]shard.Remote, shards)
+	solver := shard.Solver(func(ctx context.Context, index int, sub *model.Instance) (*model.Solution, error) {
+		sol, rem, err := p.solveShard(ctx, index, sub, local)
+		remotes[index] = rem
+		return sol, err
+	})
+	return solver, func(i int) shard.Remote { return remotes[i] }
+}
+
+// solveShard runs one shard through the full envelope: ranked remote
+// attempts with retry, hedging and breaker gating, then local fallback.
+// The only errors it can return are the local solver's own.
+func (p *Pool) solveShard(ctx context.Context, index int, sub *model.Instance, local shard.Solver) (*model.Solution, shard.Remote, error) {
+	key := sapcache.KeyOf(sub)
+	ranked := p.rank(key)
+	rng := rand.New(rand.NewSource(int64(binary.BigEndian.Uint64(key[:8]))))
+	var rem shard.Remote
+	route := &rem.Route
+	backoff := p.cfg.BackoffBase
+	for attempt := 0; attempt < p.cfg.MaxAttempts && ctx.Err() == nil; attempt++ {
+		primary, rest, skipped := pickPrimary(ranked, attempt)
+		route.BreakerOpen = route.BreakerOpen || skipped
+		if primary == nil {
+			break // every breaker open: straight to local fallback
+		}
+		if attempt > 0 {
+			route.Retries++
+			obs.DistRetries.Inc()
+			backoff = nextBackoff(rng, backoff, p.cfg.BackoffBase, p.cfg.BackoffCap)
+			if !sleepCtx(ctx, backoff) {
+				primary.br.forgive()
+				break
+			}
+		}
+		route.Attempts++
+		out, hedged := p.race(ctx, sub, primary, rest)
+		route.Hedged = route.Hedged || hedged
+		if out.err == nil {
+			route.Origin = shard.OriginRemote
+			route.Backend = out.b.url
+			route.HedgeWon = out.hedge
+			route.RemoteDegraded = out.wr.Degraded
+			rem.Stats = out.wr.Stats
+			obs.DistRemoteSolves.Inc()
+			return out.sol, rem, nil
+		}
+	}
+	obs.DistFallbacks.Inc()
+	route.Origin = shard.OriginFallback
+	sol, err := local(ctx, index, sub)
+	return sol, rem, err
+}
+
+// rpcOutcome is one backend's answer in a hedging race.
+type rpcOutcome struct {
+	sol   *model.Solution
+	wr    *shard.WireResponse
+	b     *backend
+	hedge bool
+	err   error
+}
+
+// race sends the shard to primary and, if the hedging trigger fires before
+// primary answers, to the first breaker-admitted backend in rest. The first
+// success wins; cancelling the shared context reels in the loser, whose
+// breaker slot is forgiven rather than penalised.
+func (p *Pool) race(ctx context.Context, sub *model.Instance, primary *backend, rest []*backend) (rpcOutcome, bool) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan rpcOutcome, 2)
+	launch := func(b *backend, hedge bool) {
+		go func() {
+			sol, wr, err := p.rpc(ctx, b, sub)
+			if err != nil && ctx.Err() != nil {
+				// Lost the race or the caller gave up: not the
+				// backend's fault.
+				b.br.forgive()
+			} else {
+				b.br.done(err == nil)
+			}
+			ch <- rpcOutcome{sol: sol, wr: wr, b: b, hedge: hedge, err: err}
+		}()
+	}
+	launch(primary, false)
+	inFlight := 1
+	var hedgeC <-chan time.Time
+	if d := p.hedgeDelay(primary); d >= 0 && len(rest) > 0 {
+		t := time.NewTimer(d)
+		defer t.Stop()
+		hedgeC = t.C
+	}
+	hedged := false
+	var firstErr error
+	for inFlight > 0 {
+		select {
+		case <-hedgeC:
+			hedgeC = nil
+			if hb := allowFirst(rest); hb != nil {
+				hedged = true
+				obs.DistHedges.Inc()
+				launch(hb, true)
+				inFlight++
+			}
+		case out := <-ch:
+			inFlight--
+			if out.err == nil {
+				if out.hedge {
+					obs.DistHedgeWins.Inc()
+				}
+				return out, hedged
+			}
+			if firstErr == nil {
+				firstErr = out.err
+			}
+		}
+	}
+	return rpcOutcome{err: firstErr}, hedged
+}
+
+// hedgeDelay is the trigger for one shard: the configured floor, raised to
+// the primary's recent p95 so a briefly slow backend is not hammered with
+// hedges. Negative means hedging is off.
+func (p *Pool) hedgeDelay(primary *backend) time.Duration {
+	if p.cfg.HedgeAfter < 0 {
+		return -1
+	}
+	d := p.cfg.HedgeAfter
+	if p95 := primary.lat.p95(); p95 > d {
+		d = p95
+	}
+	return d
+}
+
+// rpc performs one measured attempt against one backend.
+func (p *Pool) rpc(ctx context.Context, b *backend, sub *model.Instance) (*model.Solution, *shard.WireResponse, error) {
+	if p.cfg.PerTryTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.cfg.PerTryTimeout)
+		defer cancel()
+	}
+	obs.DistRPCs.Inc()
+	start := p.cfg.now()
+	sol, wr, err := p.doRPC(ctx, b, sub)
+	elapsed := p.cfg.now().Sub(start)
+	obs.DistRPCLatencyNs.Record(elapsed.Nanoseconds())
+	obs.DistBackendLatency(b.idx).Record(elapsed.Nanoseconds())
+	if err == nil {
+		b.lat.record(elapsed)
+	}
+	return sol, wr, err
+}
+
+// doRPC is the wire exchange: POST the sub-instance to /v1/shard, decode
+// the response, rebind it to the sub-instance and verify feasibility.
+// Every failure mode maps to saperr.ErrUnavailable so the caller's retry
+// logic has one signal. The faultinject sites model the transport faults
+// the difftest matrix drives: dial failure, a slow response, a 5xx burst
+// and response truncation.
+func (p *Pool) doRPC(ctx context.Context, b *backend, sub *model.Instance) (*model.Solution, *shard.WireResponse, error) {
+	if err := faultinject.FireErr(ctx, "dist/dial"); err != nil {
+		return nil, nil, saperr.Unavailable("dial %s: %v", b.url, err)
+	}
+	var body bytes.Buffer
+	if err := sub.WriteJSON(&body); err != nil {
+		return nil, nil, saperr.Unavailable("encode shard for %s: %v", b.url, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, b.url+"/v1/shard", &body)
+	if err != nil {
+		return nil, nil, saperr.Unavailable("build request for %s: %v", b.url, err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		return nil, nil, saperr.Unavailable("post %s: %v", b.url, err)
+	}
+	defer resp.Body.Close()
+	faultinject.Fire(ctx, "dist/slow") // injected delay between headers and body
+	if err := faultinject.FireErr(ctx, "dist/5xx"); err != nil {
+		return nil, nil, saperr.Unavailable("backend %s: injected server error", b.url)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+		return nil, nil, saperr.Unavailable("backend %s: status %d: %s",
+			b.url, resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	raw, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponseBytes))
+	if err != nil {
+		return nil, nil, saperr.Unavailable("read %s response: %v", b.url, err)
+	}
+	if ferr := faultinject.FireErr(ctx, "dist/trunc"); ferr != nil {
+		raw = raw[:len(raw)/2]
+	}
+	wr, err := shard.DecodeWireResponse(bytes.NewReader(raw))
+	if err != nil {
+		return nil, nil, err
+	}
+	sol, err := wr.Solution(sub)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := model.ValidSAP(sub, sol); err != nil {
+		return nil, nil, saperr.Unavailable("backend %s returned infeasible solution: %v", b.url, err)
+	}
+	return sol, wr, nil
+}
+
+// rank orders the pool for one shard key by rendezvous hashing: each
+// backend scores sha256(key ‖ url) and higher scores rank first. Every
+// client computes the same ranking, and removing a backend reroutes only
+// the shards that ranked it first.
+func (p *Pool) rank(key sapcache.Key) []*backend {
+	type scored struct {
+		b *backend
+		s uint64
+	}
+	sc := make([]scored, len(p.backends))
+	h := sha256.New()
+	for i, b := range p.backends {
+		h.Reset()
+		h.Write(key[:])
+		io.WriteString(h, b.url)
+		var sum [sha256.Size]byte
+		h.Sum(sum[:0])
+		sc[i] = scored{b: b, s: binary.BigEndian.Uint64(sum[:8])}
+	}
+	sort.Slice(sc, func(i, j int) bool {
+		if sc[i].s != sc[j].s {
+			return sc[i].s > sc[j].s
+		}
+		return sc[i].b.url < sc[j].b.url
+	})
+	ranked := make([]*backend, len(sc))
+	for i, s := range sc {
+		ranked[i] = s.b
+	}
+	return ranked
+}
+
+// pickPrimary claims the first breaker-admitted backend in ranked order,
+// rotated by the attempt number so a retry moves on to the next-ranked
+// backend instead of hammering the one that just failed. It returns the
+// claimed backend plus the remaining backends in rotated order (hedge
+// candidates). skipped reports that a breaker rejected at least one
+// backend during the pick — surfaced as Route.BreakerOpen even when the
+// shard still lands remotely.
+func pickPrimary(ranked []*backend, attempt int) (primary *backend, rest []*backend, skipped bool) {
+	n := len(ranked)
+	for k := 0; k < n; k++ {
+		i := (attempt + k) % n
+		if !ranked[i].br.Allow() {
+			skipped = true
+			continue
+		}
+		rest := make([]*backend, 0, n-1)
+		for j := 1; j < n; j++ {
+			rest = append(rest, ranked[(i+j)%n])
+		}
+		return ranked[i], rest, skipped
+	}
+	return nil, nil, n > 0
+}
+
+// allowFirst claims the first breaker-admitted backend, for hedge launches.
+func allowFirst(backends []*backend) *backend {
+	for _, b := range backends {
+		if b.br.Allow() {
+			return b
+		}
+	}
+	return nil
+}
+
+// nextBackoff steps the decorrelated-jitter schedule: uniform in
+// [base, 3·prev], clamped to cap.
+func nextBackoff(rng *rand.Rand, prev, base, cap time.Duration) time.Duration {
+	hi := 3 * prev
+	if hi < base {
+		hi = base
+	}
+	d := base + time.Duration(rng.Int63n(int64(hi-base)+1))
+	if d > cap {
+		d = cap
+	}
+	return d
+}
+
+// sleepCtx sleeps for d or until ctx is done; it reports whether the full
+// sleep elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// prober actively drives tripped breakers back to closed: every interval it
+// probes each not-closed backend's /healthz through the breaker's own
+// admission, so recovery does not have to wait for live traffic to risk a
+// half-open probe.
+func (p *Pool) prober() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			for _, b := range p.backends {
+				if b.br.state() == stateClosed {
+					continue
+				}
+				if !b.br.Allow() {
+					continue
+				}
+				b.br.done(p.healthz(b) == nil)
+			}
+		}
+	}
+}
+
+// healthz is one active probe.
+func (p *Pool) healthz(b *backend) error {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, b.url+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("healthz: status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// latWindow is a fixed ring of recent success latencies; p95 over it feeds
+// the hedging trigger.
+type latWindow struct {
+	mu   sync.Mutex
+	buf  [32]time.Duration
+	n    int // filled entries
+	next int // ring cursor
+}
+
+func (w *latWindow) record(d time.Duration) {
+	w.mu.Lock()
+	w.buf[w.next] = d
+	w.next = (w.next + 1) % len(w.buf)
+	if w.n < len(w.buf) {
+		w.n++
+	}
+	w.mu.Unlock()
+}
+
+// p95 returns the 95th-percentile recent latency, or 0 until at least 8
+// samples exist (too little signal to raise the hedge trigger).
+func (w *latWindow) p95() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n < 8 {
+		return 0
+	}
+	tmp := make([]time.Duration, w.n)
+	copy(tmp, w.buf[:w.n])
+	sort.Slice(tmp, func(i, j int) bool { return tmp[i] < tmp[j] })
+	return tmp[(len(tmp)*95)/100]
+}

@@ -1,0 +1,432 @@
+package dist
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sapalloc/internal/core"
+	"sapalloc/internal/faultinject"
+	"sapalloc/internal/model"
+	"sapalloc/internal/sapcache"
+	"sapalloc/internal/serve"
+	"sapalloc/internal/shard"
+)
+
+// The obs counters and faultinject plans these tests touch are
+// process-global, so the suite cannot use t.Parallel within this file.
+
+func distInstance(salt int64) *model.Instance {
+	return &model.Instance{
+		Capacity: []int64{9, 7, 9, 5},
+		Tasks: []model.Task{
+			{ID: 0, Start: 0, End: 2, Demand: 3, Weight: 10 + salt},
+			{ID: 1, Start: 1, End: 4, Demand: 2, Weight: 7},
+			{ID: 2, Start: 2, End: 3, Demand: 5, Weight: 4},
+			{ID: 3, Start: 0, End: 1, Demand: 4, Weight: 6},
+			{ID: 4, Start: 3, End: 4, Demand: 1, Weight: 9},
+		},
+	}
+}
+
+// localSolver is the in-process arm the distributed path must degrade to.
+func localSolver(t *testing.T) shard.Solver {
+	t.Helper()
+	return func(ctx context.Context, _ int, sub *model.Instance) (*model.Solution, error) {
+		res, err := core.SolveCtx(ctx, sub, core.Params{})
+		if err != nil {
+			return nil, err
+		}
+		return res.Solution, nil
+	}
+}
+
+func mustLocal(t *testing.T, in *model.Instance) *model.Solution {
+	t.Helper()
+	res, err := core.SolveCtx(context.Background(), in, core.Params{})
+	if err != nil {
+		t.Fatalf("local solve: %v", err)
+	}
+	return res.Solution
+}
+
+func newPool(t *testing.T, cfg Config) *Pool {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// fastCfg keeps retry/backoff timing test-sized.
+func fastCfg(peers ...string) Config {
+	return Config{
+		Peers:       peers,
+		BackoffBase: time.Millisecond,
+		BackoffCap:  2 * time.Millisecond,
+		HedgeAfter:  -1,
+	}
+}
+
+func TestEmptyPoolReturnsLocalSolver(t *testing.T) {
+	p := newPool(t, Config{})
+	local := localSolver(t)
+	solver, remoteOf := p.Distributor(3, local)
+	if remoteOf != nil {
+		t.Error("empty pool returned a remote accessor; want nil (all-local, no route diagnostics)")
+	}
+	in := distInstance(0)
+	sol, err := solver(context.Background(), 0, in)
+	if err != nil {
+		t.Fatalf("solver: %v", err)
+	}
+	if !reflect.DeepEqual(sol.Items, mustLocal(t, in).Items) {
+		t.Error("empty-pool solver is not the local solver")
+	}
+}
+
+func TestNewRejectsBadPeers(t *testing.T) {
+	for _, bad := range [][]string{
+		{"not a url"},
+		{"ftp://host"},
+		{"http://a", "http://a/"},
+	} {
+		if p, err := New(Config{Peers: bad}); err == nil {
+			p.Close()
+			t.Errorf("New accepted peers %v", bad)
+		}
+	}
+}
+
+// TestRendezvousRanking pins the two properties routing relies on: the
+// ranking is deterministic, and removing a backend reroutes only the keys
+// that ranked it first.
+func TestRendezvousRanking(t *testing.T) {
+	p3 := newPool(t, fastCfg("http://a", "http://b", "http://c"))
+	p2 := newPool(t, fastCfg("http://a", "http://c"))
+	var moved, kept int
+	for i := 0; i < 64; i++ {
+		var key sapcache.Key
+		key[0], key[1] = byte(i), byte(i>>3)
+		r1 := p3.rank(key)
+		r1again := p3.rank(key)
+		for j := range r1 {
+			if r1[j].url != r1again[j].url {
+				t.Fatalf("ranking for key %d not stable: %v vs %v", i, r1[j].url, r1again[j].url)
+			}
+		}
+		r2 := p2.rank(key)
+		if r1[0].url == "http://b" {
+			moved++
+			continue
+		}
+		kept++
+		if r2[0].url != r1[0].url {
+			t.Errorf("key %d moved from %s to %s although its backend survived",
+				i, r1[0].url, r2[0].url)
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Errorf("degenerate key distribution: moved=%d kept=%d", moved, kept)
+	}
+}
+
+// TestRemoteSolveMatchesLocal is the happy path: one healthy backend, and
+// the distributed result is byte-identical to the in-process solve.
+func TestRemoteSolveMatchesLocal(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	p := newPool(t, fastCfg(ts.URL))
+	solver, remoteOf := p.Distributor(1, localSolver(t))
+	in := distInstance(0)
+	sol, err := solver(context.Background(), 0, in)
+	if err != nil {
+		t.Fatalf("distributed solve: %v", err)
+	}
+	if !reflect.DeepEqual(sol.Items, mustLocal(t, in).Items) {
+		t.Error("remote solution differs from local solve")
+	}
+	route := remoteOf(0).Route
+	want := shard.Route{Origin: shard.OriginRemote, Backend: ts.URL, Attempts: 1}
+	if route != want {
+		t.Errorf("route = %+v, want %+v", route, want)
+	}
+}
+
+// TestRetryExhaustionFallsBack pins the bottom of the degradation ladder: a
+// backend that only serves 500s burns MaxAttempts attempts (with backoff
+// between them) and the shard lands on the local solver with a fallback
+// route — never an error.
+func TestRetryExhaustionFallsBack(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	cfg := fastCfg(ts.URL)
+	cfg.MaxAttempts = 2
+	cfg.BreakerFailures = 100 // keep the breaker out of this test
+	p := newPool(t, cfg)
+	solver, remoteOf := p.Distributor(1, localSolver(t))
+	in := distInstance(1)
+	sol, err := solver(context.Background(), 0, in)
+	if err != nil {
+		t.Fatalf("solve with dead backend: %v", err)
+	}
+	if !reflect.DeepEqual(sol.Items, mustLocal(t, in).Items) {
+		t.Error("fallback solution differs from local solve")
+	}
+	route := remoteOf(0).Route
+	if route.Origin != shard.OriginFallback || route.Attempts != 2 || route.Retries != 1 {
+		t.Errorf("route = %+v, want fallback after 2 attempts / 1 retry", route)
+	}
+	if hits.Load() != 2 {
+		t.Errorf("backend saw %d requests, want 2", hits.Load())
+	}
+}
+
+// TestBreakerShortCircuitsAndRecovers drives the breaker end to end through
+// real traffic: failures trip it, tripped shards skip straight to local
+// fallback without touching the backend, and once the backend heals and the
+// cooldown elapses a half-open probe closes it again.
+func TestBreakerShortCircuitsAndRecovers(t *testing.T) {
+	clock := newFakeClock()
+	var healthy atomic.Bool
+	var hits atomic.Int64
+	real := serve.New(serve.Config{}).Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		if !healthy.Load() {
+			http.Error(w, "sick", http.StatusInternalServerError)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	cfg := fastCfg(ts.URL)
+	cfg.MaxAttempts = 1
+	cfg.BreakerFailures = 2
+	cfg.BreakerCooldown = 5 * time.Second
+	cfg.BreakerProbes = 1
+	cfg.now = clock.now
+	p := newPool(t, cfg)
+	solver, remoteOf := p.Distributor(1, localSolver(t))
+	in := distInstance(2)
+	want := mustLocal(t, in)
+	ctx := context.Background()
+
+	// Two failing solves trip the breaker (both still fall back cleanly).
+	for i := 0; i < 2; i++ {
+		sol, err := solver(ctx, 0, in)
+		if err != nil || !reflect.DeepEqual(sol.Items, want.Items) {
+			t.Fatalf("solve %d during outage: err=%v", i, err)
+		}
+		if r := remoteOf(0).Route; r.Origin != shard.OriginFallback {
+			t.Fatalf("solve %d route = %+v, want fallback", i, r)
+		}
+	}
+	if got := p.backends[0].br.state(); got != stateOpen {
+		t.Fatalf("breaker state after 2 failures = %v, want open", got)
+	}
+
+	// Open breaker: the backend is not even contacted.
+	before := hits.Load()
+	sol, err := solver(ctx, 0, in)
+	if err != nil || !reflect.DeepEqual(sol.Items, want.Items) {
+		t.Fatalf("solve with open breaker: err=%v", err)
+	}
+	if r := remoteOf(0).Route; r.Origin != shard.OriginFallback || !r.BreakerOpen || r.Attempts != 0 {
+		t.Errorf("open-breaker route = %+v, want zero-attempt fallback with BreakerOpen", r)
+	}
+	if hits.Load() != before {
+		t.Errorf("open breaker still sent %d requests", hits.Load()-before)
+	}
+
+	// Backend heals, cooldown elapses: the next solve is the half-open
+	// probe, succeeds, and closes the breaker.
+	healthy.Store(true)
+	clock.advance(5 * time.Second)
+	sol, err = solver(ctx, 0, in)
+	if err != nil || !reflect.DeepEqual(sol.Items, want.Items) {
+		t.Fatalf("probe solve: err=%v", err)
+	}
+	if r := remoteOf(0).Route; r.Origin != shard.OriginRemote {
+		t.Errorf("probe route = %+v, want remote", r)
+	}
+	if got := p.backends[0].br.state(); got != stateClosed {
+		t.Errorf("breaker state after successful probe = %v, want closed", got)
+	}
+}
+
+// modeHandler is a backend that either serves for real or blocks until the
+// client hangs up, reporting the observed cancellation.
+type modeHandler struct {
+	slow      atomic.Bool
+	real      http.Handler
+	cancelled chan struct{}
+}
+
+func (h *modeHandler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h.slow.Load() {
+		// Drain the body first: the HTTP server only watches for the
+		// client hanging up once the request has been consumed.
+		io.Copy(io.Discard, r.Body)
+		<-r.Context().Done()
+		select {
+		case h.cancelled <- struct{}{}:
+		default:
+		}
+		return
+	}
+	h.real.ServeHTTP(w, r)
+}
+
+// TestHedgeWinnerCancelsLoser wedges the rendezvous-primary backend and
+// pins the hedging path: after HedgeAfter the next-ranked backend gets the
+// hedge, its response wins, and the stuck primary request is cancelled.
+func TestHedgeWinnerCancelsLoser(t *testing.T) {
+	real := serve.New(serve.Config{}).Handler()
+	h1 := &modeHandler{real: real, cancelled: make(chan struct{}, 1)}
+	h2 := &modeHandler{real: real, cancelled: make(chan struct{}, 1)}
+	ts1, ts2 := httptest.NewServer(h1), httptest.NewServer(h2)
+	defer ts1.Close()
+	defer ts2.Close()
+	byURL := map[string]*modeHandler{ts1.URL: h1, ts2.URL: h2}
+
+	cfg := fastCfg(ts1.URL, ts2.URL)
+	cfg.HedgeAfter = 5 * time.Millisecond
+	cfg.PerTryTimeout = 10 * time.Second
+	p := newPool(t, cfg)
+
+	in := distInstance(3)
+	ranked := p.rank(sapcache.KeyOf(in))
+	byURL[ranked[0].url].slow.Store(true) // wedge whichever backend ranks first
+
+	solver, remoteOf := p.Distributor(1, localSolver(t))
+	sol, err := solver(context.Background(), 0, in)
+	if err != nil {
+		t.Fatalf("hedged solve: %v", err)
+	}
+	if !reflect.DeepEqual(sol.Items, mustLocal(t, in).Items) {
+		t.Error("hedged solution differs from local solve")
+	}
+	route := remoteOf(0).Route
+	if !route.Hedged || !route.HedgeWon || route.Backend != ranked[1].url {
+		t.Errorf("route = %+v, want hedge win on %s", route, ranked[1].url)
+	}
+	if route.Origin != shard.OriginRemote {
+		t.Errorf("route origin = %v, want remote", route.Origin)
+	}
+	select {
+	case <-byURL[ranked[0].url].cancelled:
+	case <-time.After(5 * time.Second):
+		t.Error("stuck primary request was never cancelled after the hedge won")
+	}
+	// Losing a race must not penalise the slow backend's breaker.
+	if got := byURL[ranked[0].url]; got != nil {
+		if st := ranked[0].br.state(); st != stateClosed {
+			t.Errorf("hedge loser's breaker state = %v, want closed", st)
+		}
+	}
+}
+
+// TestFaultSiteDial arms the transport dial fault: every attempt fails
+// before any bytes move, and the shard falls back locally.
+func TestFaultSiteDial(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	plan := faultinject.NewPlan(faultinject.Injection{Site: "dist/dial", Kind: faultinject.KindError})
+	deactivate := faultinject.Activate(plan)
+	defer deactivate()
+	cfg := fastCfg(ts.URL)
+	cfg.MaxAttempts = 2
+	cfg.BreakerFailures = 100
+	p := newPool(t, cfg)
+	solver, remoteOf := p.Distributor(1, localSolver(t))
+	in := distInstance(4)
+	sol, err := solver(context.Background(), 0, in)
+	if err != nil {
+		t.Fatalf("solve under dial fault: %v", err)
+	}
+	if !reflect.DeepEqual(sol.Items, mustLocal(t, in).Items) {
+		t.Error("dial-fault solution differs from local solve")
+	}
+	if r := remoteOf(0).Route; r.Origin != shard.OriginFallback || r.Attempts != 2 {
+		t.Errorf("route = %+v, want fallback after 2 dial failures", r)
+	}
+	if plan.Hits("dist/dial") != 2 {
+		t.Errorf("dial site hit %d times, want 2", plan.Hits("dist/dial"))
+	}
+}
+
+// TestFaultSiteTruncationRetries arms a one-shot response truncation: the
+// first attempt decodes garbage and is retried, the second succeeds — the
+// codec's corruption detection feeds the retry loop, not the caller.
+func TestFaultSiteTruncationRetries(t *testing.T) {
+	ts := httptest.NewServer(serve.New(serve.Config{}).Handler())
+	defer ts.Close()
+	plan := faultinject.NewPlan(faultinject.Injection{Site: "dist/trunc", Kind: faultinject.KindError, Once: true})
+	deactivate := faultinject.Activate(plan)
+	defer deactivate()
+	cfg := fastCfg(ts.URL)
+	cfg.MaxAttempts = 3
+	p := newPool(t, cfg)
+	solver, remoteOf := p.Distributor(1, localSolver(t))
+	in := distInstance(5)
+	sol, err := solver(context.Background(), 0, in)
+	if err != nil {
+		t.Fatalf("solve under truncation fault: %v", err)
+	}
+	if !reflect.DeepEqual(sol.Items, mustLocal(t, in).Items) {
+		t.Error("post-truncation solution differs from local solve")
+	}
+	route := remoteOf(0).Route
+	if route.Origin != shard.OriginRemote || route.Attempts != 2 || route.Retries != 1 {
+		t.Errorf("route = %+v, want remote on attempt 2 after one truncated response", route)
+	}
+}
+
+// TestProberClosesBreakerWithoutTraffic tripped breakers recover through
+// the active /healthz prober alone.
+func TestProberClosesBreakerWithoutTraffic(t *testing.T) {
+	var healthy atomic.Bool
+	real := serve.New(serve.Config{}).Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			http.Error(w, "sick", http.StatusInternalServerError)
+			return
+		}
+		real.ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	cfg := fastCfg(ts.URL)
+	cfg.MaxAttempts = 1
+	cfg.BreakerFailures = 1
+	cfg.BreakerCooldown = time.Millisecond
+	cfg.BreakerProbes = 1
+	cfg.HealthInterval = 5 * time.Millisecond
+	p := newPool(t, cfg)
+	solver, _ := p.Distributor(1, localSolver(t))
+	if _, err := solver(context.Background(), 0, distInstance(6)); err != nil {
+		t.Fatalf("tripping solve: %v", err)
+	}
+	if got := p.backends[0].br.state(); got != stateOpen {
+		t.Fatalf("breaker state after failure = %v, want open", got)
+	}
+	healthy.Store(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for p.backends[0].br.state() != stateClosed {
+		if time.Now().After(deadline) {
+			t.Fatal("prober never closed the breaker")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

@@ -16,6 +16,7 @@ package faultinject
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -39,6 +40,13 @@ const (
 	// real context the solve is running under. Exercises every
 	// cooperative check downstream of the site.
 	KindCancel
+	// KindError makes FireErr return the injection's Err (or a default
+	// error naming the site). Sites that can fail without panicking — a
+	// transport dial, a response body read, an HTTP status check — call
+	// FireErr and propagate the returned error through their normal error
+	// path. Fire ignores KindError injections, so arming one at a
+	// Fire-only site is a no-op rather than a crash.
+	KindError
 )
 
 func (k Kind) String() string {
@@ -49,6 +57,8 @@ func (k Kind) String() string {
 		return "delay"
 	case KindCancel:
 		return "cancel"
+	case KindError:
+		return "error"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -66,6 +76,8 @@ type Injection struct {
 	Delay time.Duration
 	// PanicValue overrides the default panic payload for KindPanic.
 	PanicValue any
+	// Err overrides the default error FireErr returns for KindError.
+	Err error
 	// Once disarms the injection after its first trigger; otherwise it
 	// triggers on every hit past After.
 	Once bool
@@ -167,16 +179,36 @@ func Fire(ctx context.Context, site string) {
 	if p == nil {
 		return
 	}
-	p.fire(ctx, site)
+	_ = p.fire(ctx, site, false)
 }
 
-func (p *Plan) fire(ctx context.Context, site string) {
+// FireErr is Fire for sites with an error return path: in addition to the
+// panic/delay/cancel kinds it returns the armed error for KindError
+// injections (nil otherwise, and always nil when no plan is active). The
+// caller propagates the returned error exactly as it would a real failure
+// of the guarded operation:
+//
+//	if err := faultinject.FireErr(ctx, "dist/dial"); err != nil {
+//		return nil, err
+//	}
+func FireErr(ctx context.Context, site string) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	return p.fire(ctx, site, true)
+}
+
+func (p *Plan) fire(ctx context.Context, site string, wantErr bool) error {
 	p.mu.Lock()
 	p.hits[site]++
 	r := p.rules[site]
-	if r == nil || r.done || p.hits[site] <= r.inj.After {
+	if r == nil || r.done || p.hits[site] <= r.inj.After ||
+		(r.inj.Kind == KindError && !wantErr) {
+		// A KindError injection at a Fire-only site stays armed rather
+		// than firing uselessly: only FireErr can deliver it.
 		p.mu.Unlock()
-		return
+		return nil
 	}
 	r.fired++
 	if r.inj.Once {
@@ -198,7 +230,7 @@ func (p *Plan) fire(ctx context.Context, site string) {
 		defer t.Stop()
 		if ctx == nil {
 			<-t.C
-			return
+			return nil
 		}
 		select {
 		case <-t.C:
@@ -208,7 +240,13 @@ func (p *Plan) fire(ctx context.Context, site string) {
 		if cancel != nil {
 			cancel()
 		}
+	case KindError:
+		if inj.Err != nil {
+			return inj.Err
+		}
+		return errors.New("faultinject: injected error at " + site)
 	}
+	return nil
 }
 
 // FromSeed derives a deterministic single-fault plan from seed: it picks a

@@ -36,6 +36,15 @@ var (
 
 	// ErrInternal reports a contained panic — a solver bug, not user error.
 	ErrInternal = errors.New("internal solver error")
+
+	// ErrUnavailable reports a remote backend that could not serve a
+	// request: dial failures, transport errors, 5xx responses, truncated
+	// or infeasible reply bodies, and open circuit breakers all wrap it.
+	// It is a *transient, retryable* condition — the distributed scatter
+	// (internal/dist) retries other backends and ultimately degrades to a
+	// local in-process solve, so ErrUnavailable should never surface to an
+	// end caller of the solve API.
+	ErrUnavailable = errors.New("backend unavailable")
 )
 
 // cancelled wraps both ErrCancelled and the underlying context cause.
@@ -80,6 +89,14 @@ func IsCancelled(err error) bool {
 func Input(format string, args ...any) error {
 	return fmt.Errorf("%w: %s", ErrInfeasibleInput, fmt.Sprintf(format, args...))
 }
+
+// Unavailable builds an error wrapping ErrUnavailable.
+func Unavailable(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrUnavailable, fmt.Sprintf(format, args...))
+}
+
+// IsUnavailable reports whether err is a remote-unavailability error.
+func IsUnavailable(err error) bool { return errors.Is(err, ErrUnavailable) }
 
 // Internal is a contained panic. It wraps ErrInternal and records the
 // recovered value plus the goroutine stack at recovery time.

@@ -48,6 +48,7 @@ import (
 	"sapalloc/internal/ringsap"
 	"sapalloc/internal/sapcache"
 	"sapalloc/internal/saperr"
+	"sapalloc/internal/shard"
 )
 
 // Config tunes the server. The zero value serves with the documented
@@ -140,6 +141,7 @@ func New(cfg Config) *Server {
 		mux:   http.NewServeMux(),
 	}
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
+	s.mux.HandleFunc("/v1/shard", s.handleShard)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.Handle("/metricsz", expvar.Handler())
 	return s
@@ -163,9 +165,19 @@ var (
 	// after backing off (HTTP 429).
 	errOverloaded = errors.New("server overloaded: work queue full")
 	// errQueueTimeout: the request's deadline expired while it was still
-	// waiting for a solve slot (HTTP 503).
+	// waiting for a solve slot (HTTP 503 + Retry-After: the server was
+	// busy, trying again later may succeed).
 	errQueueTimeout = errors.New("deadline expired while queued")
+	// errClientGone: the client closed the connection while the request
+	// was still waiting for a solve slot (499-style close: there is
+	// nobody left to answer, and no Retry-After to hint).
+	errClientGone = errors.New("client closed request while queued")
 )
+
+// statusClientClosedRequest is the de-facto (nginx) status for a request
+// whose client disconnected before a response could be written; net/http
+// has no constant for it.
+const statusClientClosedRequest = 499
 
 // cachedResponse is the unit the cache and the singleflight group carry:
 // the exact response bytes plus the accounting the handler needs.
@@ -238,7 +250,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 			resp := ent.(*cachedResponse)
 			return &cachedResponse{body: resp.body, tasks: resp.tasks, fromHit: true}, nil
 		}
-		release, err := s.admit(timeout)
+		release, err := s.admit(r.Context(), timeout)
 		if err != nil {
 			return nil, err
 		}
@@ -253,7 +265,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return resp, nil
 	})
 	if err != nil {
-		s.writeSolveError(w, err)
+		s.writeSolveError(w, err, shared)
 		return
 	}
 	resp := v.(*cachedResponse)
@@ -269,6 +281,141 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		obs.ServeCacheMiss.Inc()
 	}
 	writeSolveResponse(w, resp.body, source)
+}
+
+// handleShard is POST /v1/shard: solve one pre-cut shard of a distributed
+// scatter (internal/dist is the sending side). The body is a model
+// instance JSON document — the shard's sub-instance in local coordinates —
+// and the response is the shard wire format (shard.WireResponse), with
+// placements in the solver's NATIVE order: the client stitches them as
+// received, and the distributed-vs-local byte-identity contract requires
+// exactly what an in-process solve would have produced.
+//
+// Unlike /v1/solve, the instance is solved AS RECEIVED, not canonicalized,
+// and the response cache is keyed on the exact request bytes
+// (sapcache.KeyOfBytes): the solvers' deterministic tie-breaks key on task
+// order, which canonicalization erases, and a canonical-key hit populated
+// by a permuted twin could differ byte-wise from the client's local
+// fallback. Exact-bytes keying trades permutation dedup (which the shard
+// wire format never produces anyway) for an airtight identity guarantee.
+// Admission control and the degraded-never-cached rule are shared with
+// /v1/solve.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		httpError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if s.Draining() {
+		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+		httpError(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			httpError(w, http.StatusRequestEntityTooLarge, "body exceeds %d bytes", tooLarge.Limit)
+			return
+		}
+		httpError(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	timeout, err := s.requestTimeout(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// The trust boundary: ReadInstanceJSON rejects anything model.Validate
+	// would not accept, before any solver state is touched.
+	in, err := model.ReadInstanceJSON(bytes.NewReader(body))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	obs.ServeShardRequests.Inc()
+
+	key := sapcache.KeyOfBytes(body)
+	if v, ok := s.cache.Get(key); ok {
+		obs.ServeCacheHits.Inc()
+		writeSolveResponse(w, v.(*cachedResponse).body, "hit")
+		return
+	}
+	v, err, shared := s.flight.Do(key, func() (any, error) {
+		if ent, ok := s.cache.Get(key); ok {
+			resp := ent.(*cachedResponse)
+			return &cachedResponse{body: resp.body, tasks: resp.tasks, fromHit: true}, nil
+		}
+		release, err := s.admit(r.Context(), timeout)
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		resp, err := s.solveShard(in, timeout)
+		if err != nil {
+			return nil, err
+		}
+		if !resp.degraded {
+			s.cache.Add(key, resp, int64(len(in.Tasks)))
+		}
+		return resp, nil
+	})
+	if err != nil {
+		s.writeSolveError(w, err, shared)
+		return
+	}
+	resp := v.(*cachedResponse)
+	source := "miss"
+	switch {
+	case shared:
+		obs.ServeCacheDedup.Inc()
+		source = "dedup"
+	case resp.fromHit:
+		obs.ServeCacheHits.Inc()
+		source = "hit"
+	default:
+		obs.ServeCacheMiss.Inc()
+	}
+	writeSolveResponse(w, resp.body, source)
+}
+
+// solveShard runs the combined solver on the shard exactly as received and
+// renders the shard wire response. Like solvePath, the solve is detached
+// from the HTTP request's context: the result is shared with deduplicated
+// followers and populates the cache. The shard is the leaf of the fan-out,
+// so any configured Distributor is dropped — a backend must never
+// re-scatter a shard back into the pool (a routing loop under partition).
+func (s *Server) solveShard(in *model.Instance, timeout time.Duration) (*cachedResponse, error) {
+	p := s.cfg.Params
+	p.Deadline = timeout
+	p.Distributor = nil
+	faultinject.Fire(context.Background(), "serve/shard")
+	res, err := core.SolveCtx(context.Background(), in, p)
+	if err != nil {
+		return nil, err
+	}
+	if err := model.ValidSAP(in, res.Solution); err != nil {
+		return nil, fmt.Errorf("%w: solver produced infeasible shard solution: %v", saperr.ErrInternal, err)
+	}
+	degraded := res.Report != nil && res.Report.Degraded
+	stats := &shard.WireStats{
+		Winner:     int(res.Winner),
+		ArmTasks:   [3]int{res.NumSmall, res.NumMedium, res.NumLarge},
+		ArmWeights: [3]int64{res.SmallWeight, res.MediumWeight, res.LargeWeight},
+	}
+	if res.Report != nil {
+		for i, ar := range res.Report.Arms {
+			stats.ArmStates[i] = int(ar.State)
+			if ar.Err != nil {
+				stats.ArmErrs[i] = ar.Err.Error()
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := shard.NewWireResponse(res.Solution, res.Winner.String(), degraded, stats).Encode(&buf); err != nil {
+		return nil, err
+	}
+	return &cachedResponse{body: buf.Bytes(), tasks: len(in.Tasks), degraded: degraded}, nil
 }
 
 // requestTimeout resolves the per-request deadline: the ?timeout= query
@@ -328,9 +475,15 @@ func (s *Server) decode(body []byte, timeout time.Duration) (sapcache.Key, func(
 
 // admit passes the request through admission control: a non-blocking
 // reservation in the bounded queue (full queue = shed with 429 material),
-// then a wait for a solve slot bounded by the request deadline. The
-// returned release must be called when the solve finishes.
-func (s *Server) admit(timeout time.Duration) (release func(), err error) {
+// then a wait for a solve slot bounded by BOTH the request deadline and the
+// client's continued interest (ctx is the request context, done when the
+// client disconnects). The two give-up paths are distinguished by typed
+// error: a server-side queue-wait expiry is errQueueTimeout (503 +
+// Retry-After — the server was busy, a later retry may land), a client
+// hang-up is errClientGone (499-style close — nobody is listening, a
+// Retry-After hint would be nonsense). The returned release must be called
+// when the solve finishes.
+func (s *Server) admit(ctx context.Context, timeout time.Duration) (release func(), err error) {
 	select {
 	case s.queue <- struct{}{}:
 	default:
@@ -339,8 +492,8 @@ func (s *Server) admit(timeout time.Duration) (release func(), err error) {
 	}
 	obs.ServeQueueDepth.Set(int64(len(s.queue)))
 	waitStart := time.Now()
-	timer := time.NewTimer(timeout)
-	defer timer.Stop()
+	waitCtx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
 	select {
 	case s.slots <- struct{}{}:
 		obs.ServeQueueWaitNs.Record(int64(time.Since(waitStart)))
@@ -351,9 +504,16 @@ func (s *Server) admit(timeout time.Duration) (release func(), err error) {
 			obs.ServeInFlight.Set(int64(len(s.slots)))
 			obs.ServeQueueDepth.Set(int64(len(s.queue)))
 		}, nil
-	case <-timer.C:
+	case <-waitCtx.Done():
 		<-s.queue
 		obs.ServeQueueDepth.Set(int64(len(s.queue)))
+		// saperr.FromContext types the cause: a cancellation on the
+		// request context means the client hung up; otherwise the
+		// queue-wait deadline (ours) expired.
+		if cerr := saperr.FromContext(ctx); errors.Is(cerr, context.Canceled) {
+			obs.ServeClientGone.Inc()
+			return nil, errClientGone
+		}
 		return nil, errQueueTimeout
 	}
 }
@@ -471,10 +631,17 @@ func writeSolveResponse(w http.ResponseWriter, body []byte, source string) {
 }
 
 // writeSolveError maps the typed error taxonomy onto HTTP statuses:
-// overload → 429 (with Retry-After), queue timeout → 503 (with
-// Retry-After), infeasible input → 400, cancellation/deadline with nothing
-// to show → 504, contained solver bugs → 500.
-func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
+// overload → 429 (with Retry-After), server queue-wait expiry → 503 (with
+// Retry-After), client hang-up while queued → 499 (no Retry-After — the
+// requester is gone), infeasible input → 400, cancellation/deadline with
+// nothing to show → 504, contained solver bugs → 500.
+//
+// shared reports that the error came from a deduplicated flight this
+// request merely followed. A followed errClientGone means the LEADER's
+// client hung up, not ours, so the follower is answered with 503 +
+// Retry-After instead: its client is still listening and a retry will
+// elect a new leader.
+func (s *Server) writeSolveError(w http.ResponseWriter, err error, shared bool) {
 	switch {
 	case errors.Is(err, errOverloaded):
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
@@ -482,6 +649,13 @@ func (s *Server) writeSolveError(w http.ResponseWriter, err error) {
 	case errors.Is(err, errQueueTimeout):
 		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
 		httpError(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, errClientGone):
+		if shared {
+			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
+			httpError(w, http.StatusServiceUnavailable, "shared solve abandoned by its leader: %v", err)
+			return
+		}
+		httpError(w, statusClientClosedRequest, "%v", err)
 	case errors.Is(err, saperr.ErrInfeasibleInput):
 		httpError(w, http.StatusBadRequest, "%v", err)
 	case saperr.IsCancelled(err):

@@ -2,18 +2,23 @@ package serve
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"sync"
 	"testing"
 	"time"
 
+	"sapalloc/internal/core"
 	"sapalloc/internal/faultinject"
 	"sapalloc/internal/gen"
 	"sapalloc/internal/model"
 	"sapalloc/internal/obs"
+	"sapalloc/internal/shard"
 )
 
 // The obs counters these tests assert on are process-global, so the suite
@@ -487,5 +492,120 @@ func TestServeShardsField(t *testing.T) {
 	}
 	if bytes.Contains(got2, []byte(`"shards"`)) {
 		t.Errorf("monolithic response carries a shards field: %s", got2)
+	}
+}
+
+// TestAdmitClientGoneVsDeadline is the regression test for the admission
+// give-up taxonomy: with every solve slot occupied, a queued request whose
+// client disconnects fails with errClientGone (499, no Retry-After — nobody
+// is listening), while a queued request whose wait deadline expires fails
+// with errQueueTimeout (503 + Retry-After — the server was busy). Before
+// this distinction existed, both context expiries collapsed into one
+// status and a hung-up client still looked like server overload.
+func TestAdmitClientGoneVsDeadline(t *testing.T) {
+	obs.Reset()
+	obs.EnableMetrics()
+	defer obs.DisableMetrics()
+	s := New(Config{Concurrency: 1, Queue: 4, RetryAfter: 2 * time.Second})
+	s.slots <- struct{}{} // occupy the only solve slot
+
+	// Client hangs up while queued.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	if _, err := s.admit(ctx, time.Minute); !errors.Is(err, errClientGone) {
+		t.Fatalf("cancelled client: err = %v, want errClientGone", err)
+	}
+	if obs.ServeClientGone.Value() != 1 {
+		t.Errorf("serve_client_gone = %d, want 1", obs.ServeClientGone.Value())
+	}
+
+	// Server-side queue-wait deadline expires.
+	if _, err := s.admit(context.Background(), 20*time.Millisecond); !errors.Is(err, errQueueTimeout) {
+		t.Fatalf("expired wait: err = %v, want errQueueTimeout", err)
+	}
+
+	// And the HTTP mapping: 499 without Retry-After for the hung-up
+	// leader, 503 with Retry-After for a follower of an abandoned flight
+	// and for the queue timeout.
+	rec := httptest.NewRecorder()
+	s.writeSolveError(rec, errClientGone, false)
+	if rec.Code != statusClientClosedRequest {
+		t.Errorf("client-gone status = %d, want %d", rec.Code, statusClientClosedRequest)
+	}
+	if ra := rec.Header().Get("Retry-After"); ra != "" {
+		t.Errorf("client-gone response carries Retry-After %q", ra)
+	}
+	rec = httptest.NewRecorder()
+	s.writeSolveError(rec, errClientGone, true)
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Errorf("followed client-gone: status %d, Retry-After %q; want 503 with hint",
+			rec.Code, rec.Header().Get("Retry-After"))
+	}
+	rec = httptest.NewRecorder()
+	s.writeSolveError(rec, errQueueTimeout, false)
+	if rec.Code != http.StatusServiceUnavailable || rec.Header().Get("Retry-After") == "" {
+		t.Errorf("queue timeout: status %d, Retry-After %q; want 503 with hint",
+			rec.Code, rec.Header().Get("Retry-After"))
+	}
+}
+
+// TestServeShardEndpoint pins the per-shard serving contract: the response
+// decodes through the shard wire codec into exactly the solution an
+// in-process solve of the same instance produces — same placements, same
+// (solver-native, unsorted) order — and a repeated POST is a byte-identical
+// cache hit keyed on the exact request bytes.
+func TestServeShardEndpoint(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	in := testInstance(0)
+	body := encodeInstance(t, in)
+
+	resp, got := postJSON(t, ts, "/v1/shard", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /v1/shard: status %d, body %s", resp.StatusCode, got)
+	}
+	if src := resp.Header.Get("X-Sapalloc-Cache"); src != "miss" {
+		t.Errorf("first POST cache header = %q, want miss", src)
+	}
+	wr, err := shard.DecodeWireResponse(bytes.NewReader(got))
+	if err != nil {
+		t.Fatalf("decode shard response: %v", err)
+	}
+	sol, err := wr.Solution(in)
+	if err != nil {
+		t.Fatalf("reconstruct shard solution: %v", err)
+	}
+	if err := model.ValidSAP(in, sol); err != nil {
+		t.Fatalf("served shard solution infeasible: %v", err)
+	}
+
+	// Byte-identity with the in-process solve the distributed client would
+	// have fallen back to, item order included.
+	localRes, err := core.SolveCtx(context.Background(), in, core.Params{Deadline: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("local solve: %v", err)
+	}
+	if !reflect.DeepEqual(sol.Items, localRes.Solution.Items) {
+		t.Errorf("served shard differs from in-process solve:\n got: %+v\nwant: %+v",
+			sol.Items, localRes.Solution.Items)
+	}
+
+	// Exact-bytes cache: a repeat is a hit with identical bytes.
+	resp2, got2 := postJSON(t, ts, "/v1/shard", body)
+	if src := resp2.Header.Get("X-Sapalloc-Cache"); src != "hit" {
+		t.Errorf("second POST cache header = %q, want hit", src)
+	}
+	if !bytes.Equal(got, got2) {
+		t.Errorf("cached shard response differs from fresh one")
+	}
+	if obs.ServeShardRequests.Value() != 2 {
+		t.Errorf("serve_shard_requests = %d, want 2", obs.ServeShardRequests.Value())
+	}
+
+	// Malformed and ring bodies are rejected at the trust boundary.
+	for _, bad := range []string{"{", `{"kind":"ring","capacity":[4],"tasks":[]}`} {
+		resp, _ := postJSON(t, ts, "/v1/shard", []byte(bad))
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad body %q: status %d, want 400", bad, resp.StatusCode)
+		}
 	}
 }

@@ -1,0 +1,98 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// Origin classifies where a shard's accepted solution came from when the
+// scatter runs behind a distributed backend pool (internal/dist). The zero
+// value is OriginLocal — a plain in-process solve — so monolithic and
+// undistributed sharded solves need no extra bookkeeping.
+type Origin int
+
+const (
+	// OriginLocal: the shard solved in-process on the first try (no
+	// distribution configured, or the pool routed it locally).
+	OriginLocal Origin = iota
+	// OriginRemote: a remote backend's solution was accepted.
+	OriginRemote
+	// OriginFallback: every remote attempt was exhausted — retries spent,
+	// breakers open, or no peer configured could take it — and the shard
+	// was solved in-process as the bottom rung of the degradation ladder.
+	OriginFallback
+)
+
+func (o Origin) String() string {
+	switch o {
+	case OriginLocal:
+		return "local"
+	case OriginRemote:
+		return "remote"
+	case OriginFallback:
+		return "local-fallback"
+	default:
+		return fmt.Sprintf("Origin(%d)", int(o))
+	}
+}
+
+// MarshalJSON renders the origin as its string form: the report travels
+// between nodes, and enum integers are not a stable wire contract.
+func (o Origin) MarshalJSON() ([]byte, error) { return json.Marshal(o.String()) }
+
+// UnmarshalJSON parses the string form written by MarshalJSON.
+func (o *Origin) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "local":
+		*o = OriginLocal
+	case "remote":
+		*o = OriginRemote
+	case "local-fallback":
+		*o = OriginFallback
+	default:
+		return fmt.Errorf("shard: unknown origin %q", s)
+	}
+	return nil
+}
+
+// Route records how one shard's solve was placed by the distributed
+// scatter: where the accepted solution came from and which robustness
+// mechanisms fired along the way. The zero Route describes an ordinary
+// local solve. Routes are diagnostics, not inputs — byte-identical
+// solutions can carry different routes (e.g. a hedged win vs a primary
+// win), so determinism tests compare solutions and states, never routes.
+type Route struct {
+	// Origin says who produced the accepted solution.
+	Origin Origin `json:"origin"`
+	// Backend is the base URL of the backend whose response was accepted
+	// (empty for local and fallback solves).
+	Backend string `json:"backend,omitempty"`
+	// Attempts counts remote RPCs issued for this shard, hedges included.
+	Attempts int `json:"attempts,omitempty"`
+	// Retries counts attempts past the first (hedges excluded).
+	Retries int `json:"retries,omitempty"`
+	// Hedged reports that a speculative duplicate request was fired;
+	// HedgeWon that the duplicate's response was the one accepted.
+	Hedged   bool `json:"hedged,omitempty"`
+	HedgeWon bool `json:"hedge_won,omitempty"`
+	// BreakerOpen reports that at least one ranked backend was skipped
+	// because its circuit breaker was open.
+	BreakerOpen bool `json:"breaker_open,omitempty"`
+	// RemoteDegraded reports that the accepted remote response declared
+	// itself degraded (the backend's own deadline expired mid-solve); the
+	// parent solve report is marked degraded in turn.
+	RemoteDegraded bool `json:"remote_degraded,omitempty"`
+}
+
+// Remote is the distributor's post-scatter account of one shard: the route
+// it took plus, when a backend's response was accepted, the backend's
+// reported arm stats. Stats is nil for shards solved in-process (local or
+// fallback) — the caller already holds their full results.
+type Remote struct {
+	Route Route
+	Stats *WireStats
+}

@@ -1,0 +1,134 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"sapalloc/internal/model"
+	"sapalloc/internal/saperr"
+)
+
+// The /v1/shard wire codec, shared by the serving layer (encode side) and
+// the distributed pool client (decode side). A shard request body is a
+// plain model instance JSON document (model.WriteJSON / ReadInstanceJSON —
+// the shard's sub-instance in its local coordinates); the response is a
+// WireResponse.
+//
+// Item order is load-bearing: the client stitches a remote shard's items
+// exactly as received, and the distributed-vs-local byte-identity contract
+// (internal/difftest's dist matrix) requires the backend to emit its
+// solver's native placement order, NOT a sorted view. Both sides of the
+// codec therefore preserve order, and FuzzShardWire round-trips it.
+
+// WireItem is one placed task on the wire: the task is named by ID (the
+// receiver owns the task data — it sent the instance) plus its height.
+type WireItem struct {
+	TaskID int   `json:"task_id"`
+	Height int64 `json:"height"`
+}
+
+// WireStats is the per-arm aggregate block of a shard response: the
+// backend's core result reduced to plain numbers, so the client's parent
+// solve can sum remotely solved shards into its Result (arm weights, task
+// counts, winner) exactly as it sums locally solved ones. Arms are indexed
+// small, medium, large; states and the winner use the core package's
+// numeric Arm/ArmState values (the codec deliberately does not import core
+// — core imports this package).
+type WireStats struct {
+	// Winner is the numeric arm index that produced the shard's solution.
+	Winner int `json:"winner_arm"`
+	// ArmTasks counts the shard's tasks per arm class after partitioning.
+	ArmTasks [3]int `json:"arm_tasks"`
+	// ArmWeights are the per-arm solution weights (the shard's solution is
+	// the best-of, so its weight is the max of these).
+	ArmWeights [3]int64 `json:"arm_weights"`
+	// ArmStates are the numeric per-arm completion states.
+	ArmStates [3]int `json:"arm_states"`
+	// ArmErrs carry the per-arm error text for failed or skipped arms
+	// ("" = no error). Text only: typed errors do not cross the wire.
+	ArmErrs [3]string `json:"arm_errs"`
+}
+
+// WireResponse is the response document of POST /v1/shard.
+type WireResponse struct {
+	// Weight is the declared solution weight; Solution re-derives it from
+	// the items and rejects a mismatch as a corrupt response.
+	Weight int64 `json:"weight"`
+	// Winner names the solver arm that produced the solution (diagnostic).
+	Winner string `json:"winner"`
+	// Degraded reports that the backend's solve hit its deadline and
+	// returned a feasible incumbent; degraded responses are never cached
+	// and mark the parent solve report degraded.
+	Degraded bool `json:"degraded,omitempty"`
+	// Stats is the backend's per-arm aggregate block; nil in responses from
+	// backends that predate it, in which case the client's parent result
+	// simply lacks this shard's arm diagnostics (the solution is unaffected).
+	Stats *WireStats `json:"stats,omitempty"`
+	// Items are the placements in the backend solver's native order.
+	Items []WireItem `json:"items"`
+}
+
+// NewWireResponse builds the wire document for a solved shard, preserving
+// the solution's item order. stats may be nil.
+func NewWireResponse(sol *model.Solution, winner string, degraded bool, stats *WireStats) *WireResponse {
+	w := &WireResponse{Weight: sol.Weight(), Winner: winner, Degraded: degraded,
+		Stats: stats, Items: make([]WireItem, 0, len(sol.Items))}
+	for _, p := range sol.Items {
+		w.Items = append(w.Items, WireItem{TaskID: p.Task.ID, Height: p.Height})
+	}
+	return w
+}
+
+// Encode writes the document as a single JSON object with a trailing
+// newline (the serving layer's response framing).
+func (w *WireResponse) Encode(out io.Writer) error {
+	if w.Items == nil {
+		w.Items = []WireItem{} // render as [], not null
+	}
+	body, err := json.Marshal(w)
+	if err != nil {
+		return fmt.Errorf("%w: encode shard response: %v", saperr.ErrInternal, err)
+	}
+	body = append(body, '\n')
+	_, err = out.Write(body)
+	return err
+}
+
+// DecodeWireResponse parses a response document. It is a trust boundary on
+// the client side: malformed JSON is rejected with a typed unavailability
+// error so the caller retries another backend instead of crashing.
+func DecodeWireResponse(r io.Reader) (*WireResponse, error) {
+	var doc WireResponse
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, saperr.Unavailable("decode shard response: %v", err)
+	}
+	return &doc, nil
+}
+
+// Solution reconstructs the solution against the shard's sub-instance,
+// binding each wire item to its task by ID in wire order. Unknown IDs,
+// duplicate IDs, and a declared weight that disagrees with the items are
+// all rejected as corrupt responses (typed saperr.ErrUnavailable — the
+// response, not the request, is at fault, so the client may retry
+// elsewhere). Feasibility is NOT checked here; the caller validates the
+// reconstructed solution against the sub-instance before accepting it.
+func (w *WireResponse) Solution(sub *model.Instance) (*model.Solution, error) {
+	sol := &model.Solution{Items: make([]model.Placement, 0, len(w.Items))}
+	seen := make(map[int]bool, len(w.Items))
+	for _, it := range w.Items {
+		task, ok := sub.TaskByID(it.TaskID)
+		if !ok {
+			return nil, saperr.Unavailable("shard response names unknown task %d", it.TaskID)
+		}
+		if seen[it.TaskID] {
+			return nil, saperr.Unavailable("shard response names task %d twice", it.TaskID)
+		}
+		seen[it.TaskID] = true
+		sol.Items = append(sol.Items, model.Placement{Task: task, Height: it.Height})
+	}
+	if got := sol.Weight(); got != w.Weight {
+		return nil, saperr.Unavailable("shard response declares weight %d but items weigh %d", w.Weight, got)
+	}
+	return sol, nil
+}

@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"sapalloc/internal/model"
+	"sapalloc/internal/saperr"
+)
+
+// TestReportWireContract pins the exact JSON field names of the shard
+// report. The serve layer ships reports between nodes, so these names are
+// a wire contract: renaming a Go field must not silently rename the wire
+// field. If this test fails because a field was deliberately added, update
+// the pinned document AND docs/SERVING.md together.
+func TestReportWireContract(t *testing.T) {
+	rep := &Report{
+		Shards: 2, Completed: 1, Failed: 1, Skipped: 0, LargestTasks: 7,
+		Scan: 1000, Solve: 2000, Stitch: 3000,
+		Outcomes: []Outcome{
+			{
+				Span: Span{Lo: 0, Hi: 3, Tasks: 7}, State: Completed,
+				Weight: 42, Elapsed: 5 * time.Microsecond,
+				Route: Route{Origin: OriginRemote, Backend: "http://b0", Attempts: 2,
+					Retries: 1, Hedged: true, HedgeWon: true, BreakerOpen: true,
+					RemoteDegraded: true},
+			},
+			{
+				Span: Span{Lo: 4, Hi: 6, Tasks: 3}, State: Failed,
+				Elapsed: time.Microsecond, Err: errors.New("boom"),
+				Route: Route{Origin: OriginFallback},
+			},
+		},
+	}
+	got, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("marshal report: %v", err)
+	}
+	want := `{"shards":2,"completed":1,"failed":1,"skipped":0,"largest_tasks":7,` +
+		`"scan_ns":1000,"solve_ns":2000,"stitch_ns":3000,"outcomes":[` +
+		`{"span":{"lo":0,"hi":3,"tasks":7},"state":"completed","weight":42,"elapsed_ns":5000,` +
+		`"route":{"origin":"remote","backend":"http://b0","attempts":2,"retries":1,` +
+		`"hedged":true,"hedge_won":true,"breaker_open":true,"remote_degraded":true}},` +
+		`{"span":{"lo":4,"hi":6,"tasks":3},"state":"failed","weight":0,"elapsed_ns":1000,` +
+		`"err":"boom","route":{"origin":"local-fallback"}}]}`
+	if string(got) != want {
+		t.Errorf("report wire format drifted:\n got: %s\nwant: %s", got, want)
+	}
+
+	// And the document must round-trip (errors flatten to opaque strings).
+	var back Report
+	if err := json.Unmarshal(got, &back); err != nil {
+		t.Fatalf("unmarshal report: %v", err)
+	}
+	if back.Outcomes[1].Err == nil || back.Outcomes[1].Err.Error() != "boom" {
+		t.Errorf("outcome error did not survive the round trip: %v", back.Outcomes[1].Err)
+	}
+	back.Outcomes[1].Err = rep.Outcomes[1].Err // opaque vs original instance
+	if !reflect.DeepEqual(&back, rep) {
+		t.Errorf("report round trip drifted:\n got: %+v\nwant: %+v", &back, rep)
+	}
+}
+
+func TestStateJSONRejectsUnknown(t *testing.T) {
+	var s State
+	if err := json.Unmarshal([]byte(`"exploded"`), &s); err == nil {
+		t.Error("unknown state accepted")
+	}
+	var o Origin
+	if err := json.Unmarshal([]byte(`"mars"`), &o); err == nil {
+		t.Error("unknown origin accepted")
+	}
+}
+
+// wireInstance is a tiny fixed sub-instance for codec tests.
+func wireInstance() *model.Instance {
+	return &model.Instance{
+		Capacity: []int64{10, 10},
+		Tasks: []model.Task{
+			{ID: 3, Start: 0, End: 2, Demand: 4, Weight: 9},
+			{ID: 1, Start: 1, End: 2, Demand: 2, Weight: 5},
+		},
+	}
+}
+
+func TestWireResponseRoundTrip(t *testing.T) {
+	in := wireInstance()
+	sol := &model.Solution{Items: []model.Placement{
+		{Task: in.Tasks[1], Height: 0}, // native solver order ≠ ID order — must survive
+		{Task: in.Tasks[0], Height: 2},
+	}}
+	stats := &WireStats{
+		Winner:     0,
+		ArmTasks:   [3]int{2, 0, 0},
+		ArmWeights: [3]int64{14, 0, 0},
+		ArmStates:  [3]int{0, 0, 2},
+		ArmErrs:    [3]string{"", "", "large arm: boom"},
+	}
+	wr := NewWireResponse(sol, "small/strip-pack", false, stats)
+	var buf bytes.Buffer
+	if err := wr.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if !strings.HasSuffix(buf.String(), "\n") {
+		t.Error("encoded response missing trailing newline")
+	}
+	// The document is a wire contract between nodes: pin the field names.
+	want := `{"weight":14,"winner":"small/strip-pack",` +
+		`"stats":{"winner_arm":0,"arm_tasks":[2,0,0],"arm_weights":[14,0,0],` +
+		`"arm_states":[0,0,2],"arm_errs":["","","large arm: boom"]},` +
+		`"items":[{"task_id":1,"height":0},{"task_id":3,"height":2}]}` + "\n"
+	if buf.String() != want {
+		t.Errorf("shard response wire format drifted:\n got: %s\nwant: %s", buf.String(), want)
+	}
+	back, err := DecodeWireResponse(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if !reflect.DeepEqual(back.Stats, stats) {
+		t.Errorf("stats did not round-trip:\n got: %+v\nwant: %+v", back.Stats, stats)
+	}
+	got, err := back.Solution(in)
+	if err != nil {
+		t.Fatalf("reconstruct: %v", err)
+	}
+	if !reflect.DeepEqual(got, sol) {
+		t.Errorf("solution did not round-trip in order:\n got: %+v\nwant: %+v", got, sol)
+	}
+}
+
+func TestWireResponseRejectsCorruption(t *testing.T) {
+	in := wireInstance()
+	cases := []struct {
+		name string
+		doc  WireResponse
+	}{
+		{"unknown-task", WireResponse{Weight: 5, Items: []WireItem{{TaskID: 99, Height: 0}}}},
+		{"duplicate-task", WireResponse{Weight: 10, Items: []WireItem{{TaskID: 1, Height: 0}, {TaskID: 1, Height: 2}}}},
+		{"weight-mismatch", WireResponse{Weight: 123, Items: []WireItem{{TaskID: 1, Height: 0}}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := c.doc.Solution(in); !saperr.IsUnavailable(err) {
+				t.Errorf("corrupt response error = %v, want ErrUnavailable", err)
+			}
+		})
+	}
+	if _, err := DecodeWireResponse(strings.NewReader("{not json")); !saperr.IsUnavailable(err) {
+		t.Errorf("malformed JSON error = %v, want ErrUnavailable", err)
+	}
+}
