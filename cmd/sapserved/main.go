@@ -28,6 +28,16 @@
 // failing requests:
 //
 //	sapserved -addr :8080 -peers http://node1:8080,http://node2:8080
+//
+// With -store-dir, solved responses persist in the durable, tamper-evident
+// solve store (internal/store). A restarted server replays and verifies
+// the Merkle-chained log — truncating a crash's torn tail — and serves
+// previously solved instances byte-identically without re-solving, marked
+// "X-Sapalloc-Cache: store" and carrying an X-Sapalloc-Provenance header.
+// -store-sync trades latency for host-crash durability; sapstore verifies
+// and compacts store directories offline.
+//
+//	sapserved -addr :8080 -store-dir /var/lib/sapalloc/store
 package main
 
 import (
@@ -46,6 +56,7 @@ import (
 	"sapalloc/internal/dist"
 	"sapalloc/internal/obscli"
 	"sapalloc/internal/serve"
+	"sapalloc/internal/store"
 )
 
 func main() {
@@ -62,6 +73,9 @@ func main() {
 		cacheTasks  = flag.Int64("cache-tasks", 1<<20, "canonicalization cache: max total tasks across cached instances")
 		maxBody     = flag.Int64("max-body-bytes", 32<<20, "request body size cap")
 		grace       = flag.Duration("grace", 30*time.Second, "drain window for in-flight requests on shutdown")
+		storeDir    = flag.String("store-dir", "", "durable solve store directory (empty = no persistence); restarts replay and verify the log and serve stored responses byte-identically")
+		storeSync   = flag.Duration("store-flush-interval", 0, "store write-batch latency trigger (0 = 50ms)")
+		storeFsync  = flag.Bool("store-sync", false, "fsync the store after every batch (host-crash durability at a latency cost)")
 
 		peers           = flag.String("peers", "", "comma-separated backend base URLs for distributed shard fan-out (empty = solve everything locally)")
 		rpcTimeout      = flag.Duration("rpc-timeout", 0, "per-attempt shard RPC deadline (0 = 2s, negative = parent deadline only)")
@@ -102,7 +116,30 @@ func main() {
 		fmt.Fprintf(os.Stderr, "sapserved: distributing shards over %d peers\n", pool.Backends())
 	}
 
-	srv := serve.New(serve.Config{
+	var solveStore *store.File
+	if *storeDir != "" {
+		st, err := store.OpenFile(*storeDir, store.FileConfig{
+			FlushInterval: *storeSync,
+			Sync:          *storeFsync,
+		})
+		if err != nil {
+			fatalf("open store %s: %v", *storeDir, err)
+		}
+		defer func() {
+			if err := st.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "sapserved: close store: %v\n", err)
+			}
+		}()
+		solveStore = st
+		stats := st.Stats()
+		if stats.RecoveryErr != nil {
+			fmt.Fprintf(os.Stderr, "sapserved: store recovered: %v\n", stats.RecoveryErr)
+		}
+		fmt.Fprintf(os.Stderr, "sapserved: store %s warm: %d records, %d batches, head %s\n",
+			*storeDir, stats.Records, stats.Batches, stats.Head)
+	}
+
+	cfg := serve.Config{
 		Params:         params,
 		MaxTimeout:     *maxTimeout,
 		DefaultTimeout: *defTimeout,
@@ -112,7 +149,13 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		CacheEntries:   *cacheEnts,
 		CacheTasks:     *cacheTasks,
-	})
+	}
+	if solveStore != nil {
+		// Assign only when a store exists: a nil *store.File stuffed into
+		// the interface field would read as a configured store.
+		cfg.Store = solveStore
+	}
+	srv := serve.New(cfg)
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv.Handler(),

@@ -1,0 +1,113 @@
+// Command sapstore inspects and maintains durable solve store directories
+// (internal/store, the tamper-evident log behind sapserved -store-dir).
+//
+// Usage:
+//
+//	sapstore verify  -dir /var/lib/sapalloc/store
+//	sapstore stats   -dir /var/lib/sapalloc/store
+//	sapstore compact -dir /var/lib/sapalloc/store
+//
+// Verbs:
+//
+//	verify   replay the segment log end to end, re-checking every record
+//	         hash, batch Merkle root, and chain link; exit 1 on the first
+//	         integrity error (a torn tail found at open is reported but is
+//	         recoverable, so it alone does not fail verification)
+//	stats    print the store's shape: records, batches, segments, bytes,
+//	         chain head, and any recovery performed at open
+//	compact  rewrite the log to exactly the live records under a fresh
+//	         chain (old provenance is re-rooted; run offline — the swap is
+//	         not crash-atomic)
+//
+// All verbs open the store read-through-recovery: a torn tail left by a
+// crashed writer is truncated exactly as sapserved would on restart.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sapalloc/internal/store"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	verb := os.Args[1]
+	switch verb {
+	case "verify", "stats", "compact":
+	default:
+		usage()
+		os.Exit(2)
+	}
+	fs := flag.NewFlagSet("sapstore "+verb, flag.ExitOnError)
+	dir := fs.String("dir", "", "store directory (required)")
+	_ = fs.Parse(os.Args[2:])
+	if *dir == "" {
+		fatalf("-dir is required")
+	}
+	if err := run(verb, *dir, os.Stdout, os.Stderr); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+// run executes one verb against the store directory, writing reports to
+// stdout and recovery notices to stderr. Factored from main for tests.
+func run(verb, dir string, stdout, stderr io.Writer) error {
+	f, err := store.OpenFile(dir, store.FileConfig{FlushInterval: -1})
+	if err != nil {
+		return fmt.Errorf("open %s: %w", dir, err)
+	}
+	defer f.Close()
+
+	st := f.Stats()
+	if st.RecoveryErr != nil {
+		fmt.Fprintf(stderr, "sapstore: recovered at open: %v\n", st.RecoveryErr)
+	}
+
+	switch verb {
+	case "verify":
+		if err := f.Verify(); err != nil {
+			return fmt.Errorf("verify %s: %w", dir, err)
+		}
+		fmt.Fprintf(stdout, "ok: %d records in %d batches verify; head %s\n",
+			st.Records, st.Batches, st.Head)
+	case "stats":
+		printStats(stdout, st)
+	case "compact":
+		before := st.LogBytes
+		if err := f.Compact(); err != nil {
+			return fmt.Errorf("compact %s: %w", dir, err)
+		}
+		after := f.Stats()
+		fmt.Fprintf(stdout, "compacted: %d -> %d bytes (%d records, %d batches); new head %s\n",
+			before, after.LogBytes, after.Records, after.Batches, after.Head)
+	}
+	return nil
+}
+
+func printStats(w io.Writer, st store.Stats) {
+	fmt.Fprintf(w, "records:   %d\n", st.Records)
+	fmt.Fprintf(w, "batches:   %d\n", st.Batches)
+	fmt.Fprintf(w, "segments:  %d\n", st.Segments)
+	fmt.Fprintf(w, "log bytes: %d\n", st.LogBytes)
+	fmt.Fprintf(w, "next seq:  %d\n", st.NextSeq)
+	fmt.Fprintf(w, "head:      %s\n", st.Head)
+	if st.TailTruncated {
+		fmt.Fprintf(w, "recovered: torn tail truncated (%d bytes dropped): %v\n",
+			st.DroppedBytes, st.RecoveryErr)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sapstore <verify|stats|compact> -dir <store-dir>")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sapstore: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,178 @@
+package difftest
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"sapalloc/internal/model"
+	"sapalloc/internal/obs"
+	"sapalloc/internal/serve"
+	"sapalloc/internal/store"
+)
+
+// The durable solve store joins the differential matrix here, pinning the
+// PR's acceptance contract end to end: a restarted sapserved over a
+// populated store serves byte-identical responses without re-entering the
+// solver (cache-warm restart, chain verified during replay), and a store
+// whose log a crash left with a torn tail is truncated and recovered from
+// without error.
+
+func encodeCase(t *testing.T, in *model.Instance) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func openStore(t *testing.T, dir string) *store.File {
+	t.Helper()
+	f, err := store.OpenFile(dir, store.FileConfig{FlushInterval: -1})
+	if err != nil {
+		t.Fatalf("OpenFile(%s): %v", dir, err)
+	}
+	return f
+}
+
+// TestStoreWarmRestart runs a slice of the generator matrix through a
+// store-backed server, restarts server and store over the same directory,
+// and pins: byte-identical responses, zero solver entries, "store" cache
+// attribution, and a provenance header whose chain verified at replay.
+func TestStoreWarmRestart(t *testing.T) {
+	cases := PathCases()
+	if testing.Short() {
+		cases = cases[:4]
+	}
+	dir := t.TempDir()
+
+	// Generation 1: populate the store through real solves. Degraded
+	// solves are deliberately never persisted (their bytes may depend on
+	// the deadline), so they drop out of the warm-restart contract.
+	st1 := openStore(t, dir)
+	ts1 := httptest.NewServer(serve.New(serve.Config{Store: st1}).Handler())
+	firstBodies := make(map[string][]byte, len(cases))
+	var warm []Case
+	for _, c := range cases {
+		_, got := postInstance(t, ts1, encodeCase(t, c.In))
+		var doc serveResponse
+		if err := json.Unmarshal(got, &doc); err != nil {
+			t.Fatalf("%s: decode: %v", c.Name, err)
+		}
+		if doc.Degraded {
+			continue
+		}
+		firstBodies[c.Name] = got
+		warm = append(warm, c)
+	}
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatalf("close store: %v", err)
+	}
+	if len(warm) == 0 {
+		t.Fatal("every case degraded; nothing exercises the store")
+	}
+
+	// Generation 2: a fresh process-equivalent — new server, cold LRU,
+	// same directory. Replay verifies the chain; obs counts solver entry.
+	obs.Reset()
+	obs.EnableMetrics()
+	defer obs.DisableMetrics()
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	if s := st2.Stats(); s.TailTruncated || s.RecoveryErr != nil {
+		t.Fatalf("clean restart reported recovery: %+v", s)
+	}
+	if err := st2.Verify(); err != nil {
+		t.Fatalf("chain verification after restart: %v", err)
+	}
+	ts2 := httptest.NewServer(serve.New(serve.Config{Store: st2}).Handler())
+	defer ts2.Close()
+
+	for _, c := range warm {
+		resp, got := postInstance(t, ts2, encodeCase(t, c.In))
+		if want := firstBodies[c.Name]; !bytes.Equal(got, want) {
+			t.Errorf("%s: restarted response differs\n first: %s\n  warm: %s", c.Name, want, got)
+			continue
+		}
+		if src := resp.Header.Get("X-Sapalloc-Cache"); src != "store" {
+			t.Errorf("%s: cache header = %q, want store", c.Name, src)
+		}
+		if resp.Header.Get("X-Sapalloc-Provenance") == "" {
+			t.Errorf("%s: store-served response lacks provenance header", c.Name)
+		}
+	}
+	if n := obs.SolvesStarted.Value(); n != 0 {
+		t.Errorf("warm restart re-entered the solver %d times", n)
+	}
+}
+
+// TestStoreTornTailRecovery appends a torn batch to a populated store's
+// log — the shape a crash mid-flush leaves — and pins that the next
+// server generation recovers: open succeeds, the tail is truncated and
+// typed, intact records still serve byte-identically, and new solves
+// persist on the recovered chain.
+func TestStoreTornTailRecovery(t *testing.T) {
+	cases := PathCases()[:3]
+	dir := t.TempDir()
+
+	st1 := openStore(t, dir)
+	ts1 := httptest.NewServer(serve.New(serve.Config{Store: st1}).Handler())
+	firstBodies := make(map[string][]byte, len(cases))
+	var warm []Case
+	for _, c := range cases {
+		_, got := postInstance(t, ts1, encodeCase(t, c.In))
+		var doc serveResponse
+		if err := json.Unmarshal(got, &doc); err != nil {
+			t.Fatalf("%s: decode: %v", c.Name, err)
+		}
+		if doc.Degraded { // never persisted; see TestStoreWarmRestart
+			continue
+		}
+		firstBodies[c.Name] = got
+		warm = append(warm, c)
+	}
+	ts1.Close()
+	if err := st1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(warm) == 0 {
+		t.Fatal("every case degraded; nothing exercises recovery")
+	}
+
+	// Tear the tail: a batch header that stops mid-way.
+	segs, err := filepath.Glob(filepath.Join(dir, "seg-*.log"))
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("no segments: %v", err)
+	}
+	fh, err := os.OpenFile(segs[len(segs)-1], os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fh.Write([]byte("SAPB\x00\x00\x00\x00\x00\x00\x00\x01\x00\x00")); err != nil {
+		t.Fatal(err)
+	}
+	fh.Close()
+
+	st2 := openStore(t, dir)
+	defer st2.Close()
+	s := st2.Stats()
+	if !s.TailTruncated || s.RecoveryErr == nil {
+		t.Fatalf("torn tail not recovered: %+v", s)
+	}
+	ts2 := httptest.NewServer(serve.New(serve.Config{Store: st2}).Handler())
+	defer ts2.Close()
+	for _, c := range warm {
+		_, got := postInstance(t, ts2, encodeCase(t, c.In))
+		if want := firstBodies[c.Name]; !bytes.Equal(got, want) {
+			t.Errorf("%s: post-recovery response differs\n first: %s\n  warm: %s", c.Name, want, got)
+		}
+	}
+	if err := st2.Verify(); err != nil {
+		t.Fatalf("chain does not verify after recovery: %v", err)
+	}
+}

@@ -257,6 +257,29 @@ var (
 	// breakers, and fallback_solves counts shards that exhausted their
 	// remote envelope and were solved in-process (the bottom rung of the
 	// degradation ladder — never an error).
+	// Durable solve store (internal/store). Puts are records accepted into
+	// the pending batch; batch_flushes counts batches written to the
+	// segment log (flush_ns times the whole write, fsync_ns just the
+	// fsync when -store-sync is on). replay_ns times the open-time replay
+	// of one store, chain_verifies counts Merkle/chain verifications
+	// (per batch on replay, plus explicit Verify passes), and
+	// tail_truncations counts torn tails dropped during crash recovery.
+	// store_records/store_bytes gauge the live index after the last
+	// open/flush; serve_store_hits counts responses answered from the
+	// persistent tier (an LRU miss that the store satisfied).
+	StorePuts            = NewCounter("store_puts")
+	StoreGetHits         = NewCounter("store_get_hits")
+	StoreGetMisses       = NewCounter("store_get_misses")
+	StoreBatchFlushes    = NewCounter("store_batch_flushes")
+	StoreFlushNs         = NewHistogram("store_flush_ns")
+	StoreFsyncNs         = NewHistogram("store_fsync_ns")
+	StoreReplayNs        = NewHistogram("store_replay_ns")
+	StoreChainVerifies   = NewCounter("store_chain_verifies")
+	StoreTailTruncations = NewCounter("store_tail_truncations")
+	StoreRecords         = NewGauge("store_records")
+	StoreBytes           = NewGauge("store_bytes")
+	ServeStoreHits       = NewCounter("serve_store_hits")
+
 	DistRPCs         = NewCounter("dist_rpcs")
 	DistRemoteSolves = NewCounter("dist_remote_solves")
 	DistRetries      = NewCounter("dist_retries")

@@ -1,0 +1,86 @@
+package sapcache
+
+import (
+	"sapalloc/internal/obs"
+	"sapalloc/internal/store"
+)
+
+// Source says which layer answered a Backed.Get.
+type Source int
+
+const (
+	// SourceMiss: neither layer holds the key.
+	SourceMiss Source = iota
+	// SourceLRU: the in-memory LRU front answered.
+	SourceLRU
+	// SourceStore: the durable store answered; the entry was promoted
+	// into the LRU on the way out.
+	SourceStore
+)
+
+// Backed is the read-through layer: an in-memory LRU front over an
+// optional durable store (internal/store). Gets fall through LRU → store
+// (promoting store hits); Adds populate both. With a nil store, Backed
+// degrades to exactly the LRU — the serving layer uses one code path
+// whether persistence is configured or not.
+//
+// Values cross the persistence boundary through the caller's codec:
+// encode returns the value's durable bytes (or ok=false for values that
+// must never persist — the serving layer's degraded responses), decode
+// rebuilds a value and its LRU cost from stored bytes. Store errors
+// (integrity or IO) degrade reads to misses: the cache must never take
+// the serving path down, and the store's own metrics record the failure.
+type Backed struct {
+	lru    *Cache
+	st     store.Store
+	encode func(v any) ([]byte, bool)
+	decode func(b []byte) (any, int64, error)
+}
+
+// NewBacked builds the read-through layer. st may be nil (pure LRU).
+func NewBacked(lru *Cache, st store.Store, encode func(any) ([]byte, bool), decode func([]byte) (any, int64, error)) *Backed {
+	return &Backed{lru: lru, st: st, encode: encode, decode: decode}
+}
+
+// Get answers from the LRU, then the store. A store hit is decoded,
+// promoted into the LRU, and reported as SourceStore.
+func (b *Backed) Get(k Key) (any, Source) {
+	if v, ok := b.lru.Get(k); ok {
+		return v, SourceLRU
+	}
+	if b.st == nil {
+		return nil, SourceMiss
+	}
+	raw, ok, err := b.st.Get(store.Key(k))
+	if err != nil || !ok {
+		return nil, SourceMiss
+	}
+	v, cost, err := b.decode(raw)
+	if err != nil {
+		// Stored bytes the codec cannot rebuild (e.g. written by a
+		// future format) read as misses; the solve re-runs and rewrites.
+		return nil, SourceMiss
+	}
+	b.lru.Add(k, v, cost)
+	obs.ServeStoreHits.Inc()
+	return v, SourceStore
+}
+
+// Add populates the LRU and, when the codec allows it, the store. Store
+// write errors are dropped: persistence is best-effort from the serving
+// path's point of view, and the store records its own failures.
+func (b *Backed) Add(k Key, v any, cost int64) {
+	b.lru.Add(k, v, cost)
+	if b.st == nil {
+		return
+	}
+	if raw, ok := b.encode(v); ok {
+		_ = b.st.Put(store.Key(k), raw)
+	}
+}
+
+// Len returns the LRU's entry count (the store may hold more).
+func (b *Backed) Len() int { return b.lru.Len() }
+
+// Store returns the backing store, nil when none is configured.
+func (b *Backed) Store() store.Store { return b.st }

@@ -1,0 +1,113 @@
+package sapcache
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"sapalloc/internal/store"
+)
+
+// The test codec: values are []byte, cost 1, and values starting with '!'
+// refuse to persist (standing in for the serving layer's degraded rule).
+func testCodec() (func(any) ([]byte, bool), func([]byte) (any, int64, error)) {
+	encode := func(v any) ([]byte, bool) {
+		b := v.([]byte)
+		if len(b) > 0 && b[0] == '!' {
+			return nil, false
+		}
+		return b, true
+	}
+	decode := func(b []byte) (any, int64, error) {
+		if len(b) == 0 {
+			return nil, 0, errors.New("empty")
+		}
+		return append([]byte(nil), b...), 1, nil
+	}
+	return encode, decode
+}
+
+func testBackedKey(b byte) Key {
+	var k Key
+	k[0] = b
+	return k
+}
+
+func TestBackedNilStoreIsPureLRU(t *testing.T) {
+	encode, decode := testCodec()
+	b := NewBacked(New(4, 100), nil, encode, decode)
+	k := testBackedKey(1)
+	if _, src := b.Get(k); src != SourceMiss {
+		t.Fatalf("empty get source = %v, want miss", src)
+	}
+	b.Add(k, []byte("v"), 1)
+	v, src := b.Get(k)
+	if src != SourceLRU || string(v.([]byte)) != "v" {
+		t.Fatalf("get = %v/%v, want v/LRU", v, src)
+	}
+	if b.Store() != nil {
+		t.Fatal("Store() must be nil for pure LRU")
+	}
+}
+
+func TestBackedReadThroughAndPromotion(t *testing.T) {
+	encode, decode := testCodec()
+	st := store.NewMem()
+	// LRU big enough that promotion is observable.
+	b := NewBacked(New(4, 100), st, encode, decode)
+	k := testBackedKey(2)
+
+	// Populate the store behind the cache's back (the restart shape:
+	// durable layer warm, LRU cold).
+	if err := st.Put(store.Key(k), []byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	v, src := b.Get(k)
+	if src != SourceStore || string(v.([]byte)) != "durable" {
+		t.Fatalf("get = %v/%v, want durable/Store", v, src)
+	}
+	// Promoted: the next read is an LRU hit.
+	if _, src := b.Get(k); src != SourceLRU {
+		t.Fatalf("post-promotion source = %v, want LRU", src)
+	}
+}
+
+func TestBackedAddWritesThrough(t *testing.T) {
+	encode, decode := testCodec()
+	st := store.NewMem()
+	b := NewBacked(New(4, 100), st, encode, decode)
+	k := testBackedKey(3)
+	b.Add(k, []byte("persisted"), 1)
+	got, ok, err := st.Get(store.Key(k))
+	if err != nil || !ok || !bytes.Equal(got, []byte("persisted")) {
+		t.Fatalf("store after Add: %q %v %v", got, ok, err)
+	}
+}
+
+func TestBackedRefusedEncodeNotPersisted(t *testing.T) {
+	encode, decode := testCodec()
+	st := store.NewMem()
+	b := NewBacked(New(4, 100), st, encode, decode)
+	k := testBackedKey(4)
+	b.Add(k, []byte("!degraded"), 1)
+	if _, ok, _ := st.Get(store.Key(k)); ok {
+		t.Fatal("refused value reached the store")
+	}
+	// Still served from the LRU while it lives there.
+	if _, src := b.Get(k); src != SourceLRU {
+		t.Fatal("refused value must still cache in memory")
+	}
+}
+
+func TestBackedDecodeErrorReadsAsMiss(t *testing.T) {
+	encode, decode := testCodec()
+	st := store.NewMem()
+	b := NewBacked(New(4, 100), st, encode, decode)
+	k := testBackedKey(5)
+	if err := st.Put(store.Key(k), nil); err != nil { // decodes to error
+		t.Fatal(err)
+	}
+	if _, src := b.Get(k); src != SourceMiss {
+		t.Fatal("undecodable stored bytes must read as a miss")
+	}
+}

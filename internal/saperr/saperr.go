@@ -45,6 +45,16 @@ var (
 	// local in-process solve, so ErrUnavailable should never surface to an
 	// end caller of the solve API.
 	ErrUnavailable = errors.New("backend unavailable")
+
+	// ErrCorruptStore reports persisted solve-store state that failed its
+	// integrity checks: a record hash that does not match its bytes, a
+	// Merkle batch root or chain link that does not verify, or a segment
+	// that cannot be parsed. A torn tail caused by a crash mid-flush is
+	// the *recoverable* spelling — the store truncates it on open and
+	// records an ErrCorruptStore-wrapping error in its stats rather than
+	// failing — while corruption anywhere before the tail is unrecoverable
+	// and surfaces directly from Open/Verify.
+	ErrCorruptStore = errors.New("corrupt solve store")
 )
 
 // cancelled wraps both ErrCancelled and the underlying context cause.
@@ -97,6 +107,14 @@ func Unavailable(format string, args ...any) error {
 
 // IsUnavailable reports whether err is a remote-unavailability error.
 func IsUnavailable(err error) bool { return errors.Is(err, ErrUnavailable) }
+
+// CorruptStore builds an error wrapping ErrCorruptStore.
+func CorruptStore(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorruptStore, fmt.Sprintf(format, args...))
+}
+
+// IsCorruptStore reports whether err is a store-integrity error.
+func IsCorruptStore(err error) bool { return errors.Is(err, ErrCorruptStore) }
 
 // Internal is a contained panic. It wraps ErrInternal and records the
 // recovered value plus the goroutine stack at recovery time.

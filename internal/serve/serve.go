@@ -41,6 +41,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"encoding/binary"
+
 	"sapalloc/internal/core"
 	"sapalloc/internal/faultinject"
 	"sapalloc/internal/model"
@@ -49,6 +51,7 @@ import (
 	"sapalloc/internal/sapcache"
 	"sapalloc/internal/saperr"
 	"sapalloc/internal/shard"
+	"sapalloc/internal/store"
 )
 
 // Config tunes the server. The zero value serves with the documented
@@ -83,6 +86,13 @@ type Config struct {
 	// total across their instances (defaults 4096 entries, 1<<20 tasks).
 	CacheEntries int
 	CacheTasks   int64
+	// Store, when non-nil, is the durable solve store the cache reads
+	// through (internal/store): cache misses fall through to it, fresh
+	// non-degraded responses are persisted to it, and a restarted server
+	// over the same store serves byte-identical responses without
+	// re-solving. Nil serves exactly the storeless path. The server does
+	// not own the store; the caller closes it after shutdown.
+	Store store.Store
 }
 
 func (c Config) withDefaults() Config {
@@ -119,12 +129,20 @@ func (c Config) withDefaults() Config {
 // immediately and is safe for concurrent use.
 type Server struct {
 	cfg      Config
-	cache    *sapcache.Cache
+	cache    *sapcache.Backed
 	flight   sapcache.Group
 	queue    chan struct{} // admission tokens: waiting + running
 	slots    chan struct{} // solve slots: running only
 	draining atomic.Bool
 	mux      *http.ServeMux
+	// solveNs is an EWMA of completed solve durations, the basis of the
+	// drain-aware Retry-After hint (see retryAfterHint).
+	solveNs atomic.Int64
+	// prov exposes the store's provenance lookup when the configured
+	// store offers one (store.File does, store.Mem does not).
+	prov interface {
+		Provenance(store.Key) (store.Provenance, bool)
+	}
 }
 
 // New builds a Server from the config and publishes the obs expvar bridge
@@ -135,10 +153,15 @@ func New(cfg Config) *Server {
 	obs.PublishExpvar()
 	s := &Server{
 		cfg:   cfg,
-		cache: sapcache.New(cfg.CacheEntries, cfg.CacheTasks),
+		cache: sapcache.NewBacked(sapcache.New(cfg.CacheEntries, cfg.CacheTasks), cfg.Store, encodeStored, decodeStored),
 		queue: make(chan struct{}, cfg.Concurrency+cfg.Queue),
 		slots: make(chan struct{}, cfg.Concurrency),
 		mux:   http.NewServeMux(),
+	}
+	if p, ok := cfg.Store.(interface {
+		Provenance(store.Key) (store.Provenance, bool)
+	}); ok {
+		s.prov = p
 	}
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/shard", s.handleShard)
@@ -182,16 +205,41 @@ const statusClientClosedRequest = 499
 // cachedResponse is the unit the cache and the singleflight group carry:
 // the exact response bytes plus the accounting the handler needs.
 type cachedResponse struct {
-	body     []byte
-	tasks    int  // instance task count = cache cost
-	degraded bool // degraded solves are returned but never cached
-	fromHit  bool // singleflight body came from a cache re-check
+	body      []byte
+	tasks     int  // instance task count = cache cost
+	degraded  bool // degraded solves are returned but never cached or persisted
+	fromHit   bool // singleflight body came from a cache re-check
+	fromStore bool // ...and that re-check was answered by the durable store
+}
+
+// encodeStored/decodeStored are the Backed codec for cachedResponse: the
+// durable bytes are a 4-byte big-endian task count followed by the exact
+// response body, so a store hit rebuilds a response byte-identical to the
+// one originally rendered. Degraded responses refuse to encode — the
+// degraded-never-persisted rule, enforced at the persistence boundary as
+// well as at the Add call sites.
+func encodeStored(v any) ([]byte, bool) {
+	resp := v.(*cachedResponse)
+	if resp.degraded {
+		return nil, false
+	}
+	out := make([]byte, 4, 4+len(resp.body))
+	binary.BigEndian.PutUint32(out, uint32(resp.tasks))
+	return append(out, resp.body...), true
+}
+
+func decodeStored(b []byte) (any, int64, error) {
+	if len(b) < 4 {
+		return nil, 0, fmt.Errorf("stored response too short: %d bytes", len(b))
+	}
+	tasks := int(binary.BigEndian.Uint32(b))
+	body := append([]byte(nil), b[4:]...)
+	return &cachedResponse{body: body, tasks: tasks}, int64(tasks), nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
-		http.Error(w, "draining", http.StatusServiceUnavailable)
+		s.refuse(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -207,8 +255,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.Draining() {
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
-		httpError(w, http.StatusServiceUnavailable, "server draining")
+		s.refuse(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -234,10 +281,12 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	obs.ServeRequests.Inc()
 
-	// Fast path: canonical-key cache hit answers without queueing.
-	if v, ok := s.cache.Get(key); ok {
+	// Fast path: canonical-key cache hit (LRU front or durable store)
+	// answers without queueing.
+	if v, src := s.cache.Get(key); src != sapcache.SourceMiss {
 		obs.ServeCacheHits.Inc()
-		writeSolveResponse(w, v.(*cachedResponse).body, "hit")
+		s.setProvenance(w, key)
+		writeSolveResponse(w, v.(*cachedResponse).body, cacheSourceLabel(src))
 		return
 	}
 
@@ -246,19 +295,22 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// concurrent leader may have populated it between our Get and Do),
 	// admits itself through the bounded queue, solves, and caches.
 	v, err, shared := s.flight.Do(key, func() (any, error) {
-		if ent, ok := s.cache.Get(key); ok {
+		if ent, src := s.cache.Get(key); src != sapcache.SourceMiss {
 			resp := ent.(*cachedResponse)
-			return &cachedResponse{body: resp.body, tasks: resp.tasks, fromHit: true}, nil
+			return &cachedResponse{body: resp.body, tasks: resp.tasks,
+				fromHit: true, fromStore: src == sapcache.SourceStore}, nil
 		}
 		release, err := s.admit(r.Context(), timeout)
 		if err != nil {
 			return nil, err
 		}
 		defer release()
+		start := time.Now()
 		resp, err := solveFn()
 		if err != nil {
 			return nil, err
 		}
+		s.observeSolve(time.Since(start))
 		if !resp.degraded {
 			s.cache.Add(key, resp, int64(tasks))
 		}
@@ -274,12 +326,16 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	case shared:
 		obs.ServeCacheDedup.Inc()
 		source = "dedup"
+	case resp.fromStore:
+		obs.ServeCacheHits.Inc()
+		source = "store"
 	case resp.fromHit:
 		obs.ServeCacheHits.Inc()
 		source = "hit"
 	default:
 		obs.ServeCacheMiss.Inc()
 	}
+	s.setProvenance(w, key)
 	writeSolveResponse(w, resp.body, source)
 }
 
@@ -307,8 +363,7 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if s.Draining() {
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
-		httpError(w, http.StatusServiceUnavailable, "server draining")
+		s.refuse(w, http.StatusServiceUnavailable, "server draining")
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
@@ -336,25 +391,29 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	obs.ServeShardRequests.Inc()
 
 	key := sapcache.KeyOfBytes(body)
-	if v, ok := s.cache.Get(key); ok {
+	if v, src := s.cache.Get(key); src != sapcache.SourceMiss {
 		obs.ServeCacheHits.Inc()
-		writeSolveResponse(w, v.(*cachedResponse).body, "hit")
+		s.setProvenance(w, key)
+		writeSolveResponse(w, v.(*cachedResponse).body, cacheSourceLabel(src))
 		return
 	}
 	v, err, shared := s.flight.Do(key, func() (any, error) {
-		if ent, ok := s.cache.Get(key); ok {
+		if ent, src := s.cache.Get(key); src != sapcache.SourceMiss {
 			resp := ent.(*cachedResponse)
-			return &cachedResponse{body: resp.body, tasks: resp.tasks, fromHit: true}, nil
+			return &cachedResponse{body: resp.body, tasks: resp.tasks,
+				fromHit: true, fromStore: src == sapcache.SourceStore}, nil
 		}
 		release, err := s.admit(r.Context(), timeout)
 		if err != nil {
 			return nil, err
 		}
 		defer release()
+		start := time.Now()
 		resp, err := s.solveShard(in, timeout)
 		if err != nil {
 			return nil, err
 		}
+		s.observeSolve(time.Since(start))
 		if !resp.degraded {
 			s.cache.Add(key, resp, int64(len(in.Tasks)))
 		}
@@ -370,12 +429,16 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 	case shared:
 		obs.ServeCacheDedup.Inc()
 		source = "dedup"
+	case resp.fromStore:
+		obs.ServeCacheHits.Inc()
+		source = "store"
 	case resp.fromHit:
 		obs.ServeCacheHits.Inc()
 		source = "hit"
 	default:
 		obs.ServeCacheMiss.Inc()
 	}
+	s.setProvenance(w, key)
 	writeSolveResponse(w, resp.body, source)
 }
 
@@ -622,6 +685,79 @@ func renderResponse(doc solveResponseDoc, tasks int) (*cachedResponse, error) {
 	return &cachedResponse{body: body, tasks: tasks, degraded: doc.Degraded}, nil
 }
 
+// provenanceHeader carries the stored solution's position in the durable
+// store's tamper-evident log (see store.Provenance.String): batch
+// sequence, index within the batch, record leaf hash, batch Merkle root,
+// and chain head. Present only when a store with provenance is configured
+// and the key's record has been flushed.
+const provenanceHeader = "X-Sapalloc-Provenance"
+
+// cacheSourceLabel maps a read-through source to the X-Sapalloc-Cache
+// value: "hit" for the in-memory front, "store" for the durable layer.
+func cacheSourceLabel(src sapcache.Source) string {
+	if src == sapcache.SourceStore {
+		return "store"
+	}
+	return "hit"
+}
+
+// setProvenance attaches the provenance header when the durable store
+// holds a flushed record for key.
+func (s *Server) setProvenance(w http.ResponseWriter, key sapcache.Key) {
+	if s.prov == nil {
+		return
+	}
+	if p, ok := s.prov.Provenance(store.Key(key)); ok {
+		w.Header().Set(provenanceHeader, p.String())
+	}
+}
+
+// observeSolve folds a completed solve's duration into the EWMA behind
+// the drain-aware Retry-After hint (α = ¼; a lost concurrent update only
+// delays convergence of a hint that is already an estimate).
+func (s *Server) observeSolve(d time.Duration) {
+	old := s.solveNs.Load()
+	if old == 0 {
+		s.solveNs.Store(int64(d))
+		return
+	}
+	s.solveNs.Store(old + (int64(d)-old)/4)
+}
+
+// maxRetryAfter caps the drain-aware hint: past a minute the estimate
+// says "come back much later", and 60 is hint enough.
+const maxRetryAfter = 60 * time.Second
+
+// retryAfterHint is the single source of the Retry-After header for every
+// refusal — 429 queue-full sheds, 503 queue-deadline expiries, 503 drain
+// refusals, and 503 leader-abandoned followers all call it, so the two
+// back-pressure paths can never drift apart again. The hint is the
+// expected drain interval of the current queue: EWMA solve duration ×
+// occupied admission tokens / solve slots, floored at the configured
+// RetryAfter (which is also the whole hint before any solve completes)
+// and capped at maxRetryAfter.
+func (s *Server) retryAfterHint() time.Duration {
+	hint := s.cfg.RetryAfter
+	if ewma := s.solveNs.Load(); ewma > 0 {
+		if depth := int64(len(s.queue)); depth > 0 {
+			if est := time.Duration(ewma * depth / int64(s.cfg.Concurrency)); est > hint {
+				hint = est
+			}
+		}
+	}
+	if hint > maxRetryAfter {
+		hint = maxRetryAfter
+	}
+	return hint
+}
+
+// refuse writes a refusal that is worth retrying later: the unified
+// Retry-After hint plus the standard JSON error document.
+func (s *Server) refuse(w http.ResponseWriter, status int, format string, args ...any) {
+	w.Header().Set("Retry-After", retryAfterSeconds(s.retryAfterHint()))
+	httpError(w, status, format, args...)
+}
+
 func writeSolveResponse(w http.ResponseWriter, body []byte, source string) {
 	h := w.Header()
 	h.Set("Content-Type", "application/json")
@@ -644,15 +780,12 @@ func writeSolveResponse(w http.ResponseWriter, body []byte, source string) {
 func (s *Server) writeSolveError(w http.ResponseWriter, err error, shared bool) {
 	switch {
 	case errors.Is(err, errOverloaded):
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
-		httpError(w, http.StatusTooManyRequests, "%v", err)
+		s.refuse(w, http.StatusTooManyRequests, "%v", err)
 	case errors.Is(err, errQueueTimeout):
-		w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
-		httpError(w, http.StatusServiceUnavailable, "%v", err)
+		s.refuse(w, http.StatusServiceUnavailable, "%v", err)
 	case errors.Is(err, errClientGone):
 		if shared {
-			w.Header().Set("Retry-After", retryAfterSeconds(s.cfg.RetryAfter))
-			httpError(w, http.StatusServiceUnavailable, "shared solve abandoned by its leader: %v", err)
+			s.refuse(w, http.StatusServiceUnavailable, "shared solve abandoned by its leader: %v", err)
 			return
 		}
 		httpError(w, statusClientClosedRequest, "%v", err)

@@ -1,0 +1,192 @@
+package serve
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sapalloc/internal/obs"
+	"sapalloc/internal/store"
+)
+
+// testStore opens a file store in a temp dir with the background flusher
+// off, so tests flush explicitly.
+func testStore(t *testing.T, dir string) *store.File {
+	t.Helper()
+	f, err := store.OpenFile(dir, store.FileConfig{FlushInterval: -1})
+	if err != nil {
+		t.Fatalf("OpenFile: %v", err)
+	}
+	return f
+}
+
+// TestServeStoreWarmRestart is the serving-layer half of the PR's
+// acceptance check (internal/difftest pins the end-to-end version): a
+// server over a populated store answers with the original bytes, marked
+// "store", without re-entering the solver, and the response carries the
+// provenance header.
+func TestServeStoreWarmRestart(t *testing.T) {
+	dir := t.TempDir()
+	body := encodeInstance(t, testInstance(0))
+
+	st1 := testStore(t, dir)
+	ts1 := newTestServer(t, Config{Store: st1})
+	resp1, got1 := postJSON(t, ts1, "/v1/solve", body)
+	if resp1.StatusCode != 200 {
+		t.Fatalf("first solve: %d %s", resp1.StatusCode, got1)
+	}
+	if src := resp1.Header.Get("X-Sapalloc-Cache"); src != "miss" {
+		t.Fatalf("first solve source = %q, want miss", src)
+	}
+	solves := obs.SolvesStarted.Value()
+	if solves == 0 {
+		t.Fatal("no solve recorded for the miss")
+	}
+	ts1.Close()
+	if err := st1.Close(); err != nil { // flushes the pending batch
+		t.Fatal(err)
+	}
+
+	// "Restart": a brand-new server (cold LRU) over the same directory.
+	st2 := testStore(t, dir)
+	t.Cleanup(func() { st2.Close() })
+	if s := st2.Stats(); s.TailTruncated || s.RecoveryErr != nil {
+		t.Fatalf("clean restart reported recovery: %+v", s)
+	}
+	ts2 := newTestServer(t, Config{Store: st2})
+	resp2, got2 := postJSON(t, ts2, "/v1/solve", body)
+	if resp2.StatusCode != 200 {
+		t.Fatalf("warm solve: %d %s", resp2.StatusCode, got2)
+	}
+	if src := resp2.Header.Get("X-Sapalloc-Cache"); src != "store" {
+		t.Fatalf("warm solve source = %q, want store", src)
+	}
+	if string(got2) != string(got1) {
+		t.Fatalf("restarted response differs:\n  first: %s\n  warm:  %s", got1, got2)
+	}
+	if obs.SolvesStarted.Value() != 0 {
+		t.Fatal("warm restart re-entered the solver")
+	}
+	prov := resp2.Header.Get(provenanceHeader)
+	if prov == "" {
+		t.Fatal("store-served response lacks the provenance header")
+	}
+	for _, field := range []string{"batch=", "index=", "record=", "root=", "head="} {
+		if !strings.Contains(prov, field) {
+			t.Fatalf("provenance header %q lacks %s", prov, field)
+		}
+	}
+
+	// Second request on the same server: promoted to the LRU front.
+	resp3, got3 := postJSON(t, ts2, "/v1/solve", body)
+	if src := resp3.Header.Get("X-Sapalloc-Cache"); src != "hit" {
+		t.Fatalf("promoted source = %q, want hit", src)
+	}
+	if string(got3) != string(got1) {
+		t.Fatal("promoted response differs from original bytes")
+	}
+}
+
+// TestServeStoreDisabledIdentical pins the byte-identity contract for the
+// disabled path: with no store configured the server behaves exactly as
+// before the store existed — same bytes, same headers, no provenance.
+func TestServeStoreDisabledIdentical(t *testing.T) {
+	ts := newTestServer(t, Config{})
+	body := encodeInstance(t, testInstance(0))
+	resp1, got1 := postJSON(t, ts, "/v1/solve", body)
+	resp2, got2 := postJSON(t, ts, "/v1/solve", body)
+	if string(got1) != string(got2) {
+		t.Fatal("hit differs from miss bytes")
+	}
+	if resp1.Header.Get(provenanceHeader) != "" || resp2.Header.Get(provenanceHeader) != "" {
+		t.Fatal("storeless response carries a provenance header")
+	}
+	if src := resp2.Header.Get("X-Sapalloc-Cache"); src != "hit" {
+		t.Fatalf("second response source = %q, want hit", src)
+	}
+}
+
+// TestServeStoreDegradedNeverPersisted pins the degraded-never-persisted
+// rule at the codec boundary: encodeStored must refuse degraded
+// responses, so they can reach neither the LRU (Add call sites skip them)
+// nor the disk.
+func TestServeStoreDegradedNeverPersisted(t *testing.T) {
+	if _, ok := encodeStored(&cachedResponse{body: []byte("x"), tasks: 1, degraded: true}); ok {
+		t.Fatal("encodeStored accepted a degraded response")
+	}
+	raw, ok := encodeStored(&cachedResponse{body: []byte("body\n"), tasks: 7})
+	if !ok {
+		t.Fatal("encodeStored refused a healthy response")
+	}
+	v, cost, err := decodeStored(raw)
+	if err != nil {
+		t.Fatalf("decodeStored: %v", err)
+	}
+	resp := v.(*cachedResponse)
+	if string(resp.body) != "body\n" || resp.tasks != 7 || cost != 7 {
+		t.Fatalf("codec round-trip mismatch: %+v cost=%d", resp, cost)
+	}
+	if _, _, err := decodeStored([]byte{1, 2}); err == nil {
+		t.Fatal("decodeStored accepted a truncated record")
+	}
+}
+
+// TestRetryAfterUnified pins that the queue-deadline 503 and the 429 shed
+// compute Retry-After from the same drain-aware estimate: EWMA solve
+// duration × queue occupancy / concurrency, floored at cfg.RetryAfter,
+// capped at 60s.
+func TestRetryAfterUnified(t *testing.T) {
+	s := New(Config{Concurrency: 2, Queue: 2, RetryAfter: 2 * time.Second})
+
+	// Before any solve completes, the floor is the whole hint.
+	if got := s.retryAfterHint(); got != 2*time.Second {
+		t.Fatalf("cold hint = %v, want the 2s floor", got)
+	}
+
+	// With a 10s EWMA and 3 occupied admission tokens over 2 slots, the
+	// drain estimate 10s×3/2 = 15s wins over the floor.
+	s.observeSolve(10 * time.Second)
+	for i := 0; i < 3; i++ {
+		s.queue <- struct{}{}
+	}
+	if got := s.retryAfterHint(); got != 15*time.Second {
+		t.Fatalf("drain hint = %v, want 15s", got)
+	}
+
+	// Both refusal statuses carry the same header value.
+	w429 := httptest.NewRecorder()
+	s.writeSolveError(w429, errOverloaded, false)
+	w503 := httptest.NewRecorder()
+	s.writeSolveError(w503, errQueueTimeout, false)
+	if w429.Code != 429 || w503.Code != 503 {
+		t.Fatalf("statuses = %d/%d, want 429/503", w429.Code, w503.Code)
+	}
+	a, b := w429.Header().Get("Retry-After"), w503.Header().Get("Retry-After")
+	if a != "15" || b != "15" {
+		t.Fatalf("Retry-After 429=%q 503=%q, want both 15", a, b)
+	}
+
+	// The estimate is capped at 60s however backed up the queue looks.
+	s.observeSolve(10 * time.Minute)
+	s.observeSolve(10 * time.Minute)
+	s.observeSolve(10 * time.Minute)
+	s.observeSolve(10 * time.Minute)
+	if got := s.retryAfterHint(); got != 60*time.Second {
+		t.Fatalf("capped hint = %v, want 60s", got)
+	}
+}
+
+// TestRetryAfterEWMA pins the smoothing: the first observation seeds the
+// EWMA, later ones move it a quarter of the gap.
+func TestRetryAfterEWMA(t *testing.T) {
+	s := New(Config{})
+	s.observeSolve(8 * time.Second)
+	if got := time.Duration(s.solveNs.Load()); got != 8*time.Second {
+		t.Fatalf("seed = %v, want 8s", got)
+	}
+	s.observeSolve(16 * time.Second)
+	if got := time.Duration(s.solveNs.Load()); got != 10*time.Second {
+		t.Fatalf("after second observation = %v, want 10s (8 + (16-8)/4)", got)
+	}
+}

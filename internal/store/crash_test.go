@@ -1,0 +1,194 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"syscall"
+	"testing"
+	"time"
+
+	"sapalloc/internal/faultinject"
+	"sapalloc/internal/saperr"
+)
+
+// The crash suite re-execs the test binary as a child process that dies
+// without closing its store — once deterministically (the torn-write
+// fault site plus a hard exit) and once nondeterministically (SIGKILL
+// mid-write-loop) — then replays the directory in this process and checks
+// the recovery contract: open succeeds, every batch that was fully
+// written survives, the torn tail (if any) is truncated and reported.
+
+const (
+	crashDirEnv  = "SAPSTORE_CRASH_DIR"
+	crashModeEnv = "SAPSTORE_CRASH_MODE"
+)
+
+// TestStoreCrashChild is the child body; it only runs when re-exec'd by
+// the parents below.
+func TestStoreCrashChild(t *testing.T) {
+	dir := os.Getenv(crashDirEnv)
+	if dir == "" {
+		t.Skip("crash child: not re-exec'd")
+	}
+	f, err := OpenFile(dir, FileConfig{FlushInterval: -1, Sync: true})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "child open: %v\n", err)
+		os.Exit(2)
+	}
+	switch os.Getenv(crashModeEnv) {
+	case "torn":
+		// Ten durable batches, then a flush that tears mid-write, then a
+		// hard death with the store left open.
+		for i := 0; i < 10; i++ {
+			if err := f.Put(testKey(i), testVal(i)); err != nil {
+				os.Exit(2)
+			}
+			if err := f.Flush(); err != nil {
+				os.Exit(2)
+			}
+		}
+		deactivate := faultinject.Activate(faultinject.NewPlan(faultinject.Injection{
+			Site: SiteWriteTorn, Kind: faultinject.KindError, Once: true,
+		}))
+		_ = f.Put(testKey(10), testVal(10))
+		if err := f.Flush(); err == nil {
+			fmt.Fprintln(os.Stderr, "child: torn flush unexpectedly succeeded")
+			os.Exit(2)
+		}
+		deactivate()
+		os.Exit(3) // die without Close
+	case "kill":
+		// Write-and-sync forever; the parent SIGKILLs us mid-loop. Print
+		// a line once some batches are durable so the parent knows when
+		// killing is interesting.
+		for i := 0; ; i++ {
+			if err := f.Put(testKey(i), bytes.Repeat([]byte{byte(i)}, 512)); err != nil {
+				os.Exit(2)
+			}
+			if err := f.Flush(); err != nil {
+				os.Exit(2)
+			}
+			if i == 5 {
+				fmt.Println("CHILD_READY")
+			}
+		}
+	default:
+		os.Exit(2)
+	}
+}
+
+func crashChild(t *testing.T, dir, mode string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run", "^TestStoreCrashChild$", "-test.v")
+	cmd.Env = append(os.Environ(), crashDirEnv+"="+dir, crashModeEnv+"="+mode)
+	return cmd
+}
+
+// TestStoreCrashRecovery is the kill-and-replay suite check.sh store runs
+// under -race: a child process dies with a torn batch on disk; reopening
+// the directory must truncate the tail, keep every complete batch, and
+// leave a store that verifies and keeps accepting writes.
+func TestStoreCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec crash test skipped in -short")
+	}
+	dir := t.TempDir()
+	cmd := crashChild(t, dir, "torn")
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("crash child exited cleanly; output:\n%s", out)
+	}
+	if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 3 {
+		t.Fatalf("crash child: %v; output:\n%s", err, out)
+	}
+
+	f, err := OpenFile(dir, FileConfig{FlushInterval: -1})
+	if err != nil {
+		t.Fatalf("replay after crash: %v", err)
+	}
+	defer f.Close()
+	st := f.Stats()
+	if !st.TailTruncated {
+		t.Fatalf("torn tail not detected: %+v", st)
+	}
+	if !saperr.IsCorruptStore(st.RecoveryErr) {
+		t.Fatalf("RecoveryErr = %v, want saperr.ErrCorruptStore wrap", st.RecoveryErr)
+	}
+	// The ten durable batches survive; the torn eleventh does not.
+	for i := 0; i < 10; i++ {
+		got := mustGet(t, f, testKey(i))
+		if !bytes.Equal(got, testVal(i)) {
+			t.Fatalf("key %d corrupted across crash: %q", i, got)
+		}
+	}
+	if _, ok, _ := f.Get(testKey(10)); ok {
+		t.Fatal("torn batch's record survived replay")
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify after crash recovery: %v", err)
+	}
+	// The chain resumes: new writes land on the recovered head.
+	mustPut(t, f, testKey(100), testVal(100))
+	if err := f.Flush(); err != nil {
+		t.Fatalf("write after recovery: %v", err)
+	}
+}
+
+// TestStoreCrashRecoveryKill is the nondeterministic variant: SIGKILL
+// mid-write-loop. Whatever instant the kill lands, the directory must
+// reopen without error and verify end to end.
+func TestStoreCrashRecoveryKill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-exec crash test skipped in -short")
+	}
+	dir := t.TempDir()
+	cmd := crashChild(t, dir, "kill")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the child to report durable batches, then kill it cold.
+	ready := make(chan struct{})
+	go func() {
+		buf := make([]byte, 1)
+		var line []byte
+		for {
+			if _, err := stdout.Read(buf); err != nil {
+				return
+			}
+			line = append(line, buf[0])
+			if bytes.Contains(line, []byte("CHILD_READY")) {
+				close(ready)
+				return
+			}
+		}
+	}()
+	select {
+	case <-ready:
+	case <-time.After(10 * time.Second):
+		_ = cmd.Process.Kill()
+		_ = cmd.Wait()
+		t.Fatal("crash child never became ready")
+	}
+	if err := cmd.Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	_ = cmd.Wait()
+
+	f, err := OpenFile(dir, FileConfig{FlushInterval: -1})
+	if err != nil {
+		t.Fatalf("replay after SIGKILL: %v", err)
+	}
+	defer f.Close()
+	if f.Len() < 6 {
+		t.Fatalf("Len = %d, want at least the 6 batches the child confirmed durable", f.Len())
+	}
+	if err := f.Verify(); err != nil {
+		t.Fatalf("Verify after SIGKILL recovery: %v", err)
+	}
+}

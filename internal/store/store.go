@@ -1,0 +1,68 @@
+package store
+
+import (
+	"sync"
+)
+
+// Store is the pluggable persistence interface the serving layer's
+// read-through cache (sapcache.Backed) sits on. Implementations must be
+// safe for concurrent use.
+type Store interface {
+	// Get returns a copy of the value stored under k, whether it was
+	// present, and any integrity/IO error (absence is not an error).
+	Get(k Key) ([]byte, bool, error)
+	// Put stores v under k, replacing any previous value. The store
+	// copies v; the caller keeps ownership of the slice.
+	Put(k Key, v []byte) error
+	// Flush forces buffered writes to the backing medium. A no-op for
+	// stores with no write batching.
+	Flush() error
+	// Len returns the number of live keys.
+	Len() int
+	// Close flushes and releases the store. The store is unusable after.
+	Close() error
+}
+
+// Mem is the in-memory Store: a mutex-guarded map with copy-in/copy-out
+// semantics. It carries no chain (nothing persists), so it offers no
+// provenance; it exists for tests and for deployments that want the
+// read-through plumbing without a disk.
+type Mem struct {
+	mu sync.RWMutex
+	m  map[Key][]byte
+}
+
+// NewMem returns an empty in-memory store.
+func NewMem() *Mem { return &Mem{m: make(map[Key][]byte)} }
+
+// Get implements Store.
+func (s *Mem) Get(k Key) ([]byte, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v, ok := s.m[k]
+	if !ok {
+		return nil, false, nil
+	}
+	return append([]byte(nil), v...), true, nil
+}
+
+// Put implements Store.
+func (s *Mem) Put(k Key, v []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[k] = append([]byte(nil), v...)
+	return nil
+}
+
+// Flush implements Store (no-op: nothing is buffered).
+func (s *Mem) Flush() error { return nil }
+
+// Len implements Store.
+func (s *Mem) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// Close implements Store (no-op).
+func (s *Mem) Close() error { return nil }
