@@ -10,6 +10,7 @@ package sapalloc_test
 // where each pipeline spends its time.
 
 import (
+	"context"
 	"testing"
 
 	"sapalloc/internal/chendp"
@@ -24,6 +25,7 @@ import (
 	"sapalloc/internal/model"
 	"sapalloc/internal/oracle"
 	"sapalloc/internal/ringsap"
+	"sapalloc/internal/session"
 	"sapalloc/internal/smallsap"
 	"sapalloc/internal/stretch"
 	"sapalloc/internal/ufpp"
@@ -407,6 +409,40 @@ func BenchmarkE22UFPPFull(b *testing.B) {
 		if err := model.ValidUFPP(in, res.Tasks); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkE35SessionChurn measures one churn delta (remove a task, re-add
+// it) through the incremental session engine vs the same engine forced to
+// cold re-solves. The archipelago has 12 islands, so the incremental path
+// re-solves 1 shard per delta where the full baseline re-solves all 12;
+// benchjson pins the twin workload and gates the ratio at ≥5x.
+func BenchmarkE35SessionChurn(b *testing.B) {
+	pool := gen.Archipelago(gen.ArchipelagoConfig{
+		Seed: 35, Islands: 12, IslandEdges: 8, GapEdges: 2,
+		TasksPerIsland: 18, CapLo: 64, CapHi: 257, Class: gen.Mixed,
+	})
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{{"incremental", false}, {"full", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			sess, err := session.New(pool.Capacity, session.Options{Params: core.Params{Workers: 1}, Full: mode.full})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sess.Apply(context.Background(), session.Delta{Add: pool.Tasks}); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				t := pool.Tasks[i%len(pool.Tasks)]
+				if _, err := sess.Apply(context.Background(), session.Delta{Remove: []int{t.ID}, Add: []model.Task{t}}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -16,6 +16,9 @@
 #   ./check.sh store   durable solve store: persistence suites under -race,
 #                      incl. the kill-and-replay crash matrix and the
 #                      warm-restart byte-identity pins
+#   ./check.sh session incremental session engine: unit + churn byte-identity
+#                      matrix, window cancellation/degeneracy pins, and the
+#                      session HTTP API, all under -race
 set -e
 
 # Ratcheted coverage floor (percentage points). CI fails when total
@@ -27,12 +30,14 @@ set -e
 COVER_FLOOR=79.8
 
 if [ "$1" = "bench" ]; then
-    # The -minspeedup requirement gates the shard scatter's parallel scaling
-    # on the fresh report; it self-skips on machines with <4 processors,
-    # where the ratio is unmeasurable.
+    # The -minspeedup requirements gate the shard scatter's parallel scaling
+    # and the session engine's incremental-vs-full work reduction on the
+    # fresh report; they self-skip on machines with <4 processors, where
+    # the ratios are unmeasurable.
     echo "== bench regression gate (BENCH.json) =="
     go run ./cmd/sapbench -json -out BENCH.fresh.json -baseline BENCH.json \
-        -maxregress 0.30 -maxallocregress 0.10 -minspeedup 'E30Shard/workers=4=2.0'
+        -maxregress 0.30 -maxallocregress 0.10 \
+        -minspeedup 'E30Shard/workers=4=2.0,E35SessionChurn/incremental=5.0'
     echo "BENCH GATE PASSED (fresh report in BENCH.fresh.json)"
     exit 0
 fi
@@ -46,7 +51,8 @@ if [ "$1" = "alloc" ]; then
     echo "== alloc budgets (testing.AllocsPerRun) =="
     go test -count=1 -run 'TestAllocs' \
         ./internal/intervals/ ./internal/exact/ ./internal/largesap/ \
-        ./internal/chendp/ ./internal/mediumsap/ ./internal/core/
+        ./internal/chendp/ ./internal/mediumsap/ ./internal/core/ \
+        ./internal/window/
     echo "== allocs/op regression gate (BENCH.json) =="
     go run ./cmd/sapbench -json -out BENCH.fresh.json -baseline BENCH.json -maxregress 1000 -maxallocregress 0.10
     echo "ALLOC GATE PASSED (fresh report in BENCH.fresh.json)"
@@ -85,6 +91,7 @@ if [ "$1" = "fuzz" ]; then
     go test -run '^$' -fuzz '^FuzzShardStitch$' -fuzztime "$fuzztime" ./internal/shard/
     go test -run '^$' -fuzz '^FuzzShardWire$' -fuzztime "$fuzztime" ./internal/shard/
     go test -run '^$' -fuzz '^FuzzStoreRecord$' -fuzztime "$fuzztime" ./internal/store/
+    go test -run '^$' -fuzz '^FuzzWindowJSON$' -fuzztime "$fuzztime" ./internal/window/
     echo "FUZZ SMOKE PASSED"
     exit 0
 fi
@@ -122,6 +129,24 @@ if [ "$1" = "store" ]; then
     go test -race -timeout 15m -count=1 -run 'TestStore' ./internal/difftest/
     go build ./cmd/sapserved ./cmd/sapstore
     echo "STORE GATE PASSED"
+    exit 0
+fi
+
+if [ "$1" = "session" ]; then
+    # The incremental engine's contract is byte-identity with a cold solve
+    # under concurrent churn, so everything runs -race: the session/table
+    # unit suites, the difftest churn matrix (workers 1/2/8) plus the
+    # window cancellation and degenerate-window pins that rode along, and
+    # the session HTTP API (lifecycle, admission bound, draining,
+    # concurrent deltas).
+    echo "== session engine: delta/cache/table units (-race) =="
+    go test -race -timeout 10m -count=1 ./internal/session/ ./internal/window/
+    echo "== session churn matrix: incremental-vs-cold byte identity (-race, workers 1/2/8) =="
+    go test -race -timeout 15m -count=1 -run 'TestSession|TestWindowCancel|TestWindowDegenerate' ./internal/difftest/
+    echo "== session HTTP API (-race) =="
+    go test -race -timeout 10m -count=1 -run 'TestServeSession' ./internal/serve/
+    go build ./cmd/sapserved ./cmd/sapstress
+    echo "SESSION GATE PASSED"
     exit 0
 fi
 

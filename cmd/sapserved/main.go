@@ -14,6 +14,10 @@
 //
 //	POST /v1/solve    solve a path or ring instance (model JSON format);
 //	                  ?timeout=2s caps the solve, clamped to -max-timeout
+//	POST   /v1/session             create an incremental session from an instance
+//	POST   /v1/session/{id}/delta  apply a task add/remove delta; returns the
+//	                               updated allocation and resolved_shards
+//	DELETE /v1/session/{id}        delete a session
 //	GET  /healthz     liveness; 503 once draining
 //	GET  /metricsz    expvar bridge with the sapalloc metrics registry
 //
@@ -72,6 +76,8 @@ func main() {
 		cacheEnts   = flag.Int("cache-entries", 4096, "canonicalization cache: max cached responses")
 		cacheTasks  = flag.Int64("cache-tasks", 1<<20, "canonicalization cache: max total tasks across cached instances")
 		maxBody     = flag.Int64("max-body-bytes", 32<<20, "request body size cap")
+		maxSessions = flag.Int("max-sessions", 1024, "live incremental sessions before creates shed with 429")
+		sessionTTL  = flag.Duration("session-ttl", 15*time.Minute, "idle session lifetime before lazy eviction")
 		grace       = flag.Duration("grace", 30*time.Second, "drain window for in-flight requests on shutdown")
 		storeDir    = flag.String("store-dir", "", "durable solve store directory (empty = no persistence); restarts replay and verify the log and serve stored responses byte-identically")
 		storeSync   = flag.Duration("store-flush-interval", 0, "store write-batch latency trigger (0 = 50ms)")
@@ -149,6 +155,8 @@ func main() {
 		MaxBodyBytes:   *maxBody,
 		CacheEntries:   *cacheEnts,
 		CacheTasks:     *cacheTasks,
+		MaxSessions:    *maxSessions,
+		SessionTTL:     *sessionTTL,
 	}
 	if solveStore != nil {
 		// Assign only when a store exists: a nil *store.File stuffed into

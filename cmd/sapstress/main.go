@@ -15,6 +15,12 @@
 // periodic summary grows a dist: section (RPCs, retries, hedges, breaker
 // trips, local fallbacks). Every invariant still holds under backend
 // failure because the envelope degrades to local solves.
+//
+// With -sessions, cases instead churn the incremental session engine: each
+// case opens a session over a random archipelago, drives a seeded stream of
+// add/remove deltas, and after every delta cross-checks the maintained
+// allocation for feasibility and byte-identity against a cold solve of the
+// current task set. The periodic summary grows a session: section.
 package main
 
 import (
@@ -40,6 +46,7 @@ import (
 	"sapalloc/internal/obs"
 	"sapalloc/internal/obscli"
 	"sapalloc/internal/par"
+	"sapalloc/internal/session"
 )
 
 func main() {
@@ -50,6 +57,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 0, "per-case solve deadline (0 = none); degraded-but-feasible results pass, degradation-to-nothing is a failure")
 		interval = flag.Duration("metrics-interval", 5*time.Second, "with -metrics: period of the one-line metrics summary")
 		peers    = flag.String("peers", "", "comma-separated sapserved base URLs: scatter shard solves remotely through the dist envelope")
+		sessions = flag.Bool("sessions", false, "churn mode: each case drives an incremental session through seeded deltas, cross-checking every state against a cold solve")
 	)
 	obsFlags := obscli.Register(flag.CommandLine)
 	flag.Parse()
@@ -91,6 +99,9 @@ func main() {
 					if pool != nil {
 						line += " " + obs.DistSummary()
 					}
+					if *sessions {
+						line += " " + obs.SessionSummary()
+					}
 					fmt.Fprintf(os.Stderr, "sapstress: %s\n", line)
 				case <-tickDone:
 					return
@@ -118,7 +129,13 @@ func main() {
 				// passed 1,000,003 iterations.) The printed reproducer
 				// seed is caseSeed itself, so replay stays exact.
 				caseSeed := *seed + i*int64(w) + int64(worker)
-				if msg := checkOne(caseSeed, *timeout, pool); msg != "" {
+				check := checkOne
+				if *sessions {
+					check = func(s int64, to time.Duration, _ *dist.Pool) string {
+						return checkSessionChurn(s, to)
+					}
+				}
+				if msg := check(caseSeed, *timeout, pool); msg != "" {
 					atomic.AddInt64(&failures, 1)
 					mu.Lock()
 					if firstFailure == "" {
@@ -137,6 +154,80 @@ func main() {
 		log.Printf("FIRST FAILURE: %s", firstFailure)
 		os.Exit(1)
 	}
+}
+
+// checkSessionChurn soaks the incremental session engine: one session per
+// case, a seeded stream of add/remove deltas over an archipelago pool, and
+// after every delta the maintained allocation is cross-checked for
+// feasibility and byte-identity against a cold solve of the current task
+// set — the same invariant internal/difftest pins, over an unbounded case
+// stream.
+func checkSessionChurn(seed int64, timeout time.Duration) string {
+	r := rand.New(rand.NewSource(seed))
+	pool := gen.Archipelago(gen.ArchipelagoConfig{
+		Seed:           seed,
+		Islands:        2 + r.Intn(4),
+		IslandEdges:    1 + r.Intn(6),
+		GapEdges:       r.Intn(3),
+		TasksPerIsland: 1 + r.Intn(10),
+		CapLo:          16, CapHi: 65,
+		Class: gen.Class(r.Intn(4)),
+	})
+	params := core.Params{Exact: exact.Options{MaxNodes: 200_000}}
+	sess, err := session.New(pool.Capacity, session.Options{Params: params})
+	if err != nil {
+		return fmt.Sprintf("session.New: %v", err)
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	inSet := make(map[int]bool)
+	for step := 0; step < 6; step++ {
+		var d session.Delta
+		for _, tk := range pool.Tasks {
+			if inSet[tk.ID] {
+				if r.Intn(3) == 0 {
+					d.Remove = append(d.Remove, tk.ID)
+				}
+			} else if r.Intn(2) == 0 {
+				d.Add = append(d.Add, tk)
+			}
+		}
+		res, err := sess.Apply(ctx, d)
+		if err != nil {
+			return fmt.Sprintf("session delta %d: %v", step, err)
+		}
+		for _, id := range d.Remove {
+			delete(inSet, id)
+		}
+		for _, tk := range d.Add {
+			inSet[tk.ID] = true
+		}
+		cur := &model.Instance{Capacity: pool.Capacity, Tasks: sess.Tasks()}
+		if err := model.ValidSAP(cur, res.Solution); err != nil {
+			return fmt.Sprintf("session delta %d: infeasible allocation: %v", step, err)
+		}
+		if !res.Full && res.Resolved+res.Reused != res.Shards {
+			return fmt.Sprintf("session delta %d: shard accounting %d+%d != %d", step, res.Resolved, res.Reused, res.Shards)
+		}
+		cold, err := core.SolveCtx(ctx, cur, params)
+		if err != nil {
+			return fmt.Sprintf("session delta %d: cold reference: %v", step, err)
+		}
+		if cold.Solution.Len() != res.Solution.Len() || cold.Solution.Weight() != res.Weight {
+			return fmt.Sprintf("session delta %d: incremental (w=%d n=%d) != cold (w=%d n=%d)",
+				step, res.Weight, res.Solution.Len(), cold.Solution.Weight(), cold.Solution.Len())
+		}
+		for i := range cold.Solution.Items {
+			if cold.Solution.Items[i] != res.Solution.Items[i] {
+				return fmt.Sprintf("session delta %d: allocation diverges from cold solve at item %d", step, i)
+			}
+		}
+	}
+	return ""
 }
 
 // checkOne runs every invariant on one randomized case; returns "" on

@@ -1,6 +1,7 @@
 package benchjson
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -11,6 +12,7 @@ import (
 	"sapalloc/internal/model"
 	"sapalloc/internal/par"
 	"sapalloc/internal/ringsap"
+	"sapalloc/internal/session"
 	"sapalloc/internal/smallsap"
 	"sapalloc/internal/ufppfull"
 )
@@ -201,6 +203,47 @@ func Run(verbose func(string)) (*Report, error) {
 			sink += uint64(acc)
 		}
 	})
+
+	// The churn probe: the incremental session engine vs cold re-solves on
+	// an identical delta stream. Each op removes one task and re-adds it —
+	// a one-island dirty region — so the incremental engine re-solves 1 of
+	// 12 shards where the full baseline re-solves all 12. Workers is pinned
+	// to 1 in both modes so the ratio measures work reduction, not
+	// parallelism; the ≥5x gate on the incremental speedup is what keeps
+	// deltas from quietly regressing to cold solves.
+	e35 := gen.Archipelago(gen.ArchipelagoConfig{
+		Seed: 35, Islands: 12, IslandEdges: 8, GapEdges: 2,
+		TasksPerIsland: 18, CapLo: 64, CapHi: 257, Class: gen.Mixed,
+	})
+	var inc, full Entry
+	for _, mode := range []struct {
+		name string
+		full bool
+	}{{"incremental", false}, {"full", true}} {
+		sess, err := session.New(e35.Capacity, session.Options{Params: core.Params{Workers: 1}, Full: mode.full})
+		check(err)
+		if sess == nil {
+			continue
+		}
+		_, err = sess.Apply(context.Background(), session.Delta{Add: e35.Tasks})
+		check(err)
+		e := run("E35SessionChurn/"+mode.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				t := e35.Tasks[i%len(e35.Tasks)]
+				_, err := sess.Apply(context.Background(), session.Delta{Remove: []int{t.ID}, Add: []model.Task{t}})
+				check(err)
+			}
+		})
+		if mode.full {
+			full = e
+		} else {
+			inc = e
+		}
+	}
+	if inc.NsPerOp > 0 {
+		rep.Speedups["E35SessionChurn/incremental"] = full.NsPerOp / inc.NsPerOp
+	}
 
 	run("ParDispatch/n=65536", func(b *testing.B) {
 		b.ReportAllocs()

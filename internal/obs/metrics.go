@@ -280,6 +280,26 @@ var (
 	StoreBytes           = NewGauge("store_bytes")
 	ServeStoreHits       = NewCounter("serve_store_hits")
 
+	// Incremental session engine (internal/session). session_deltas counts
+	// every successfully applied delta; exactly one of full/incremental
+	// follows per delta (full = the whole path re-solved cold because the
+	// instance had no zero-load cut or the session forces full solves,
+	// incremental = only the shards whose edge windows intersect the
+	// delta's dirty region were re-solved). The histograms record per-delta
+	// shape: dirty edges touched, shards re-solved, shards reused from the
+	// previous allocation. creates/evictions/live track the serving layer's
+	// session table (TTL eviction; the max-sessions bound sheds with 429).
+	SessionCreates           = NewCounter("session_creates")
+	SessionDeltas            = NewCounter("session_deltas")
+	SessionFullSolves        = NewCounter("session_full_solves")
+	SessionIncrementalSolves = NewCounter("session_incremental_solves")
+	SessionEvictions         = NewCounter("session_evictions")
+	SessionsLive             = NewGauge("sessions_live")
+	SessionDirtyEdges        = NewHistogram("session_dirty_edges")
+	SessionResolvedShards    = NewHistogram("session_resolved_shards")
+	SessionReusedShards      = NewHistogram("session_reused_shards")
+	SessionDeltaNs           = NewHistogram("session_delta_ns")
+
 	DistRPCs         = NewCounter("dist_rpcs")
 	DistRemoteSolves = NewCounter("dist_remote_solves")
 	DistRetries      = NewCounter("dist_retries")
@@ -464,6 +484,18 @@ func Summary() string {
 		TasksAdmitted.Value(), TasksInput.Value(),
 		SegtreeOps.Value(), KnapsackCells.Value(), DPStates.Value(), BBNodes.Value(),
 		MWUIters.Value(), SpanCount())
+}
+
+// SessionSummary is the incremental-engine counterpart of Summary: one line
+// of churn health (deltas split into incremental vs full re-solves, shard
+// re-solve vs reuse volume, live session count), appended to periodic
+// summaries by tools running a session churn workload.
+func SessionSummary() string {
+	return fmt.Sprintf(
+		"session: deltas=%d (inc=%d full=%d) resolved=%d reused=%d live=%d evicted=%d",
+		SessionDeltas.Value(), SessionIncrementalSolves.Value(), SessionFullSolves.Value(),
+		SessionResolvedShards.Sum(), SessionReusedShards.Sum(),
+		SessionsLive.Value(), SessionEvictions.Value())
 }
 
 // DistSummary is the distributed-client counterpart of Summary: one line of

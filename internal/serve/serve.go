@@ -50,6 +50,7 @@ import (
 	"sapalloc/internal/ringsap"
 	"sapalloc/internal/sapcache"
 	"sapalloc/internal/saperr"
+	"sapalloc/internal/session"
 	"sapalloc/internal/shard"
 	"sapalloc/internal/store"
 )
@@ -86,6 +87,13 @@ type Config struct {
 	// total across their instances (defaults 4096 entries, 1<<20 tasks).
 	CacheEntries int
 	CacheTasks   int64
+	// MaxSessions bounds concurrently live incremental sessions (default
+	// 1024). Creations past the bound are shed with 429 + the unified
+	// Retry-After hint; live sessions are never displaced.
+	MaxSessions int
+	// SessionTTL evicts sessions idle longer than this (default 15m).
+	// Eviction is lazy, on the next session-table access.
+	SessionTTL time.Duration
 	// Store, when non-nil, is the durable solve store the cache reads
 	// through (internal/store): cache misses fall through to it, fresh
 	// non-degraded responses are persisted to it, and a restarted server
@@ -122,6 +130,12 @@ func (c Config) withDefaults() Config {
 	if c.CacheTasks <= 0 {
 		c.CacheTasks = 1 << 20
 	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 15 * time.Minute
+	}
 	return c
 }
 
@@ -135,6 +149,7 @@ type Server struct {
 	slots    chan struct{} // solve slots: running only
 	draining atomic.Bool
 	mux      *http.ServeMux
+	sessions *session.Table
 	// solveNs is an EWMA of completed solve durations, the basis of the
 	// drain-aware Retry-After hint (see retryAfterHint).
 	solveNs atomic.Int64
@@ -163,8 +178,16 @@ func New(cfg Config) *Server {
 	}); ok {
 		s.prov = p
 	}
+	s.sessions = session.NewTable(session.TableOptions{
+		MaxSessions: cfg.MaxSessions,
+		TTL:         cfg.SessionTTL,
+		Session:     session.Options{Params: cfg.Params},
+	})
 	s.mux.HandleFunc("/v1/solve", s.handleSolve)
 	s.mux.HandleFunc("/v1/shard", s.handleShard)
+	s.mux.HandleFunc("POST /v1/session", s.handleSessionCreate)
+	s.mux.HandleFunc("POST /v1/session/{id}/delta", s.handleSessionDelta)
+	s.mux.HandleFunc("DELETE /v1/session/{id}", s.handleSessionDelete)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.Handle("/metricsz", expvar.Handler())
 	return s

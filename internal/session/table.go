@@ -1,0 +1,144 @@
+package session
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"time"
+
+	"sapalloc/internal/obs"
+)
+
+// ErrTableFull is returned by Table.Create when the max-sessions admission
+// bound is hit. The serving layer maps it to 429 with the unified
+// Retry-After hint.
+var ErrTableFull = errors.New("session table full")
+
+// TableOptions configures a Table.
+type TableOptions struct {
+	// MaxSessions bounds live sessions (default 1024). Create past the
+	// bound fails with ErrTableFull — admission control, not eviction:
+	// live sessions are never displaced by new arrivals.
+	MaxSessions int
+	// TTL evicts sessions idle (no Get or Create) longer than this
+	// (default 15 minutes). Eviction is lazy, on the next table access.
+	TTL time.Duration
+	// Session configures every session the table creates.
+	Session Options
+	// Now overrides the clock in tests; nil means time.Now.
+	Now func() time.Time
+}
+
+func (o TableOptions) withDefaults() TableOptions {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 1024
+	}
+	if o.TTL <= 0 {
+		o.TTL = 15 * time.Minute
+	}
+	if o.Now == nil {
+		o.Now = time.Now
+	}
+	return o
+}
+
+// Table is a bounded LRU registry of live sessions keyed by random IDs.
+// All methods are safe for concurrent use; the table lock is never held
+// across a solve (sessions carry their own locks).
+type Table struct {
+	mu   sync.Mutex
+	opts TableOptions
+	byID map[string]*list.Element
+	lru  *list.List // front = most recently touched
+}
+
+type tentry struct {
+	id   string
+	sess *Session
+	last time.Time
+}
+
+// NewTable creates an empty session table.
+func NewTable(opts TableOptions) *Table {
+	return &Table{
+		opts: opts.withDefaults(),
+		byID: make(map[string]*list.Element),
+		lru:  list.New(),
+	}
+}
+
+// Create registers a fresh session and returns its ID.
+func (t *Table) Create(capacity []int64) (string, *Session, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evictExpiredLocked()
+	if len(t.byID) >= t.opts.MaxSessions {
+		return "", nil, ErrTableFull
+	}
+	sess, err := New(capacity, t.opts.Session)
+	if err != nil {
+		return "", nil, err
+	}
+	id := NewID()
+	for t.byID[id] != nil {
+		id = NewID()
+	}
+	t.byID[id] = t.lru.PushFront(&tentry{id: id, sess: sess, last: t.opts.Now()})
+	obs.SessionCreates.Inc()
+	obs.SessionsLive.Set(int64(len(t.byID)))
+	return id, sess, nil
+}
+
+// Get returns the session for id, refreshing its TTL, or false if the id is
+// unknown or expired.
+func (t *Table) Get(id string) (*Session, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evictExpiredLocked()
+	el, ok := t.byID[id]
+	if !ok {
+		return nil, false
+	}
+	e := el.Value.(*tentry)
+	e.last = t.opts.Now()
+	t.lru.MoveToFront(el)
+	return e.sess, true
+}
+
+// Delete removes the session for id, reporting whether it existed.
+func (t *Table) Delete(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	el, ok := t.byID[id]
+	if !ok {
+		return false
+	}
+	t.lru.Remove(el)
+	delete(t.byID, id)
+	obs.SessionsLive.Set(int64(len(t.byID)))
+	return true
+}
+
+// Len returns the live session count after evicting expired entries.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.evictExpiredLocked()
+	return len(t.byID)
+}
+
+// evictExpiredLocked drops sessions idle past the TTL, scanning from the
+// LRU tail (stalest first).
+func (t *Table) evictExpiredLocked() {
+	now := t.opts.Now()
+	for el := t.lru.Back(); el != nil; el = t.lru.Back() {
+		e := el.Value.(*tentry)
+		if now.Sub(e.last) <= t.opts.TTL {
+			break
+		}
+		t.lru.Remove(el)
+		delete(t.byID, e.id)
+		obs.SessionEvictions.Inc()
+	}
+	obs.SessionsLive.Set(int64(len(t.byID)))
+}

@@ -1,0 +1,108 @@
+package session
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func fakeClock(start time.Time) (*time.Time, func() time.Time) {
+	now := start
+	return &now, func() time.Time { return now }
+}
+
+func TestTableCreateGetDelete(t *testing.T) {
+	tb := NewTable(TableOptions{})
+	id, sess, err := tb.Create([]int64{8, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess == nil || len(id) != 16 {
+		t.Fatalf("bad create: id=%q sess=%v", id, sess)
+	}
+	got, ok := tb.Get(id)
+	if !ok || got != sess {
+		t.Fatalf("Get(%q) = %v, %v", id, got, ok)
+	}
+	if _, ok := tb.Get("deadbeefdeadbeef"); ok {
+		t.Fatal("unknown id resolved")
+	}
+	if !tb.Delete(id) {
+		t.Fatal("delete of live session failed")
+	}
+	if tb.Delete(id) {
+		t.Fatal("double delete succeeded")
+	}
+	if _, ok := tb.Get(id); ok {
+		t.Fatal("deleted session still resolves")
+	}
+	if tb.Len() != 0 {
+		t.Fatalf("Len() = %d after delete", tb.Len())
+	}
+
+	if _, _, err := tb.Create([]int64{-1}); err == nil {
+		t.Fatal("invalid capacity accepted")
+	}
+}
+
+func TestTableMaxSessions(t *testing.T) {
+	tb := NewTable(TableOptions{MaxSessions: 2})
+	if _, _, err := tb.Create([]int64{4}); err != nil {
+		t.Fatal(err)
+	}
+	id2, _, err := tb.Create([]int64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tb.Create([]int64{4}); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("overflow create: want ErrTableFull, got %v", err)
+	}
+	// Deleting frees a slot; live sessions are never displaced.
+	tb.Delete(id2)
+	if _, _, err := tb.Create([]int64{4}); err != nil {
+		t.Fatalf("create after delete: %v", err)
+	}
+}
+
+func TestTableTTLEviction(t *testing.T) {
+	now, clock := fakeClock(time.Unix(1000, 0))
+	tb := NewTable(TableOptions{TTL: time.Minute, Now: clock})
+	idOld, _, err := tb.Create([]int64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	*now = now.Add(40 * time.Second)
+	idFresh, _, err := tb.Create([]int64{4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touching idOld refreshes its TTL.
+	if _, ok := tb.Get(idOld); !ok {
+		t.Fatal("idOld gone before TTL")
+	}
+	*now = now.Add(50 * time.Second)
+	// idFresh is now 50s idle (alive); idOld was touched 50s ago (alive).
+	if tb.Len() != 2 {
+		t.Fatalf("Len() = %d, want 2", tb.Len())
+	}
+	*now = now.Add(15 * time.Second)
+	// idFresh is 65s idle: evicted. idOld 65s idle: evicted too.
+	if tb.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0 after TTL", tb.Len())
+	}
+	if _, ok := tb.Get(idFresh); ok {
+		t.Fatal("expired session still resolves")
+	}
+	// Eviction frees admission slots.
+	tb2 := NewTable(TableOptions{MaxSessions: 1, TTL: time.Minute, Now: clock})
+	if _, _, err := tb2.Create([]int64{4}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := tb2.Create([]int64{4}); !errors.Is(err, ErrTableFull) {
+		t.Fatalf("want ErrTableFull, got %v", err)
+	}
+	*now = now.Add(2 * time.Minute)
+	if _, _, err := tb2.Create([]int64{4}); err != nil {
+		t.Fatalf("create after expiry: %v", err)
+	}
+}

@@ -58,6 +58,12 @@ type Span struct {
 	Tasks int `json:"tasks"`
 }
 
+// Overlaps reports whether the span's edge window intersects the half-open
+// edge range [lo, hi). The incremental session engine uses it to classify
+// shards as dirty (their window touches a delta's changed intervals) or
+// reusable.
+func (s Span) Overlaps(lo, hi int) bool { return s.Lo < hi && lo < s.Hi }
+
 // Lift translates a solution of the span's sub-instance (local edge
 // coordinates, as built by Plan.SubInstance) back onto the original path
 // by shifting every placement's interval up by Lo. Heights are untouched —

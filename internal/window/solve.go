@@ -1,22 +1,35 @@
 package window
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"math/bits"
 	"sort"
+
+	"sapalloc/internal/faultinject"
+	"sapalloc/internal/saperr"
+	"sapalloc/internal/scratch"
 )
 
 // Options bounds the exact search.
 type Options struct {
 	// MaxNodes caps the branch-and-bound node count (0 = 20 million).
+	// Negative values are rejected with a typed saperr input error: the
+	// old behaviour passed them through, so the budget check tripped on
+	// node 1 and SolveExact silently returned the greedy incumbent with
+	// ErrBudget — indistinguishable from a genuinely exhausted search.
 	MaxNodes int64
 }
 
-func (o Options) withDefaults() Options {
+func (o Options) withDefaults() (Options, error) {
+	if o.MaxNodes < 0 {
+		return o, saperr.Input("window: MaxNodes %d is negative", o.MaxNodes)
+	}
 	if o.MaxNodes == 0 {
 		o.MaxNodes = 20_000_000
 	}
-	return o
+	return o, nil
 }
 
 // ErrBudget is returned (with the incumbent) when the node cap is hit.
@@ -28,25 +41,56 @@ var ErrTooLarge = errors.New("window: instance too large for exact solver")
 // MaxTasks caps the exact solver's task count.
 const MaxTasks = 30
 
+// cancelMask sets the cooperative-cancellation cadence: the context (and the
+// window/solve fault site) is polled once every cancelMask+1 search nodes,
+// keeping the per-node cost of cancellation support to a masked counter test.
+const cancelMask = 1023
+
 // SolveExact computes an optimal windowed-SAP solution by branch and bound.
-// It generalises the grounded-solution search of internal/exact: the
-// branching enumerates, for each remaining task, every window offset, and
-// places the task at the lowest feasible height for that offset; the
-// nondecreasing-height exchange argument of Observation 11 applies to each
-// fixed offset assignment, so the search is complete.
+// It is SolveExactCtx without cancellation, kept for callers that have no
+// context to thread.
 func SolveExact(in *Instance, opts Options) (*Solution, error) {
-	opts = opts.withDefaults()
+	return SolveExactCtx(context.Background(), in, opts)
+}
+
+// SolveExactCtx computes an optimal windowed-SAP solution by branch and
+// bound. The branching enumerates, for each remaining task, every window
+// offset, and places the task at the lowest feasible height for that offset;
+// the nondecreasing-height exchange argument of Observation 11 applies to
+// each fixed offset assignment, so the search is complete.
+//
+// Cancellation is cooperative: the context is checked every cancelMask+1
+// nodes, and on cancellation the best incumbent found so far (always at
+// least the greedy seed, which is feasible) is returned alongside a typed
+// saperr cancellation error.
+func SolveExactCtx(ctx context.Context, in *Instance, opts Options) (*Solution, error) {
+	opts, err := opts.withDefaults()
+	if err != nil {
+		return nil, err
+	}
 	n := len(in.Tasks)
 	if n > MaxTasks {
 		return nil, fmt.Errorf("%w: %d tasks (max %d)", ErrTooLarge, n, MaxTasks)
 	}
-	s := &winSearcher{in: in, maxNodes: opts.MaxNodes}
+	faultinject.Fire(ctx, "window/solve")
+	if err := saperr.FromContext(ctx); err != nil {
+		return nil, err
+	}
+	a, release := scratch.Acquire(ctx)
+	defer release()
+	s := &winSearcher{in: in, ctx: ctx, maxNodes: opts.MaxNodes}
+	s.cand = a.Int64s(n + 1)[:0]
+	s.order = a.Ints(n)
+	s.rects = make([]winRect, 0, n)
 	s.run()
 	sol := &Solution{}
 	for i, pl := range s.bestPlaced {
 		if pl.used {
 			sol.Items = append(sol.Items, Placement{Task: in.Tasks[i], Start: pl.start, Height: pl.height})
 		}
+	}
+	if s.cancelled != nil {
+		return sol, s.cancelled
 	}
 	if s.exhausted {
 		return sol, ErrBudget
@@ -67,13 +111,17 @@ type winPlace struct {
 
 type winSearcher struct {
 	in         *Instance
+	ctx        context.Context
 	maxNodes   int64
 	nodes      int64
 	exhausted  bool
+	cancelled  error
 	bestWeight int64
 	bestPlaced []winPlace
 	placed     []winPlace
 	rects      []winRect
+	cand       []int64 // reused candidate-height buffer (arena-backed in SolveExactCtx)
+	order      []int   // reused greedy-seed ordering buffer
 }
 
 func (s *winSearcher) run() {
@@ -100,14 +148,27 @@ func (s *winSearcher) lowestSlot(ti, start int) int64 {
 			ceiling = s.in.Capacity[e]
 		}
 	}
-	candidates := []int64{0}
+	// Candidate heights: 0 plus the top of every overlapping rectangle,
+	// collected into the searcher's reused buffer and insertion-sorted in
+	// place. This is the B&B hot spot — the old per-call slice literal and
+	// sort.Slice closure allocated on every node.
+	cand := append(s.cand[:0], 0)
 	for _, r := range s.rects {
 		if r.start < end && start < r.end {
-			candidates = append(candidates, r.top)
+			cand = append(cand, r.top)
 		}
 	}
-	sort.Slice(candidates, func(a, b int) bool { return candidates[a] < candidates[b] })
-	for _, h := range candidates {
+	s.cand = cand
+	for i := 1; i < len(cand); i++ {
+		v := cand[i]
+		j := i - 1
+		for j >= 0 && cand[j] > v {
+			cand[j+1] = cand[j]
+			j--
+		}
+		cand[j+1] = v
+	}
+	for _, h := range cand {
 		if h+t.Demand > ceiling {
 			continue
 		}
@@ -127,7 +188,10 @@ func (s *winSearcher) lowestSlot(ti, start int) int64 {
 
 func (s *winSearcher) greedySeed() {
 	n := len(s.in.Tasks)
-	order := make([]int, n)
+	order := s.order
+	if order == nil {
+		order = make([]int, n)
+	}
 	for i := range order {
 		order[i] = i
 	}
@@ -158,10 +222,20 @@ func (s *winSearcher) greedySeed() {
 }
 
 func (s *winSearcher) rec(remaining uint64, cur int64) {
+	if s.cancelled != nil {
+		return
+	}
 	s.nodes++
 	if s.nodes > s.maxNodes {
 		s.exhausted = true
 		return
+	}
+	if s.nodes&cancelMask == 0 {
+		faultinject.Fire(s.ctx, "window/solve")
+		if err := saperr.FromContext(s.ctx); err != nil {
+			s.cancelled = err
+			return
+		}
 	}
 	if cur > s.bestWeight {
 		s.bestWeight = cur
@@ -176,7 +250,7 @@ func (s *winSearcher) rec(remaining uint64, cur int64) {
 	}
 	for m := remaining; m != 0; m &= m - 1 {
 		ti := tz(m)
-		if s.exhausted {
+		if s.exhausted || s.cancelled != nil {
 			return
 		}
 		t := s.in.Tasks[ti]
@@ -204,14 +278,7 @@ func (s *winSearcher) rec(remaining uint64, cur int64) {
 	}
 }
 
-func tz(m uint64) int {
-	n := 0
-	for m&1 == 0 {
-		m >>= 1
-		n++
-	}
-	return n
-}
+func tz(m uint64) int { return bits.TrailingZeros64(m) }
 
 // Greedy schedules tasks in decreasing weight/demand·length density,
 // choosing for each the offset with the lowest feasible height. It is the
@@ -230,7 +297,7 @@ func Greedy(in *Instance) *Solution {
 		}
 		return ta.ID < tb.ID
 	})
-	s := &winSearcher{in: in}
+	s := &winSearcher{in: in, rects: make([]winRect, 0, len(in.Tasks))}
 	sol := &Solution{}
 	for _, ti := range order {
 		t := in.Tasks[ti]

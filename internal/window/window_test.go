@@ -2,13 +2,16 @@ package window
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"math/rand"
 	"testing"
+	"time"
 
 	"sapalloc/internal/exact"
 	"sapalloc/internal/gen"
 	"sapalloc/internal/model"
+	"sapalloc/internal/saperr"
 )
 
 func randomWindowed(r *rand.Rand, m, n, maxSlack int) *Instance {
@@ -220,6 +223,52 @@ func TestSolveExactTooLargeAndBudget(t *testing.T) {
 	}
 	if err := Valid(big, sol); err != nil {
 		t.Errorf("budget incumbent infeasible: %v", err)
+	}
+}
+
+// Regression: a negative MaxNodes used to pass straight through
+// withDefaults, so the budget check tripped on node 1 and SolveExact
+// returned the greedy incumbent with ErrBudget — reading like a completed
+// bounded search. It must be rejected as invalid input instead.
+func TestNegativeMaxNodesRejected(t *testing.T) {
+	in := &Instance{
+		Capacity: []int64{4},
+		Tasks:    []Task{{ID: 0, Release: 0, Deadline: 1, Length: 1, Demand: 1, Weight: 5}},
+	}
+	_, err := SolveExact(in, Options{MaxNodes: -1})
+	if !errors.Is(err, saperr.ErrInfeasibleInput) {
+		t.Fatalf("negative MaxNodes: want typed input error, got %v", err)
+	}
+	if errors.Is(err, ErrBudget) {
+		t.Fatalf("negative MaxNodes still reads as budget exhaustion")
+	}
+}
+
+func TestSolveExactCtxCancellation(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	in := randomWindowed(r, 8, 22, 4)
+
+	// A context cancelled before the search starts is rejected up front.
+	pre, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SolveExactCtx(pre, in, Options{}); !saperr.IsCancelled(err) {
+		t.Fatalf("pre-cancelled context: want cancellation, got %v", err)
+	}
+
+	// A context cancelled mid-search stops within the masked cadence and
+	// returns the feasible incumbent. The deadline is generous enough for
+	// the solver to start but far below this instance's full search time.
+	ctx, cancel2 := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel2()
+	sol, err := SolveExactCtx(ctx, in, Options{})
+	if !saperr.IsCancelled(err) {
+		t.Fatalf("mid-search deadline: want cancellation, got %v", err)
+	}
+	if sol == nil {
+		t.Fatal("cancelled solve dropped the incumbent")
+	}
+	if verr := Valid(in, sol); verr != nil {
+		t.Fatalf("cancelled incumbent infeasible: %v", verr)
 	}
 }
 
